@@ -1,0 +1,172 @@
+// Ablation: absolute-error-optimized publishing (the Hay-style hierarchy
+// of Section 7's related work) vs iReduct — when does each structure pay?
+//
+// Part A — prefix-range workload over the Age histogram. Range queries
+// overlap heavily (the prefix set has sensitivity ~n), which is exactly
+// the structure the hierarchy exploits: it answers any range from O(log n)
+// noisy nodes. Expectation: the hierarchy wins absolute AND relative
+// error; iReduct's reallocation cannot compensate for an n-vs-log n
+// sensitivity gap.
+//
+// Part B — the paper's own task: the *cells* of all nine 1D marginals.
+// Point counts have no range structure to exploit; a per-marginal
+// hierarchy (budget ε/9 each) pays 2·height/(ε/9) noise per node for
+// structure nobody asked for, while iReduct spends the same ε directly
+// and reallocates across marginals. Expectation: iReduct wins clearly —
+// the Section 7 claim that absolute-error range machinery "would incur
+// large relative errors for small counts" when adapted to marginals.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "algorithms/dwork.h"
+#include "algorithms/hierarchical.h"
+#include "algorithms/ireduct.h"
+#include "algorithms/oracle.h"
+#include "algorithms/wavelet.h"
+#include "bench_util.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "marginals/marginal.h"
+#include "common/logging.h"
+#include "queries/range_workload.h"
+
+namespace {
+
+using namespace ireduct;
+using namespace ireduct::bench;
+
+void PartAPrefixRanges(const Dataset& dataset) {
+  auto age = Marginal::Compute(dataset, MarginalSpec{{kAge}});
+  IREDUCT_CHECK(age.ok());
+  const std::vector<double> histogram(age->counts().begin(),
+                                      age->counts().end());
+  const std::vector<BinRange> prefixes = PrefixRanges(histogram.size());
+  auto workload = BuildRangeWorkload(histogram, prefixes);
+  IREDUCT_CHECK(workload.ok());
+
+  const double epsilon = 0.5;
+  const double delta = 1e-4 * dataset.num_rows();
+  const int trials = Trials() * 4;
+
+  double dwork_abs = 0, dwork_rel = 0, tree_abs = 0, tree_rel = 0,
+         wavelet_abs = 0, wavelet_rel = 0, ireduct_abs = 0, ireduct_rel = 0;
+  for (int t = 0; t < trials; ++t) {
+    BitGen gen(5000 + t);
+    auto dw = RunDwork(*workload, DworkParams{epsilon}, gen);
+    IREDUCT_CHECK(dw.ok());
+    dwork_abs += MeanAbsoluteError(*workload, dw->answers) / trials;
+    dwork_rel += OverallError(*workload, dw->answers, delta) / trials;
+
+    auto tree = HierarchicalHistogram::Publish(
+        histogram, HierarchicalParams{epsilon}, gen);
+    IREDUCT_CHECK(tree.ok());
+    std::vector<double> tree_answers;
+    for (const BinRange& r : prefixes) {
+      auto answer = tree->RangeCount(r.lo, r.hi);
+      IREDUCT_CHECK(answer.ok());
+      tree_answers.push_back(*answer);
+    }
+    tree_abs += MeanAbsoluteError(*workload, tree_answers) / trials;
+    tree_rel += OverallError(*workload, tree_answers, delta) / trials;
+
+    auto wavelet =
+        WaveletHistogram::Publish(histogram, WaveletParams{epsilon}, gen);
+    IREDUCT_CHECK(wavelet.ok());
+    std::vector<double> wavelet_answers;
+    for (const BinRange& r : prefixes) {
+      auto answer = wavelet->RangeCount(r.lo, r.hi);
+      IREDUCT_CHECK(answer.ok());
+      wavelet_answers.push_back(*answer);
+    }
+    wavelet_abs += MeanAbsoluteError(*workload, wavelet_answers) / trials;
+    wavelet_rel += OverallError(*workload, wavelet_answers, delta) / trials;
+
+    IReductParams p;
+    p.epsilon = epsilon;
+    p.delta = delta;
+    p.lambda_max = 2.0 * workload->Sensitivity() / epsilon;
+    p.lambda_delta = p.lambda_max / std::max<int>(IReductSteps(), 400);
+    auto ir = RunIReduct(*workload, p, gen);
+    IREDUCT_CHECK(ir.ok());
+    ireduct_abs += MeanAbsoluteError(*workload, ir->answers) / trials;
+    ireduct_rel += OverallError(*workload, ir->answers, delta) / trials;
+  }
+
+  TablePrinter table({"mechanism", "mean_abs_err", "overall_rel_err"});
+  table.AddRow({"Dwork (flat)", TablePrinter::Cell(dwork_abs, 5),
+                TablePrinter::Cell(dwork_rel, 5)});
+  table.AddRow({"Hierarchical", TablePrinter::Cell(tree_abs, 5),
+                TablePrinter::Cell(tree_rel, 5)});
+  table.AddRow({"Privelet (wavelet)", TablePrinter::Cell(wavelet_abs, 5),
+                TablePrinter::Cell(wavelet_rel, 5)});
+  table.AddRow({"iReduct", TablePrinter::Cell(ireduct_abs, 5),
+                TablePrinter::Cell(ireduct_rel, 5)});
+  std::cout << "Part A: 101 prefix ranges over the Age histogram "
+               "(eps=0.5) — range structure favors the hierarchy\n\n";
+  table.Print(std::cout);
+  std::cout << '\n';
+}
+
+void PartBMarginalCells() {
+  const MarginalWorkload mw = BuildKWayWorkload(CensusKind::kBrazil, 1);
+  const Workload& w = mw.workload();
+  const double n =
+      static_cast<double>(GetCensus(CensusKind::kBrazil).num_rows());
+  const double epsilon = 0.01;
+  const double delta = 1e-4 * n;
+  const int trials = Trials() * 2;
+
+  double dwork_rel = 0, tree_rel = 0, ireduct_rel = 0, oracle_rel = 0;
+  for (int t = 0; t < trials; ++t) {
+    BitGen gen(6000 + t);
+    auto dw = RunDwork(w, DworkParams{epsilon}, gen);
+    IREDUCT_CHECK(dw.ok());
+    dwork_rel += OverallError(w, dw->answers, delta) / trials;
+
+    // Per-marginal hierarchy with a uniform ε/|M| split; its consistent
+    // leaves are the published cells.
+    std::vector<double> tree_answers;
+    const double eps_each = epsilon / mw.num_marginals();
+    for (size_t m = 0; m < mw.num_marginals(); ++m) {
+      auto tree = HierarchicalHistogram::Publish(
+          mw.marginal(m).counts(), HierarchicalParams{eps_each}, gen);
+      IREDUCT_CHECK(tree.ok());
+      const std::vector<double> leaves = tree->BinCounts();
+      tree_answers.insert(tree_answers.end(), leaves.begin(), leaves.end());
+    }
+    tree_rel += OverallError(w, tree_answers, delta) / trials;
+
+    IReductParams p;
+    p.epsilon = epsilon;
+    p.delta = delta;
+    p.lambda_max = n / 10;
+    p.lambda_delta = p.lambda_max / IReductSteps();
+    auto ir = RunIReduct(w, p, gen);
+    IREDUCT_CHECK(ir.ok());
+    ireduct_rel += OverallError(w, ir->answers, delta) / trials;
+
+    auto oracle = RunOracle(w, OracleParams{epsilon, delta}, gen);
+    IREDUCT_CHECK(oracle.ok());
+    oracle_rel += OverallError(w, oracle->answers, delta) / trials;
+  }
+
+  TablePrinter table({"mechanism", "overall_rel_err"});
+  table.AddRow({"Dwork (flat)", TablePrinter::Cell(dwork_rel, 5)});
+  table.AddRow({"Hierarchical per marginal", TablePrinter::Cell(tree_rel,
+                                                                5)});
+  table.AddRow({"iReduct", TablePrinter::Cell(ireduct_rel, 5)});
+  table.AddRow({"Oracle (non-private)", TablePrinter::Cell(oracle_rel, 5)});
+  std::cout << "Part B: cells of all nine 1D marginals (Brazil, eps=0.01) "
+               "— point counts favor iReduct\n\n";
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  PartAPrefixRanges(GetCensus(CensusKind::kBrazil));
+  PartBMarginalCells();
+  return 0;
+}

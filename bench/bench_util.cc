@@ -1,0 +1,133 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "algorithms/dwork.h"
+#include "algorithms/ireduct.h"
+#include "algorithms/iresamp.h"
+#include "algorithms/oracle.h"
+#include "algorithms/two_phase.h"
+#include "eval/metrics.h"
+#include "marginals/marginal_set.h"
+
+namespace ireduct {
+namespace bench {
+
+int Trials() { return static_cast<int>(EnvInt64("TRIALS", 3)); }
+
+int IReductSteps() {
+  return static_cast<int>(EnvInt64("IREDUCT_STEPS", 150));
+}
+
+uint64_t RowsFor(CensusKind kind) {
+  const uint64_t brazil = EnvInt64("CENSUS_ROWS", 400'000);
+  // The paper's datasets hold ~10M (Brazil) and ~14M (US) records.
+  return kind == CensusKind::kBrazil ? brazil : brazil * 14 / 10;
+}
+
+std::string KindName(CensusKind kind) {
+  return kind == CensusKind::kBrazil ? "Brazil" : "USA";
+}
+
+const Dataset& GetCensus(CensusKind kind) {
+  static std::map<CensusKind, Dataset>* cache =
+      new std::map<CensusKind, Dataset>();
+  auto it = cache->find(kind);
+  if (it != cache->end()) return it->second;
+  CensusConfig config;
+  config.kind = kind;
+  config.rows = RowsFor(kind);
+  config.seed = 2011 + static_cast<uint64_t>(kind);
+  std::fprintf(stderr, "[bench] generating %llu %s-like census rows...\n",
+               static_cast<unsigned long long>(config.rows),
+               KindName(kind).c_str());
+  auto dataset = GenerateCensus(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "census generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    std::abort();
+  }
+  return cache->emplace(kind, std::move(*dataset)).first->second;
+}
+
+MarginalWorkload BuildKWayWorkload(CensusKind kind, int k) {
+  const Dataset& dataset = GetCensus(kind);
+  auto specs = AllKWaySpecs(dataset.schema(), k);
+  if (!specs.ok()) std::abort();
+  auto marginals = ComputeMarginals(dataset, *specs);
+  if (!marginals.ok()) std::abort();
+  auto mw = MarginalWorkload::Create(std::move(*marginals));
+  if (!mw.ok()) std::abort();
+  return std::move(mw).value();
+}
+
+std::vector<std::pair<std::string, MechanismFn>> PaperMechanisms(
+    double epsilon, double delta, double lambda_max, double lambda_delta,
+    double epsilon1_fraction) {
+  std::vector<std::pair<std::string, MechanismFn>> mechanisms;
+  mechanisms.emplace_back(
+      "Oracle", [=](const Workload& w, BitGen& gen)
+                    -> Result<std::vector<double>> {
+        IREDUCT_ASSIGN_OR_RETURN(
+            MechanismOutput out,
+            RunOracle(w, OracleParams{epsilon, delta}, gen));
+        return std::move(out.answers);
+      });
+  mechanisms.emplace_back(
+      "iReduct", [=](const Workload& w, BitGen& gen)
+                     -> Result<std::vector<double>> {
+        IReductParams p;
+        p.epsilon = epsilon;
+        p.delta = delta;
+        p.lambda_max = lambda_max;
+        p.lambda_delta = lambda_delta;
+        IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out, RunIReduct(w, p, gen));
+        return std::move(out.answers);
+      });
+  mechanisms.emplace_back(
+      "TwoPhase", [=](const Workload& w, BitGen& gen)
+                      -> Result<std::vector<double>> {
+        const TwoPhaseParams p{epsilon1_fraction * epsilon,
+                               (1 - epsilon1_fraction) * epsilon, delta};
+        IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out, RunTwoPhase(w, p, gen));
+        return std::move(out.answers);
+      });
+  mechanisms.emplace_back(
+      "iResamp", [=](const Workload& w, BitGen& gen)
+                     -> Result<std::vector<double>> {
+        IResampParams p;
+        p.epsilon = epsilon;
+        p.delta = delta;
+        p.lambda_max = lambda_max;
+        IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out, RunIResamp(w, p, gen));
+        return std::move(out.answers);
+      });
+  mechanisms.emplace_back(
+      "Dwork", [=](const Workload& w, BitGen& gen)
+                   -> Result<std::vector<double>> {
+        IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out,
+                                 RunDwork(w, DworkParams{epsilon}, gen));
+        return std::move(out.answers);
+      });
+  return mechanisms;
+}
+
+TrialAggregate MeasureOverallError(const Workload& workload,
+                                   const MechanismFn& mechanism, double delta,
+                                   uint64_t base_seed) {
+  return RunTrials(Trials(), base_seed, [&](uint64_t seed) {
+    BitGen gen(seed);
+    auto answers = mechanism(workload, gen);
+    if (!answers.ok()) {
+      std::fprintf(stderr, "mechanism failed: %s\n",
+                   answers.status().ToString().c_str());
+      std::abort();
+    }
+    return OverallError(workload, *answers, delta);
+  });
+}
+
+}  // namespace bench
+}  // namespace ireduct

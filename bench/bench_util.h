@@ -1,0 +1,69 @@
+// Shared support for the figure-reproduction benchmark harnesses: cached
+// synthetic census datasets, marginal workload builders, and a runner that
+// sweeps every mechanism of Section 6 with the paper's parameters.
+//
+// Environment knobs (all optional):
+//   CENSUS_ROWS    Brazil-like row count (US-like is scaled 1.4x to match
+//                  the paper's 10M/14M ratio). Default 400000 — 4% of the
+//                  paper's scale; the curve *shapes* are scale-invariant
+//                  because δ, λmax and λΔ are defined relative to |T|.
+//   TRIALS         runs averaged per point (paper: 10). Default 3.
+//   IREDUCT_STEPS  λmax/λΔ — iReduct's reduction resolution per group.
+//                  The paper uses 10^5; default 150 (the ablation bench
+//                  shows the error curve is flat in this knob well below
+//                  the default).
+#ifndef IREDUCT_BENCH_BENCH_UTIL_H_
+#define IREDUCT_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/census_generator.h"
+#include "eval/experiment.h"
+#include "marginals/marginal_workload.h"
+
+namespace ireduct {
+namespace bench {
+
+/// Census rows for the given population, honoring CENSUS_ROWS.
+uint64_t RowsFor(CensusKind kind);
+
+/// Returns (and caches across calls within the process) the synthetic
+/// census dataset for `kind`. Aborts on generation failure.
+const Dataset& GetCensus(CensusKind kind);
+
+/// Builds the all-k-way marginal workload over the cached dataset.
+MarginalWorkload BuildKWayWorkload(CensusKind kind, int k);
+
+/// Human name of the population ("Brazil" / "USA").
+std::string KindName(CensusKind kind);
+
+/// One mechanism run on a workload: returns the published answers.
+using MechanismFn = std::function<Result<std::vector<double>>(
+    const Workload&, BitGen&)>;
+
+/// The Section 6 competitor set, in the paper's reporting order:
+/// Oracle, iReduct, TwoPhase, iResamp, Dwork. `epsilon1_fraction` is
+/// TwoPhase's ε1/ε split (the paper tunes it per task; see Figure 5).
+std::vector<std::pair<std::string, MechanismFn>> PaperMechanisms(
+    double epsilon, double delta, double lambda_max, double lambda_delta,
+    double epsilon1_fraction);
+
+/// Mean ± stddev of the overall error (Definition 6) of `mechanism` on
+/// `workload` over TRIALS seeded runs.
+TrialAggregate MeasureOverallError(const Workload& workload,
+                                   const MechanismFn& mechanism, double delta,
+                                   uint64_t base_seed);
+
+/// TRIALS environment knob.
+int Trials();
+
+/// IREDUCT_STEPS environment knob.
+int IReductSteps();
+
+}  // namespace bench
+}  // namespace ireduct
+
+#endif  // IREDUCT_BENCH_BENCH_UTIL_H_

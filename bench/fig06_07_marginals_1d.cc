@@ -1,0 +1,113 @@
+// Figures 6 and 7 reproduction: overall error of the five mechanisms on
+// all one-dimensional marginals,
+//   Figure 6: vs ε ∈ {0.002 .. 0.01} at δ = 1e-4·|T|;
+//   Figure 7: vs δ/|T| ∈ {0.2 .. 1}×1e-4 at ε = 0.01.
+// Also prints Table 4 (attribute domains) and the Section 6.3 runtime
+// remark (iReduct pays an iteration loop the one-shot methods don't).
+//
+// Paper shape: iReduct ≈ Oracle < TwoPhase < {iResamp ≈ Dwork}; all errors
+// fall as ε or δ grow.
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/table_printer.h"
+
+int main() {
+  using namespace ireduct;
+  using namespace ireduct::bench;
+
+  // Table 4: attribute domains actually used by the generators.
+  {
+    TablePrinter table({"dataset", "attribute", "domain"});
+    for (CensusKind kind : {CensusKind::kBrazil, CensusKind::kUs}) {
+      auto schema = CensusSchema(kind);
+      for (const Attribute& a : schema->attributes()) {
+        table.AddRow({KindName(kind), a.name,
+                      std::to_string(a.domain_size)});
+      }
+    }
+    std::cout << "Table 4: attribute domain sizes\n\n";
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+
+  const double eps1_fraction = 0.07;  // the paper's 1D sweet spot (Fig. 5)
+
+  // Figure 6: error vs ε.
+  {
+    TablePrinter table({"dataset", "eps", "method", "overall_error",
+                        "stddev"});
+    for (CensusKind kind : {CensusKind::kBrazil, CensusKind::kUs}) {
+      const MarginalWorkload mw = BuildKWayWorkload(kind, 1);
+      const double n = static_cast<double>(GetCensus(kind).num_rows());
+      const double delta = 1e-4 * n;
+      for (double eps : {0.002, 0.004, 0.006, 0.008, 0.01}) {
+        const double lambda_max = n / 10;
+        const double lambda_delta = lambda_max / IReductSteps();
+        for (auto& [name, fn] : PaperMechanisms(eps, delta, lambda_max,
+                                                lambda_delta,
+                                                eps1_fraction)) {
+          const TrialAggregate agg =
+              MeasureOverallError(mw.workload(), fn, delta, 600);
+          table.AddRow({KindName(kind), TablePrinter::Cell(eps, 3), name,
+                        TablePrinter::Cell(agg.mean, 5),
+                        TablePrinter::Cell(agg.stddev, 3)});
+        }
+      }
+    }
+    std::cout << "Figure 6: overall error vs eps (1D marginals, "
+                 "delta=1e-4*|T|)\n\n";
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+
+  // Figure 7: error vs δ.
+  {
+    TablePrinter table({"dataset", "delta/|T|", "method", "overall_error",
+                        "stddev"});
+    for (CensusKind kind : {CensusKind::kBrazil, CensusKind::kUs}) {
+      const MarginalWorkload mw = BuildKWayWorkload(kind, 1);
+      const double n = static_cast<double>(GetCensus(kind).num_rows());
+      for (double delta_frac : {0.2e-4, 0.4e-4, 0.6e-4, 0.8e-4, 1.0e-4}) {
+        const double delta = delta_frac * n;
+        const double lambda_max = n / 10;
+        const double lambda_delta = lambda_max / IReductSteps();
+        for (auto& [name, fn] : PaperMechanisms(0.01, delta, lambda_max,
+                                                lambda_delta,
+                                                eps1_fraction)) {
+          const TrialAggregate agg =
+              MeasureOverallError(mw.workload(), fn, delta, 700);
+          table.AddRow({KindName(kind), TablePrinter::Cell(delta_frac, 3),
+                        name, TablePrinter::Cell(agg.mean, 5),
+                        TablePrinter::Cell(agg.stddev, 3)});
+        }
+      }
+    }
+    std::cout << "Figure 7: overall error vs delta (1D marginals, "
+                 "eps=0.01)\n\n";
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+
+  // Section 6.3 runtime remark: one iReduct run vs one Dwork run.
+  {
+    const MarginalWorkload mw = BuildKWayWorkload(CensusKind::kBrazil, 1);
+    const double n =
+        static_cast<double>(GetCensus(CensusKind::kBrazil).num_rows());
+    const double delta = 1e-4 * n;
+    auto mechanisms = PaperMechanisms(0.01, delta, n / 10,
+                                      (n / 10) / IReductSteps(), 0.07);
+    for (auto& [name, fn] : mechanisms) {
+      BitGen gen(1);
+      const auto start = std::chrono::steady_clock::now();
+      auto out = fn(mw.workload(), gen);
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      std::cout << "runtime " << name << ": " << ms << " ms"
+                << (out.ok() ? "" : " (failed)") << '\n';
+    }
+  }
+  return 0;
+}

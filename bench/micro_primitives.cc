@@ -1,0 +1,181 @@
+// Google-benchmark micro suite for the library's hot primitives: the
+// samplers that dominate iReduct's inner loop, marginal computation, and
+// one end-to-end mechanism run per task size.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/hierarchical.h"
+#include "algorithms/ireduct.h"
+#include "algorithms/wavelet.h"
+#include "common/random.h"
+#include "data/census_generator.h"
+#include "dp/laplace_coupling.h"
+#include "dp/noise_down.h"
+#include "dp/workload.h"
+#include "marginals/marginal.h"
+#include "marginals/consistency.h"
+#include "marginals/marginal_workload.h"
+
+namespace {
+
+using namespace ireduct;
+
+void BM_LaplaceSample(benchmark::State& state) {
+  BitGen gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Laplace(2.0));
+  }
+}
+BENCHMARK(BM_LaplaceSample);
+
+void BM_NoiseDownCreate(benchmark::State& state) {
+  const double lambda = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto dist =
+        NoiseDownDistribution::Create(100.0, 140.0, lambda, lambda * 0.9);
+    benchmark::DoNotOptimize(dist);
+  }
+}
+BENCHMARK(BM_NoiseDownCreate)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_NoiseDownSample(benchmark::State& state) {
+  const double lambda = static_cast<double>(state.range(0));
+  auto dist =
+      NoiseDownDistribution::Create(100.0, 140.0, lambda, lambda * 0.9);
+  BitGen gen(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist->Sample(gen));
+  }
+}
+BENCHMARK(BM_NoiseDownSample)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_NoiseDownEndToEnd(benchmark::State& state) {
+  BitGen gen(3);
+  double y = 150.0;
+  for (auto _ : state) {
+    auto yp = NoiseDown(100.0, y, 50.0, 45.0, gen);
+    benchmark::DoNotOptimize(yp);
+  }
+}
+BENCHMARK(BM_NoiseDownEndToEnd);
+
+void BM_CoupledNoiseDown(benchmark::State& state) {
+  BitGen gen(4);
+  for (auto _ : state) {
+    auto yp = CoupledNoiseDown(100.0, 150.0, 50.0, 45.0, gen);
+    benchmark::DoNotOptimize(yp);
+  }
+}
+BENCHMARK(BM_CoupledNoiseDown);
+
+void BM_MarginalCompute(benchmark::State& state) {
+  CensusConfig config;
+  config.rows = 100'000;
+  static const Dataset* dataset = [] {
+    CensusConfig c;
+    c.rows = 100'000;
+    return new Dataset(std::move(*GenerateCensus(c)));
+  }();
+  const int dims = static_cast<int>(state.range(0));
+  const MarginalSpec spec =
+      dims == 1 ? MarginalSpec{{kOccupation}}
+                : MarginalSpec{{kOccupation, kEducation}};
+  for (auto _ : state) {
+    auto marginal = Marginal::Compute(*dataset, spec);
+    benchmark::DoNotOptimize(marginal);
+  }
+  state.SetItemsProcessed(state.iterations() * dataset->num_rows());
+}
+BENCHMARK(BM_MarginalCompute)->Arg(1)->Arg(2);
+
+void BM_GeneralizedSensitivity(benchmark::State& state) {
+  const size_t groups = static_cast<size_t>(state.range(0));
+  std::vector<double> answers(groups * 4, 10.0);
+  std::vector<QueryGroup> gs;
+  for (uint32_t g = 0; g < groups; ++g) {
+    gs.push_back(QueryGroup{"g", g * 4, (g + 1) * 4, 2.0});
+  }
+  auto w = Workload::Create(std::move(answers), std::move(gs));
+  const std::vector<double> scales(groups, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w->GeneralizedSensitivity(scales));
+  }
+}
+BENCHMARK(BM_GeneralizedSensitivity)->Arg(9)->Arg(36)->Arg(256);
+
+void BM_HierarchicalPublish(benchmark::State& state) {
+  const size_t bins = static_cast<size_t>(state.range(0));
+  std::vector<double> counts(bins);
+  for (size_t b = 0; b < bins; ++b) counts[b] = 1000.0 / (1 + b);
+  BitGen gen(6);
+  for (auto _ : state) {
+    auto h = HierarchicalHistogram::Publish(counts,
+                                            HierarchicalParams{0.5}, gen);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_HierarchicalPublish)->Arg(64)->Arg(1024);
+
+void BM_WaveletPublish(benchmark::State& state) {
+  const size_t bins = static_cast<size_t>(state.range(0));
+  std::vector<double> counts(bins);
+  for (size_t b = 0; b < bins; ++b) counts[b] = 1000.0 / (1 + b);
+  BitGen gen(7);
+  for (auto _ : state) {
+    auto h = WaveletHistogram::Publish(counts, WaveletParams{0.5}, gen);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_WaveletPublish)->Arg(64)->Arg(1024);
+
+void BM_MakeMutuallyConsistent(benchmark::State& state) {
+  // A 1D+2D marginal set over a small synthetic table, perturbed.
+  CensusConfig config;
+  config.rows = 20'000;
+  static const Dataset* dataset =
+      new Dataset(std::move(*GenerateCensus(config)));
+  std::vector<Marginal> noisy;
+  {
+    auto one = Marginal::Compute(*dataset, MarginalSpec{{kEducation}});
+    auto two = Marginal::Compute(
+        *dataset, MarginalSpec{{kEducation, kClassOfWorker}});
+    BitGen gen(8);
+    for (const Marginal* m : {&*one, &*two}) {
+      std::vector<double> counts(m->counts().begin(), m->counts().end());
+      for (double& c : counts) c += gen.Laplace(5.0);
+      noisy.push_back(std::move(
+          *Marginal::FromCounts(m->spec(), m->domain_sizes(), counts)));
+    }
+  }
+  ConsistencyOptions options;
+  options.target_total = 20'000;
+  for (auto _ : state) {
+    auto repaired = MakeMutuallyConsistent(noisy, options);
+    benchmark::DoNotOptimize(repaired);
+  }
+}
+BENCHMARK(BM_MakeMutuallyConsistent);
+
+void BM_IReductSmallWorkload(benchmark::State& state) {
+  std::vector<double> answers;
+  std::vector<QueryGroup> groups;
+  for (uint32_t g = 0; g < 9; ++g) {
+    for (int c = 0; c < 16; ++c) answers.push_back(5.0 + 100.0 * g);
+    groups.push_back(QueryGroup{"g", g * 16, (g + 1) * 16, 2.0});
+  }
+  auto w = Workload::Create(std::move(answers), std::move(groups));
+  IReductParams p;
+  p.epsilon = 0.1;
+  p.delta = 1.0;
+  p.lambda_max = 2000;
+  p.lambda_delta = 20;
+  BitGen gen(5);
+  for (auto _ : state) {
+    auto out = RunIReduct(*w, p, gen);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_IReductSmallWorkload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

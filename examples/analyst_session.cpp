@@ -1,0 +1,63 @@
+// An interactive analyst session against the library's service facade:
+// one ε budget, mixed ad-hoc counts, a marginal release, and a
+// progressively refined count — with the ledger printed at the end.
+//
+//   ./build/examples/analyst_session [rows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "ireduct.h"
+
+int main(int argc, char** argv) {
+  using namespace ireduct;
+
+  CensusConfig config;
+  config.kind = CensusKind::kUs;
+  config.rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
+  auto dataset = GenerateCensus(config);
+  if (!dataset.ok()) return 1;
+
+  auto session = PrivateQuerySession::Create(&*dataset, /*epsilon=*/0.5,
+                                             /*seed=*/99);
+  if (!session.ok()) return 1;
+  std::printf("session budget: %.3f\n\n", session->budget());
+
+  // 1. A quick ad-hoc count with a small slice of the budget.
+  const ConjunctiveQuery widowed{{{kMaritalStatus, 3}}};
+  auto count = session->CountQuery(widowed, 0.02);
+  if (!count.ok()) return 1;
+  auto ci = LaplaceConfidenceInterval(*count, 1.0 / 0.02, 0.95);
+  std::printf("widowed count ~ %.0f   (95%% CI [%.0f, %.0f])\n", *count,
+              ci->lo, ci->hi);
+
+  // 2. Publish all one-dimensional marginals via iReduct.
+  auto specs = AllKWaySpecs(dataset->schema(), 1);
+  auto release = session->PublishMarginals(*specs, 0.3,
+                                           1e-4 * dataset->num_rows(), 200);
+  if (!release.ok()) {
+    std::fprintf(stderr, "%s\n", release.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("published %zu marginals for epsilon %.4f\n",
+              release->marginals.size(), release->epsilon_spent);
+
+  // 3. A refinable count: coarse now, sharper when needed.
+  const ConjunctiveQuery elderly{{{kAge, 85}}};
+  auto chain = session->StartRefinableCount(elderly, 2000);
+  if (!chain.ok()) return 1;
+  std::printf("\nage-85 count, progressively refined:\n");
+  std::printf("  scale %6.0f -> %8.1f\n", chain->scale(), chain->answer());
+  for (double scale : {400.0, 50.0, 10.0}) {
+    if (!chain->Reduce(scale, session->rng()).ok()) break;
+    std::printf("  scale %6.0f -> %8.1f\n", chain->scale(),
+                chain->answer());
+  }
+
+  // 4. The ledger: every charge, labelled.
+  std::printf("\nledger (%.4f of %.4f spent):\n", session->spent(),
+              session->budget());
+  for (const PrivacyCharge& charge : session->ledger()) {
+    std::printf("  %-34s %.5f\n", charge.label.c_str(), charge.epsilon);
+  }
+  return 0;
+}

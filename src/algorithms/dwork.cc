@@ -1,0 +1,23 @@
+#include "algorithms/dwork.h"
+
+#include <cmath>
+
+#include "dp/laplace_mechanism.h"
+
+namespace ireduct {
+
+Result<MechanismOutput> RunDwork(const Workload& workload,
+                                 const DworkParams& params, BitGen& gen) {
+  if (!(params.epsilon > 0) || !std::isfinite(params.epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive finite");
+  }
+  const double scale = workload.Sensitivity() / params.epsilon;
+  MechanismOutput out;
+  out.group_scales.assign(workload.num_groups(), scale);
+  IREDUCT_ASSIGN_OR_RETURN(out.answers,
+                           LaplaceNoise(workload, out.group_scales, gen));
+  out.epsilon_spent = params.epsilon;
+  return out;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,25 @@
+// Dwork et al.'s baseline (Section 2.2): uniform Laplace noise calibrated
+// to the workload's sensitivity.
+#ifndef IREDUCT_ALGORITHMS_DWORK_H_
+#define IREDUCT_ALGORITHMS_DWORK_H_
+
+#include "algorithms/mechanism.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+
+struct DworkParams {
+  /// Privacy budget ε; every query receives Laplace noise of scale S(Q)/ε.
+  double epsilon = 1.0;
+};
+
+/// Publishes the workload with identical noise scale S(Q)/ε for every
+/// query. ε-differentially private (Proposition 1).
+Result<MechanismOutput> RunDwork(const Workload& workload,
+                                 const DworkParams& params, BitGen& gen);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_ALGORITHMS_DWORK_H_

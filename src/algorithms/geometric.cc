@@ -1,0 +1,43 @@
+#include "algorithms/geometric.h"
+
+#include <cmath>
+
+namespace ireduct {
+
+Result<int64_t> TwoSidedGeometric(double alpha, BitGen& gen) {
+  if (!(alpha > 0) || !(alpha < 1)) {
+    return Status::InvalidArgument("alpha must lie in (0, 1)");
+  }
+  // Difference of two i.i.d. geometric variables on {0, 1, ...} with
+  // success probability 1-α is two-sided geometric with parameter α.
+  auto one_sided = [&]() -> int64_t {
+    // Inverse CDF: k = floor(log(u) / log(alpha)).
+    const double u = gen.UniformPositive();
+    return static_cast<int64_t>(std::floor(std::log(u) / std::log(alpha)));
+  };
+  return one_sided() - one_sided();
+}
+
+Result<MechanismOutput> RunGeometric(const Workload& workload,
+                                     const GeometricParams& params,
+                                     BitGen& gen) {
+  if (!(params.epsilon > 0) || !std::isfinite(params.epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive finite");
+  }
+  const double sensitivity = workload.Sensitivity();
+  const double alpha = std::exp(-params.epsilon / sensitivity);
+  MechanismOutput out;
+  out.answers.resize(workload.num_queries());
+  for (size_t i = 0; i < workload.num_queries(); ++i) {
+    IREDUCT_ASSIGN_OR_RETURN(const int64_t noise,
+                             TwoSidedGeometric(alpha, gen));
+    out.answers[i] =
+        std::round(workload.true_answer(i)) + static_cast<double>(noise);
+  }
+  out.group_scales.assign(workload.num_groups(),
+                          sensitivity / params.epsilon);
+  out.epsilon_spent = params.epsilon;
+  return out;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,43 @@
+// The geometric mechanism (Ghosh, Roughgarden & Sundararajan, STOC'09 —
+// reference [14] of the paper): the utility-maximizing mechanism for a
+// single integer count query.
+//
+// Noise is two-sided geometric: Pr[η = k] ∝ α^{|k|} with α = e^{-ε/Δ} for
+// per-tuple sensitivity Δ. It is the discrete analogue of the Laplace
+// mechanism — outputs stay integral (no post-hoc rounding), and for count
+// queries it is universally optimal for every symmetric loss and prior.
+// Included as a baseline/utility for integer workloads; the iReduct
+// machinery itself stays in the continuous Laplace world the paper's
+// NoiseDown requires.
+#ifndef IREDUCT_ALGORITHMS_GEOMETRIC_H_
+#define IREDUCT_ALGORITHMS_GEOMETRIC_H_
+
+#include <cstdint>
+
+#include "algorithms/mechanism.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+
+/// Draws a two-sided geometric variate: Pr[k] = (1-α)/(1+α) · α^{|k|}.
+/// Requires alpha in (0, 1).
+Result<int64_t> TwoSidedGeometric(double alpha, BitGen& gen);
+
+struct GeometricParams {
+  /// Privacy budget ε; every query's noise uses α = e^{-ε/S(Q)}.
+  double epsilon = 1.0;
+};
+
+/// Publishes every (assumed integer-valued) answer of `workload` with
+/// i.i.d. two-sided geometric noise. ε-differentially private. Published
+/// answers are integers; `group_scales` reports the equivalent Laplace
+/// scale S(Q)/ε for comparability.
+Result<MechanismOutput> RunGeometric(const Workload& workload,
+                                     const GeometricParams& params,
+                                     BitGen& gen);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_ALGORITHMS_GEOMETRIC_H_

@@ -1,0 +1,110 @@
+#include "algorithms/hierarchical.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ireduct {
+
+Result<HierarchicalHistogram> HierarchicalHistogram::Publish(
+    std::span<const double> counts, const HierarchicalParams& params,
+    BitGen& gen) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("histogram must be non-empty");
+  }
+  if (!(params.epsilon > 0) || !std::isfinite(params.epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive finite");
+  }
+
+  HierarchicalHistogram h;
+  h.num_bins_ = counts.size();
+  h.num_leaves_ = 1;
+  h.height_ = 1;
+  while (h.num_leaves_ < counts.size()) {
+    h.num_leaves_ *= 2;
+    ++h.height_;
+  }
+  h.epsilon_spent_ = params.epsilon;
+
+  // True node counts in heap order (root = 1).
+  const size_t nodes = 2 * h.num_leaves_;
+  std::vector<double> truth(nodes, 0.0);
+  for (size_t b = 0; b < counts.size(); ++b) {
+    truth[h.num_leaves_ + b] = counts[b];
+  }
+  for (size_t v = h.num_leaves_ - 1; v >= 1; --v) {
+    truth[v] = truth[2 * v] + truth[2 * v + 1];
+  }
+
+  // One tuple moving between two bins changes two root-to-leaf paths:
+  // S = 2 · height. Every node gets Laplace(S/ε).
+  const double lambda = 2.0 * h.height_ / params.epsilon;
+  std::vector<double> noisy(nodes, 0.0);
+  for (size_t v = 1; v < nodes; ++v) {
+    noisy[v] = truth[v] + gen.Laplace(lambda);
+  }
+
+  // Upward pass: per-node BLUE z[v] combining the node's own noisy count
+  // with its children's subtree estimates. With per-node noise variance σ²
+  // and V(h) the variance at height h:
+  //   z[leaf] = noisy[leaf],                         V(1) = σ²
+  //   z[v] = w·noisy[v] + (1-w)·(z[l] + z[r]),       w = 2V/(σ² + 2V)
+  //   V(h) = σ²·2V(h-1) / (σ² + 2V(h-1)).
+  const double sigma2 = 2.0 * lambda * lambda;
+  std::vector<double> z = noisy;
+  double child_var = sigma2;
+  // Process heights bottom-up: nodes at height k occupy
+  // [num_leaves_/2^{k-1}, num_leaves_/2^{k-2}).
+  for (size_t level_size = h.num_leaves_ / 2; level_size >= 1;
+       level_size /= 2) {
+    const double w = 2 * child_var / (sigma2 + 2 * child_var);
+    for (size_t v = level_size; v < 2 * level_size; ++v) {
+      z[v] = w * noisy[v] + (1 - w) * (z[2 * v] + z[2 * v + 1]);
+    }
+    child_var = sigma2 * 2 * child_var / (sigma2 + 2 * child_var);
+    if (level_size == 1) break;
+  }
+
+  // Downward pass: enforce children-sum-to-parent, spreading each
+  // residual evenly over the two (equal-variance) children.
+  h.consistent_.assign(nodes, 0.0);
+  h.consistent_[1] = z[1];
+  for (size_t v = 1; v < h.num_leaves_; ++v) {
+    const double residual =
+        h.consistent_[v] - z[2 * v] - z[2 * v + 1];
+    h.consistent_[2 * v] = z[2 * v] + residual / 2;
+    h.consistent_[2 * v + 1] = z[2 * v + 1] + residual / 2;
+  }
+  return h;
+}
+
+double HierarchicalHistogram::BinCount(size_t bin) const {
+  IREDUCT_DCHECK(bin < num_bins_);
+  return consistent_[num_leaves_ + bin];
+}
+
+std::vector<double> HierarchicalHistogram::BinCounts() const {
+  std::vector<double> bins(num_bins_);
+  for (size_t b = 0; b < num_bins_; ++b) bins[b] = BinCount(b);
+  return bins;
+}
+
+Result<double> HierarchicalHistogram::RangeCount(size_t lo, size_t hi) const {
+  if (lo > hi || hi >= num_bins_) {
+    return Status::OutOfRange("invalid bin range");
+  }
+  // Canonical decomposition on the consistent tree (iterative segment-tree
+  // walk over leaf indices [lo, hi]).
+  double total = 0;
+  size_t l = num_leaves_ + lo;
+  size_t r = num_leaves_ + hi + 1;  // exclusive
+  while (l < r) {
+    if (l & 1) total += consistent_[l++];
+    if (r & 1) total += consistent_[--r];
+    l /= 2;
+    r /= 2;
+  }
+  return total;
+}
+
+}  // namespace ireduct

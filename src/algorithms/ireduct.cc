@@ -1,0 +1,105 @@
+#include "algorithms/ireduct.h"
+
+#include <cmath>
+#include <vector>
+
+#include "algorithms/selection.h"
+#include "dp/laplace_coupling.h"
+#include "dp/laplace_mechanism.h"
+#include "dp/noise_down.h"
+
+namespace ireduct {
+
+namespace {
+
+Status ValidateIReductParams(const IReductParams& p) {
+  if (!(p.epsilon > 0) || !std::isfinite(p.epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive finite");
+  }
+  if (!(p.delta > 0) || !std::isfinite(p.delta)) {
+    return Status::InvalidArgument("sanity bound delta must be positive");
+  }
+  if (!(p.lambda_max > 0) || !std::isfinite(p.lambda_max)) {
+    return Status::InvalidArgument("lambda_max must be positive finite");
+  }
+  if (!(p.lambda_delta > 0) || !(p.lambda_delta < p.lambda_max)) {
+    return Status::InvalidArgument(
+        "lambda_delta must lie in (0, lambda_max)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MechanismOutput> RunIReduct(const Workload& workload,
+                                   const IReductParams& params, BitGen& gen,
+                                   PickGroupFn pick_group) {
+  IREDUCT_RETURN_NOT_OK(ValidateIReductParams(params));
+  if (!pick_group) {
+    pick_group = [](const Workload& w, std::span<const double> noisy,
+                    std::span<const double> scales,
+                    std::span<const uint8_t> act, double delta,
+                    double lambda_delta) {
+      return PickGroupIReduct(w, noisy, scales, act, delta, lambda_delta);
+    };
+  }
+
+  // Figure 4, lines 1-3: start every group at λmax; if even that violates
+  // the budget, the workload cannot be released at acceptable noise.
+  MechanismOutput out;
+  out.group_scales.assign(workload.num_groups(), params.lambda_max);
+  if (workload.GeneralizedSensitivity(out.group_scales) > params.epsilon) {
+    return Status::PrivacyBudgetExceeded(
+        "GS at lambda_max already exceeds epsilon; no release possible");
+  }
+
+  // Line 4: initial noisy answers.
+  IREDUCT_ASSIGN_OR_RETURN(out.answers,
+                           LaplaceNoise(workload, out.group_scales, gen));
+
+  // Lines 5-16: iterative noise reduction over the working set.
+  std::vector<uint8_t> active(workload.num_groups(), 1);
+  for (;;) {
+    const size_t g = pick_group(workload, out.answers, out.group_scales,
+                                active, params.delta, params.lambda_delta);
+    if (g == kNoGroup) break;
+    const double old_scale = out.group_scales[g];
+    const double new_scale = old_scale - params.lambda_delta;
+
+    // Lines 8-10: trial reduction, admitted only if GS stays within ε.
+    out.group_scales[g] = new_scale;
+    const bool fits = new_scale > 0 &&
+                      workload.GeneralizedSensitivity(out.group_scales) <=
+                          params.epsilon;
+    if (!fits) {
+      // Lines 13-16: revert and retire the group.
+      out.group_scales[g] = old_scale;
+      active[g] = false;
+      continue;
+    }
+
+    // Lines 11-12: correlated resample of each answer in the group down to
+    // the new scale; costs nothing beyond the new scale (Theorem 1).
+    const QueryGroup& group = workload.group(g);
+    for (uint32_t i = group.begin; i < group.end; ++i) {
+      if (params.reducer == NoiseReducer::kPaperNoiseDown) {
+        IREDUCT_ASSIGN_OR_RETURN(
+            out.answers[i], NoiseDown(workload.true_answer(i),
+                                      out.answers[i], old_scale, new_scale,
+                                      gen));
+      } else {
+        IREDUCT_ASSIGN_OR_RETURN(
+            out.answers[i],
+            CoupledNoiseDown(workload.true_answer(i), out.answers[i],
+                             old_scale, new_scale, gen));
+      }
+    }
+    out.resample_calls += group.size();
+    ++out.iterations;
+  }
+
+  out.epsilon_spent = workload.GeneralizedSensitivity(out.group_scales);
+  return out;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,67 @@
+// The iReduct algorithm (Section 4.3, Figure 4) — the paper's main
+// contribution.
+//
+// Every group starts at the conservative scale λmax. Each iteration picks
+// the group with the best estimated (relative-error decrease)/(privacy-cost
+// increase) ratio, lowers its scale by λΔ, and — if the generalized
+// sensitivity still fits the budget ε — refreshes its answers with the
+// NoiseDown correlated resampler, whose privacy cost is that of the *final*
+// scale alone (Theorem 1). Groups whose reduction would bust the budget
+// leave the working set; the loop ends when the set is empty. The output is
+// ε-differentially private (Theorem 2).
+#ifndef IREDUCT_ALGORITHMS_IREDUCT_H_
+#define IREDUCT_ALGORITHMS_IREDUCT_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "algorithms/mechanism.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+
+/// Which correlated resampler drives the per-iteration noise reduction.
+enum class NoiseReducer {
+  /// The paper's NoiseDown distribution (Figure 3).
+  kPaperNoiseDown,
+  /// The exact atom coupling of dp/laplace_coupling.h (extension; exact
+  /// guarantees at every scale, but the new answer can equal the old one).
+  kExactCoupling,
+};
+
+struct IReductParams {
+  /// Total privacy budget ε.
+  double epsilon = 1.0;
+  /// Sanity bound δ of Equation 1.
+  double delta = 1.0;
+  /// Initial (largest acceptable) noise scale; the paper uses |T|/10.
+  double lambda_max = 1.0;
+  /// Per-iteration scale decrement; the paper uses |T|/10^6.
+  double lambda_delta = 1.0;
+  /// Resampler used to walk answers down to the reduced scale.
+  NoiseReducer reducer = NoiseReducer::kPaperNoiseDown;
+};
+
+/// Override hook for the PickQueries black box (Section 4.3): receives the
+/// workload, the current noisy answers, per-group scales, the active-group
+/// mask, δ and λΔ; returns the group to reduce next or kNoGroup to stop.
+/// It must not consult the true answers (that would void the privacy
+/// guarantee). The default is PickGroupIReduct (Section 5.3).
+using PickGroupFn = std::function<size_t(
+    const Workload&, std::span<const double> /*noisy_answers*/,
+    std::span<const double> /*group_scales*/, std::span<const uint8_t> /*active*/,
+    double /*delta*/, double /*lambda_delta*/)>;
+
+/// Runs Figure 4. Returns kPrivacyBudgetExceeded when even the all-λmax
+/// allocation violates ε (the pseudo-code's "return ∅" on line 3).
+/// ε-differentially private.
+Result<MechanismOutput> RunIReduct(const Workload& workload,
+                                   const IReductParams& params, BitGen& gen,
+                                   PickGroupFn pick_group = nullptr);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_ALGORITHMS_IREDUCT_H_

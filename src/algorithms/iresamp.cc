@@ -1,0 +1,97 @@
+#include "algorithms/iresamp.h"
+
+#include <cmath>
+#include <vector>
+
+#include "algorithms/selection.h"
+#include "dp/laplace_mechanism.h"
+
+namespace ireduct {
+
+namespace {
+
+// Effective privacy scale of the sample sequence λmax, λmax/2, ..., λ:
+// Σ 1/λ_j = 2/λ - 1/λmax, i.e. a single release at scale
+// 1/(2/λ - 1/λmax) (Figure 12, line 10).
+double EffectiveScale(double lambda, double lambda_max) {
+  return 1.0 / (2.0 / lambda - 1.0 / lambda_max);
+}
+
+}  // namespace
+
+Result<MechanismOutput> RunIResamp(const Workload& workload,
+                                   const IResampParams& params, BitGen& gen) {
+  if (!(params.epsilon > 0) || !std::isfinite(params.epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive finite");
+  }
+  if (!(params.delta > 0) || !std::isfinite(params.delta)) {
+    return Status::InvalidArgument("sanity bound delta must be positive");
+  }
+  if (!(params.lambda_max > 0) || !std::isfinite(params.lambda_max)) {
+    return Status::InvalidArgument("lambda_max must be positive finite");
+  }
+
+  // Lines 1-4: start at λmax (where nominal and effective scales coincide).
+  const size_t num_groups = workload.num_groups();
+  std::vector<double> nominal(num_groups, params.lambda_max);
+  std::vector<double> effective(num_groups, params.lambda_max);
+  if (workload.GeneralizedSensitivity(effective) > params.epsilon) {
+    return Status::PrivacyBudgetExceeded(
+        "GS at lambda_max already exceeds epsilon; no release possible");
+  }
+  IREDUCT_ASSIGN_OR_RETURN(std::vector<double> samples,
+                           LaplaceNoise(workload, nominal, gen));
+
+  // Inverse-variance accumulators for Equation 16:
+  //   y* = (Σ_j y_j/λ_j²) / (Σ_j 1/λ_j²).
+  const size_t m = workload.num_queries();
+  std::vector<double> weighted_sum(m), weight(m);
+  MechanismOutput out;
+  out.answers.resize(m);
+  const double w0 = 1.0 / (params.lambda_max * params.lambda_max);
+  for (size_t i = 0; i < m; ++i) {
+    weighted_sum[i] = samples[i] * w0;
+    weight[i] = w0;
+    out.answers[i] = samples[i];
+  }
+
+  // Lines 6-21: iterative refinement with fresh independent samples.
+  std::vector<uint8_t> active(num_groups, 1);
+  for (;;) {
+    const size_t g =
+        PickGroupIResamp(workload, out.answers, nominal, active, params.delta);
+    if (g == kNoGroup) break;
+
+    // Lines 8-11: halve the scale and test the *effective* budget.
+    const double new_nominal = nominal[g] / 2.0;
+    const double old_effective = effective[g];
+    effective[g] = EffectiveScale(new_nominal, params.lambda_max);
+    if (!(effective[g] > 0) ||
+        workload.GeneralizedSensitivity(effective) > params.epsilon) {
+      effective[g] = old_effective;
+      active[g] = false;  // lines 18-21
+      continue;
+    }
+    nominal[g] = new_nominal;
+
+    // Lines 12-17: fresh sample per query, folded into the running
+    // minimum-variance estimate.
+    const QueryGroup& group = workload.group(g);
+    const double w = 1.0 / (new_nominal * new_nominal);
+    for (uint32_t i = group.begin; i < group.end; ++i) {
+      const double fresh =
+          workload.true_answer(i) + gen.Laplace(new_nominal);
+      weighted_sum[i] += fresh * w;
+      weight[i] += w;
+      out.answers[i] = weighted_sum[i] / weight[i];
+    }
+    out.resample_calls += group.size();
+    ++out.iterations;
+  }
+
+  out.group_scales = std::move(effective);
+  out.epsilon_spent = workload.GeneralizedSensitivity(out.group_scales);
+  return out;
+}
+
+}  // namespace ireduct

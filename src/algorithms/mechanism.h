@@ -1,0 +1,33 @@
+// Shared types for the batch-publication mechanisms (Dwork, Proportional,
+// Oracle, TwoPhase, iReduct, iResamp). Every mechanism consumes a Workload
+// and returns a MechanismOutput.
+#ifndef IREDUCT_ALGORITHMS_MECHANISM_H_
+#define IREDUCT_ALGORITHMS_MECHANISM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ireduct {
+
+/// The published result of one mechanism run.
+struct MechanismOutput {
+  /// Noisy answer for every query, in workload order.
+  std::vector<double> answers;
+  /// Final noise scale assigned to each query group. For iResamp these are
+  /// the *effective* scales λ' = 1/(2/λ - 1/λmax) that govern privacy, not
+  /// the scale of the last raw sample.
+  std::vector<double> group_scales;
+  /// The ε-differential-privacy level actually consumed. Infinity marks the
+  /// deliberately non-private baselines (Proportional, Oracle), which use
+  /// the true answers to set scales.
+  double epsilon_spent = 0;
+  /// Number of noise-reduction iterations executed (iReduct/iResamp only).
+  size_t iterations = 0;
+  /// Number of NoiseDown resampling draws (iReduct) or fresh Laplace
+  /// resamples (iResamp).
+  size_t resample_calls = 0;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_ALGORITHMS_MECHANISM_H_

@@ -1,0 +1,23 @@
+#include "algorithms/oracle.h"
+
+#include <limits>
+
+#include "algorithms/selection.h"
+#include "dp/laplace_mechanism.h"
+
+namespace ireduct {
+
+Result<MechanismOutput> RunOracle(const Workload& workload,
+                                  const OracleParams& params, BitGen& gen) {
+  MechanismOutput out;
+  IREDUCT_ASSIGN_OR_RETURN(
+      out.group_scales,
+      ErrorOptimalScales(workload, workload.true_answers(), params.delta,
+                         params.epsilon));
+  IREDUCT_ASSIGN_OR_RETURN(out.answers,
+                           LaplaceNoise(workload, out.group_scales, gen));
+  out.epsilon_spent = std::numeric_limits<double>::infinity();
+  return out;
+}
+
+}  // namespace ireduct

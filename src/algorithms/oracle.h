@@ -1,0 +1,33 @@
+// The Oracle method (Section 5.2): the error-optimal scale allocation
+// computed from the exact answers.
+//
+// Not differentially private (it reads the true answers to set scales), but
+// it lower-bounds the overall error achievable by the class of mechanisms
+// that add group-uniform Laplace noise under the budget constraint
+// Σ c_g/λ_g = ε; the paper uses it as the yardstick iReduct approaches.
+#ifndef IREDUCT_ALGORITHMS_ORACLE_H_
+#define IREDUCT_ALGORITHMS_ORACLE_H_
+
+#include "algorithms/mechanism.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+
+struct OracleParams {
+  /// Budget constraint for the allocation: GS(Q, Λ) = ε.
+  double epsilon = 1.0;
+  /// Sanity bound δ of Equation 1.
+  double delta = 1.0;
+};
+
+/// λ_g ∝ sqrt(|G_g| / Σ_{j∈g} 1/max{δ, q_j(T)}), normalized to GS = ε;
+/// minimizes the expected overall error (Definition 6). Non-private
+/// reference baseline; `epsilon_spent` reports +infinity.
+Result<MechanismOutput> RunOracle(const Workload& workload,
+                                  const OracleParams& params, BitGen& gen);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_ALGORITHMS_ORACLE_H_

@@ -1,0 +1,25 @@
+#include "algorithms/proportional.h"
+
+#include <limits>
+
+#include "algorithms/selection.h"
+#include "dp/laplace_mechanism.h"
+
+namespace ireduct {
+
+Result<MechanismOutput> RunProportional(const Workload& workload,
+                                        const ProportionalParams& params,
+                                        BitGen& gen) {
+  MechanismOutput out;
+  IREDUCT_ASSIGN_OR_RETURN(
+      out.group_scales,
+      ProportionalScales(workload, workload.true_answers(), params.delta,
+                         params.epsilon));
+  IREDUCT_ASSIGN_OR_RETURN(out.answers,
+                           LaplaceNoise(workload, out.group_scales, gen));
+  // The scales were derived from the private answers: no finite ε holds.
+  out.epsilon_spent = std::numeric_limits<double>::infinity();
+  return out;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,33 @@
+// The Proportional strategy (Section 3.1): noise scales proportional to the
+// (clamped) true answers, equalizing expected relative error.
+//
+// WARNING: deliberately NOT differentially private — the scales depend on
+// the private data (Example 1 in the paper demonstrates the leak). Included
+// as a pedagogical baseline; `epsilon_spent` is reported as +infinity.
+#ifndef IREDUCT_ALGORITHMS_PROPORTIONAL_H_
+#define IREDUCT_ALGORITHMS_PROPORTIONAL_H_
+
+#include "algorithms/mechanism.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+
+struct ProportionalParams {
+  /// Nominal budget: scales are normalized so that GS(Q, Λ) = ε, matching
+  /// Example 1's calibration — but the release is still not ε-DP.
+  double epsilon = 1.0;
+  /// Sanity bound δ of Equation 1.
+  double delta = 1.0;
+};
+
+/// Sets λ_g ∝ max{min answer in group g, δ} with GS(Q, Λ) = ε, then adds
+/// Laplace noise. Non-private baseline.
+Result<MechanismOutput> RunProportional(const Workload& workload,
+                                        const ProportionalParams& params,
+                                        BitGen& gen);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_ALGORITHMS_PROPORTIONAL_H_

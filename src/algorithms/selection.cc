@@ -1,0 +1,193 @@
+#include "algorithms/selection.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/numeric.h"
+
+namespace ireduct {
+
+namespace {
+
+// Σ_{j∈g} 1/max{v_j, δ} — the inverse-magnitude weight that drives both the
+// Oracle/Rescale allocation and the PickQueries benefit estimate.
+double InverseMagnitudeWeight(const Workload& workload, size_t g,
+                              std::span<const double> values, double delta) {
+  const QueryGroup& group = workload.group(g);
+  KahanSum acc;
+  for (uint32_t i = group.begin; i < group.end; ++i) {
+    acc.Add(1.0 / std::fmax(values[i], delta));
+  }
+  return acc.value();
+}
+
+Status ValidateScaleInputs(const Workload& workload,
+                           std::span<const double> values, double delta,
+                           double epsilon) {
+  if (values.size() != workload.num_queries()) {
+    return Status::InvalidArgument("one value per query required");
+  }
+  if (!(delta > 0) || !std::isfinite(delta)) {
+    return Status::InvalidArgument("sanity bound delta must be positive");
+  }
+  if (!(epsilon > 0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive finite");
+  }
+  return Status::OK();
+}
+
+// Scales λ_g = c · shape_g with c chosen so that Σ_g coeff_g / λ_g = ε.
+std::vector<double> NormalizeToBudget(const Workload& workload,
+                                      std::vector<double> shape,
+                                      double epsilon) {
+  KahanSum inv;
+  for (size_t g = 0; g < shape.size(); ++g) {
+    IREDUCT_DCHECK(shape[g] > 0);
+    inv.Add(workload.group(g).sensitivity_coeff / shape[g]);
+  }
+  const double c = inv.value() / epsilon;
+  for (double& s : shape) s *= c;
+  return shape;
+}
+
+}  // namespace
+
+Result<std::vector<double>> ErrorOptimalScales(const Workload& workload,
+                                               std::span<const double> values,
+                                               double delta, double epsilon) {
+  IREDUCT_RETURN_NOT_OK(ValidateScaleInputs(workload, values, delta, epsilon));
+  // Lagrange-optimal shape (Section 5.2): λ_g ∝ sqrt(|G_g| / W_g) with
+  // W_g = Σ_{j∈g} 1/max{δ, v_j}.
+  std::vector<double> shape(workload.num_groups());
+  for (size_t g = 0; g < shape.size(); ++g) {
+    const double w = InverseMagnitudeWeight(workload, g, values, delta);
+    shape[g] = std::sqrt(workload.group(g).size() / w);
+  }
+  return NormalizeToBudget(workload, std::move(shape), epsilon);
+}
+
+Result<std::vector<double>> ErrorOptimalScales(const Workload& workload,
+                                               std::span<const double> values,
+                                               const SanityBounds& bounds,
+                                               double epsilon) {
+  if (!bounds.is_uniform() && bounds.size() != workload.num_queries()) {
+    return Status::InvalidArgument(
+        "per-query sanity bounds must match the query count");
+  }
+  IREDUCT_RETURN_NOT_OK(
+      ValidateScaleInputs(workload, values, bounds.at(0), epsilon));
+  std::vector<double> shape(workload.num_groups());
+  for (size_t g = 0; g < shape.size(); ++g) {
+    const QueryGroup& group = workload.group(g);
+    KahanSum w;
+    for (uint32_t i = group.begin; i < group.end; ++i) {
+      w.Add(1.0 / std::fmax(values[i], bounds.at(i)));
+    }
+    shape[g] = std::sqrt(group.size() / w.value());
+  }
+  return NormalizeToBudget(workload, std::move(shape), epsilon);
+}
+
+Result<std::vector<double>> ProportionalScales(const Workload& workload,
+                                               std::span<const double> values,
+                                               double delta, double epsilon) {
+  IREDUCT_RETURN_NOT_OK(ValidateScaleInputs(workload, values, delta, epsilon));
+  std::vector<double> shape(workload.num_groups());
+  for (size_t g = 0; g < shape.size(); ++g) {
+    const QueryGroup& group = workload.group(g);
+    double smallest = values[group.begin];
+    for (uint32_t i = group.begin + 1; i < group.end; ++i) {
+      smallest = std::fmin(smallest, values[i]);
+    }
+    shape[g] = std::fmax(smallest, delta);
+  }
+  return NormalizeToBudget(workload, std::move(shape), epsilon);
+}
+
+double EstimatedGroupError(const Workload& workload, size_t g,
+                           std::span<const double> noisy_answers, double scale,
+                           double delta) {
+  return scale *
+         InverseMagnitudeWeight(workload, g, noisy_answers, delta) /
+         workload.group(g).size();
+}
+
+size_t PickGroupIReduct(const Workload& workload,
+                        std::span<const double> noisy_answers,
+                        std::span<const double> group_scales,
+                        std::span<const uint8_t> active, double delta,
+                        double lambda_delta) {
+  size_t best = kNoGroup;
+  double best_ratio = -1;
+  const double num_groups = static_cast<double>(workload.num_groups());
+  for (size_t g = 0; g < workload.num_groups(); ++g) {
+    if (!active[g]) continue;
+    const double lambda = group_scales[g];
+    if (!(lambda > lambda_delta)) continue;  // cannot reduce below zero
+    const double coeff = workload.group(g).sensitivity_coeff;
+    // Equation 15 benefit over Equation 14 cost.
+    const double benefit =
+        lambda_delta *
+        InverseMagnitudeWeight(workload, g, noisy_answers, delta) /
+        (num_groups * workload.group(g).size());
+    const double cost = coeff / (lambda - lambda_delta) - coeff / lambda;
+    const double ratio = benefit / cost;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = g;
+    }
+  }
+  return best;
+}
+
+size_t PickGroupMaxRelativeError(const Workload& workload,
+                                 std::span<const double> noisy_answers,
+                                 std::span<const double> group_scales,
+                                 std::span<const uint8_t> active, double delta,
+                                 double lambda_delta) {
+  size_t best = kNoGroup;
+  double worst_error = -1;
+  for (size_t g = 0; g < workload.num_groups(); ++g) {
+    if (!active[g] || !(group_scales[g] > lambda_delta)) continue;
+    const QueryGroup& group = workload.group(g);
+    for (uint32_t i = group.begin; i < group.end; ++i) {
+      const double err =
+          group_scales[g] / std::fmax(noisy_answers[i], delta);
+      if (err > worst_error) {
+        worst_error = err;
+        best = g;
+      }
+    }
+  }
+  return best;
+}
+
+size_t PickGroupIResamp(const Workload& workload,
+                        std::span<const double> noisy_answers,
+                        std::span<const double> group_scales,
+                        std::span<const uint8_t> active, double delta) {
+  size_t best = kNoGroup;
+  double best_ratio = -1;
+  const double num_groups = static_cast<double>(workload.num_groups());
+  for (size_t g = 0; g < workload.num_groups(); ++g) {
+    if (!active[g]) continue;
+    const double lambda = group_scales[g];
+    const double coeff = workload.group(g).sensitivity_coeff;
+    // Halving the raw scale halves the estimated error contribution...
+    const double benefit =
+        (lambda / 2.0) *
+        InverseMagnitudeWeight(workload, g, noisy_answers, delta) /
+        (num_groups * workload.group(g).size());
+    // ...and raises the effective privacy cost from coeff·(2/λ - 1/λmax) to
+    // coeff·(4/λ - 1/λmax) (Appendix A geometric series).
+    const double cost = coeff * (2.0 / lambda);
+    const double ratio = benefit / cost;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = g;
+    }
+  }
+  return best;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,98 @@
+// Scale-allocation and query-selection subroutines (paper Section 5.2/5.3).
+//
+// These are the `Rescale` and `PickQueries` "black boxes" of the TwoPhase
+// and iReduct/iResamp pseudo-code. They are generic over grouped workloads:
+// they only consult the group structure, the noisy answers seen so far, the
+// sanity bound δ and the noise scales — never the true answers — so using
+// them costs no additional privacy.
+#ifndef IREDUCT_ALGORITHMS_SELECTION_H_
+#define IREDUCT_ALGORITHMS_SELECTION_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "dp/workload.h"
+#include "eval/sanity_bounds.h"
+
+namespace ireduct {
+
+/// Sentinel returned by the Pick* functions when no group qualifies.
+inline constexpr size_t kNoGroup = static_cast<size_t>(-1);
+
+/// Error-optimal scale allocation (Section 5.2): group g gets
+///   λ_g ∝ sqrt(|G_g| / Σ_{j∈g} 1/max{δ, v_j})
+/// normalized so that GS(Q, Λ) = ε exactly. With v = true answers this is
+/// the non-private Oracle; with v = noisy first-phase answers it is
+/// TwoPhase's Rescale. Values v_j below δ clamp to δ. Requires δ > 0, ε > 0.
+Result<std::vector<double>> ErrorOptimalScales(const Workload& workload,
+                                               std::span<const double> values,
+                                               double delta, double epsilon);
+
+/// Per-query-sanity-bound variant (the Section 2.1 extension): cell j
+/// clamps to bounds.at(j) instead of a shared δ.
+Result<std::vector<double>> ErrorOptimalScales(const Workload& workload,
+                                               std::span<const double> values,
+                                               const SanityBounds& bounds,
+                                               double epsilon);
+
+/// Proportional allocation (Section 3.1): group g gets a scale proportional
+/// to max{min_j v_j, δ} (its smallest answer, clamped to the sanity bound),
+/// normalized so GS = ε. Equalizes the worst-case expected relative error
+/// across groups; reduces to the paper's per-query rule for singleton
+/// groups. Non-private when fed true answers.
+Result<std::vector<double>> ProportionalScales(const Workload& workload,
+                                               std::span<const double> values,
+                                               double delta, double epsilon);
+
+/// iReduct's PickQueries (Section 5.3): among groups with `active[g]` and
+/// scale reducible by `lambda_delta` (λ_g > λΔ), returns the group
+/// maximizing the ratio of estimated overall-error decrease (Equation 15,
+/// normalized per Definition 6's per-group averaging)
+///   λΔ/(|M|·|G_g|) · Σ_{j∈g} 1/max{y_j, δ}
+/// to privacy-cost increase (Equation 14)
+///   c_g/(λ_g - λΔ) - c_g/λ_g.
+/// (As printed, Equation 15 drops the 1/|G_g| factor that Definition 6 and
+/// the Section 5.2 Oracle derivation both carry; with the factor the greedy
+/// descent provably converges to the Oracle allocation, matching the
+/// paper's Figure 6 observation that iReduct is near-optimal.)
+/// Returns kNoGroup when no active group is reducible.
+size_t PickGroupIReduct(const Workload& workload,
+                        std::span<const double> noisy_answers,
+                        std::span<const double> group_scales,
+                        std::span<const uint8_t> active, double delta,
+                        double lambda_delta);
+
+/// iResamp's group selection: same benefit/cost rule with iResamp's moves —
+/// halving the raw sample scale λ_g raises the group's effective privacy
+/// cost from c_g·(2/λ_g - 1/λmax) to c_g·(4/λ_g - 1/λmax) (Appendix A
+/// geometric series), i.e. by c_g·2/λ_g. Returns kNoGroup when no active
+/// group remains.
+size_t PickGroupIResamp(const Workload& workload,
+                        std::span<const double> noisy_answers,
+                        std::span<const double> group_scales,
+                        std::span<const uint8_t> active, double delta);
+
+/// Estimated average relative error of group g under scale `scale`
+/// (Section 5.3): scale/|G_g| · Σ_{j∈g} 1/max{y_j, δ}.
+double EstimatedGroupError(const Workload& workload, size_t g,
+                           std::span<const double> noisy_answers, double scale,
+                           double delta);
+
+/// The paper's *worst-case* objective variant (Section 4.3: "if we aim to
+/// minimize the maximum relative error, we may implement PickQueries as a
+/// function that returns the query that maximizes λ_i/max{y_i, δ}"):
+/// among active, reducible groups, picks the one whose worst cell has the
+/// largest estimated relative error λ_g/max{y_j, δ}. Returns kNoGroup when
+/// none qualifies. Pass to RunIReduct to optimize max instead of overall
+/// error.
+size_t PickGroupMaxRelativeError(const Workload& workload,
+                                 std::span<const double> noisy_answers,
+                                 std::span<const double> group_scales,
+                                 std::span<const uint8_t> active, double delta,
+                                 double lambda_delta);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_ALGORITHMS_SELECTION_H_

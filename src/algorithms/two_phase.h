@@ -1,0 +1,41 @@
+// The TwoPhase algorithm (Section 3.2, Figure 1).
+//
+// Phase 1 publishes every answer at the uniform scale S(Q)/ε1; phase 2
+// reallocates scales from the phase-1 estimates (the Rescale subroutine of
+// Section 5.2), publishes a second set of answers under budget ε2, and
+// returns the inverse-variance-weighted combination. ε1 + ε2 ≤ ε overall by
+// sequential composition (Proposition 3).
+//
+// Note: the line-8 combination uses the phase-2 scales as weights, and
+// those scales are computed *from the phase-1 noise* — the weights
+// therefore correlate with the noise they weight, leaving a small residual
+// bias (≈1% of the answer at extreme splits like ε1/ε = 0.02; see
+// tests/algorithms/two_phase_property_test.cc). This is a property of the
+// paper's algorithm, invisible at its operating scales.
+#ifndef IREDUCT_ALGORITHMS_TWO_PHASE_H_
+#define IREDUCT_ALGORITHMS_TWO_PHASE_H_
+
+#include "algorithms/mechanism.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+
+struct TwoPhaseParams {
+  /// Budget for the rough first-phase estimates.
+  double epsilon1 = 0.0007;
+  /// Budget for the recalibrated second phase.
+  double epsilon2 = 0.0093;
+  /// Sanity bound δ of Equation 1.
+  double delta = 1.0;
+};
+
+/// Runs Figure 1 with the Section 5.2 Rescale. (ε1+ε2)-differentially
+/// private. `group_scales` reports the phase-2 scales.
+Result<MechanismOutput> RunTwoPhase(const Workload& workload,
+                                    const TwoPhaseParams& params, BitGen& gen);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_ALGORITHMS_TWO_PHASE_H_

@@ -1,0 +1,111 @@
+#include "algorithms/wavelet.h"
+
+#include <cmath>
+
+#include "common/numeric.h"
+
+namespace ireduct {
+
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+Result<std::vector<double>> HaarTransform(std::span<const double> values) {
+  if (!IsPowerOfTwo(values.size())) {
+    return Status::InvalidArgument("length must be a power of two");
+  }
+  const size_t m = values.size();
+  // Subtree averages in heap order: avg[v] for v in [1, 2m); leaves at
+  // [m, 2m).
+  std::vector<double> avg(2 * m);
+  for (size_t i = 0; i < m; ++i) avg[m + i] = values[i];
+  for (size_t v = m - 1; v >= 1; --v) {
+    avg[v] = (avg[2 * v] + avg[2 * v + 1]) / 2;
+  }
+  std::vector<double> coeffs(m);
+  coeffs[0] = avg[1];
+  for (size_t v = 1; v < m; ++v) {
+    coeffs[v] = (avg[2 * v] - avg[2 * v + 1]) / 2;
+  }
+  return coeffs;
+}
+
+Result<std::vector<double>> HaarReconstruct(
+    std::span<const double> coefficients) {
+  if (!IsPowerOfTwo(coefficients.size())) {
+    return Status::InvalidArgument("length must be a power of two");
+  }
+  const size_t m = coefficients.size();
+  // Descend: node v's subtree average a splits into left a + d_v and
+  // right a - d_v.
+  std::vector<double> avg(2 * m);
+  avg[1] = coefficients[0];
+  for (size_t v = 1; v < m; ++v) {
+    avg[2 * v] = avg[v] + coefficients[v];
+    avg[2 * v + 1] = avg[v] - coefficients[v];
+  }
+  return std::vector<double>(avg.begin() + m, avg.end());
+}
+
+Result<WaveletHistogram> WaveletHistogram::Publish(
+    std::span<const double> counts, const WaveletParams& params,
+    BitGen& gen) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("histogram must be non-empty");
+  }
+  if (!(params.epsilon > 0) || !std::isfinite(params.epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive finite");
+  }
+  size_t m = 1;
+  while (m < counts.size()) m *= 2;
+  std::vector<double> padded(m, 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) padded[i] = counts[i];
+
+  IREDUCT_ASSIGN_OR_RETURN(std::vector<double> coeffs,
+                           HaarTransform(padded));
+
+  // One moved tuple changes the base coefficient not at all (equal
+  // cardinality) but each of the two touched leaves perturbs every detail
+  // coefficient on its path by 1/W(c) (W = subtree leaf count), and the
+  // base by 1/m per added/removed tuple. We budget conservatively for the
+  // full add+remove pair: θ = 2·(1 + log₂ m)/ε, λ(c) = θ/W(c).
+  const double levels = std::log2(static_cast<double>(m)) + 1;
+  const double theta = 2.0 * levels / params.epsilon;
+  coeffs[0] += gen.Laplace(theta / m);
+  // Detail node v has m / 2^{depth} leaves; depth(v) = floor(log2 v).
+  size_t level_size = 1;
+  size_t subtree_leaves = m;
+  for (size_t v = 1; v < m; ++v) {
+    if (v >= 2 * level_size) {
+      level_size *= 2;
+      subtree_leaves /= 2;
+    }
+    coeffs[v] += gen.Laplace(theta / subtree_leaves);
+  }
+
+  IREDUCT_ASSIGN_OR_RETURN(std::vector<double> leaves,
+                           HaarReconstruct(coeffs));
+
+  WaveletHistogram h;
+  h.num_bins_ = counts.size();
+  h.epsilon_spent_ = params.epsilon;
+  h.bins_.assign(leaves.begin(), leaves.begin() + counts.size());
+  h.prefix_.resize(counts.size() + 1, 0.0);
+  KahanSum acc;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    acc.Add(h.bins_[b]);
+    h.prefix_[b + 1] = acc.value();
+  }
+  return h;
+}
+
+Result<double> WaveletHistogram::RangeCount(size_t lo, size_t hi) const {
+  if (lo > hi || hi >= num_bins_) {
+    return Status::OutOfRange("invalid bin range");
+  }
+  return prefix_[hi + 1] - prefix_[lo];
+}
+
+}  // namespace ireduct

@@ -1,0 +1,72 @@
+// Privelet: differential privacy via the Haar wavelet transform (Xiao,
+// Wang & Gehrke, ICDE 2010 — reference [32] of the paper, and the origin
+// of the generalized-sensitivity notion iReduct builds on).
+//
+// The histogram is Haar-transformed; each coefficient c receives Laplace
+// noise of scale θ/W(c), where W(c) is the coefficient's weight (the leaf
+// count of its subtree; W = m for the base average) and
+// θ = 2·(1 + log₂ m)/ε. One moved tuple perturbs the two affected
+// root-to-leaf coefficient paths by 1/W(c) each, so the generalized
+// sensitivity is exactly ε — the weighted-noise calculus of Definition 4.
+// Like the hierarchical tree, Privelet optimizes *absolute* range-count
+// error (O(log³ m / ε²) per range); it serves as the second
+// absolute-error baseline in the ablation bench.
+#ifndef IREDUCT_ALGORITHMS_WAVELET_H_
+#define IREDUCT_ALGORITHMS_WAVELET_H_
+
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace ireduct {
+
+/// Haar-transforms a power-of-two-length vector. Returns coefficients laid
+/// out as: [0] the overall average, [1 .. m-1] the detail coefficients in
+/// heap order (node v has children 2v and 2v+1; node v's detail is half
+/// the difference between its left and right subtree averages).
+Result<std::vector<double>> HaarTransform(std::span<const double> values);
+
+/// Inverse of HaarTransform.
+Result<std::vector<double>> HaarReconstruct(
+    std::span<const double> coefficients);
+
+struct WaveletParams {
+  /// Total privacy budget ε.
+  double epsilon = 1.0;
+};
+
+/// A differentially private histogram published through the noisy Haar
+/// domain.
+class WaveletHistogram {
+ public:
+  /// Publishes `counts` under ε-differential privacy (padded internally to
+  /// a power of two).
+  static Result<WaveletHistogram> Publish(std::span<const double> counts,
+                                          const WaveletParams& params,
+                                          BitGen& gen);
+
+  size_t num_bins() const { return num_bins_; }
+  double epsilon_spent() const { return epsilon_spent_; }
+
+  /// Reconstructed noisy count of one bin.
+  double BinCount(size_t bin) const { return bins_[bin]; }
+  /// All reconstructed (unpadded) bins.
+  const std::vector<double>& BinCounts() const { return bins_; }
+
+  /// Noisy range count over bins [lo, hi] (inclusive).
+  Result<double> RangeCount(size_t lo, size_t hi) const;
+
+ private:
+  WaveletHistogram() = default;
+
+  size_t num_bins_ = 0;
+  double epsilon_spent_ = 0;
+  std::vector<double> bins_;    // reconstructed, unpadded
+  std::vector<double> prefix_;  // prefix sums of bins_ for range queries
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_ALGORITHMS_WAVELET_H_

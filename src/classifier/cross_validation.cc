@@ -1,0 +1,47 @@
+#include "classifier/cross_validation.h"
+
+#include "classifier/naive_bayes.h"
+#include "eval/metrics.h"
+#include "marginals/marginal_set.h"
+
+namespace ireduct {
+
+Result<CrossValidationResult> CrossValidateClassifier(
+    const Dataset& dataset, size_t class_attr, int folds, double delta,
+    const PublishFn& publish, BitGen& gen) {
+  if (folds < 2) {
+    return Status::InvalidArgument("need at least two folds");
+  }
+  IREDUCT_ASSIGN_OR_RETURN(std::vector<MarginalSpec> specs,
+                           ClassifierSpecs(dataset.schema(), class_attr));
+  IREDUCT_ASSIGN_OR_RETURN(std::vector<uint8_t> fold_of,
+                           dataset.FoldAssignment(folds, gen));
+
+  CrossValidationResult result;
+  result.folds = folds;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<uint32_t> train_rows, test_rows;
+    for (uint32_t r = 0; r < dataset.num_rows(); ++r) {
+      (fold_of[r] == f ? test_rows : train_rows).push_back(r);
+    }
+    IREDUCT_ASSIGN_OR_RETURN(std::vector<Marginal> marginals,
+                             ComputeMarginals(dataset, specs, train_rows));
+    IREDUCT_ASSIGN_OR_RETURN(MarginalWorkload workload,
+                             MarginalWorkload::Create(std::move(marginals)));
+    IREDUCT_ASSIGN_OR_RETURN(std::vector<double> published,
+                             publish(workload));
+    result.mean_overall_error +=
+        OverallError(workload.workload(), published, delta);
+    IREDUCT_ASSIGN_OR_RETURN(std::vector<Marginal> noisy,
+                             workload.ToMarginals(published));
+    IREDUCT_ASSIGN_OR_RETURN(
+        NaiveBayesModel model,
+        NaiveBayesModel::FromMarginals(dataset.schema(), class_attr, noisy));
+    result.mean_accuracy += model.Accuracy(dataset, test_rows);
+  }
+  result.mean_accuracy /= folds;
+  result.mean_overall_error /= folds;
+  return result;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,44 @@
+// 10-fold cross-validation of Naive Bayes models trained on noisy
+// marginals (paper Section 6.5): for each fold, the classifier marginals
+// are computed over the other nine folds, perturbed by a caller-supplied
+// mechanism, and the resulting model is scored on the held-out fold.
+#ifndef IREDUCT_CLASSIFIER_CROSS_VALIDATION_H_
+#define IREDUCT_CLASSIFIER_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/dataset.h"
+#include "marginals/marginal_workload.h"
+
+namespace ireduct {
+
+/// Perturbs a training-fold workload: returns the published (noisy)
+/// answers, one per query. An identity function yields the noise-free
+/// reference line of Figure 11.
+using PublishFn =
+    std::function<Result<std::vector<double>>(const MarginalWorkload&)>;
+
+struct CrossValidationResult {
+  /// Mean held-out classification accuracy over the folds.
+  double mean_accuracy = 0;
+  /// Mean overall error (Definition 6) of the noisy training marginals,
+  /// using `delta` as the sanity bound — the x-axis companion Figure 10
+  /// reports.
+  double mean_overall_error = 0;
+  int folds = 0;
+};
+
+/// Runs k-fold cross-validation of a Naive Bayes classifier on
+/// `class_attr`, publishing each fold's training marginals through
+/// `publish`. `delta` is the sanity bound used for the reported overall
+/// error (the paper sets it relative to the training set size).
+Result<CrossValidationResult> CrossValidateClassifier(
+    const Dataset& dataset, size_t class_attr, int folds, double delta,
+    const PublishFn& publish, BitGen& gen);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_CLASSIFIER_CROSS_VALIDATION_H_

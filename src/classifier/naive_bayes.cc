@@ -1,0 +1,127 @@
+#include "classifier/naive_bayes.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/numeric.h"
+
+namespace ireduct {
+
+namespace {
+
+// The paper's post-processing for noisy counts: y <- max{y + 1, 1}.
+double PostProcessCount(double y) { return std::fmax(y + 1.0, 1.0); }
+
+}  // namespace
+
+Result<NaiveBayesModel> NaiveBayesModel::FromMarginals(
+    const Schema& schema, size_t class_attr,
+    const std::vector<Marginal>& marginals) {
+  if (class_attr >= schema.num_attributes()) {
+    return Status::OutOfRange("class attribute index out of range");
+  }
+  if (marginals.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "expected one class marginal plus one marginal per feature");
+  }
+  const Marginal& class_marginal = marginals[0];
+  if (class_marginal.spec().attributes !=
+      std::vector<uint32_t>{static_cast<uint32_t>(class_attr)}) {
+    return Status::InvalidArgument(
+        "marginals[0] must be the 1D class marginal");
+  }
+
+  NaiveBayesModel model;
+  model.class_attr_ = class_attr;
+  model.num_classes_ = schema.attribute(class_attr).domain_size;
+
+  // Prior from the post-processed class counts.
+  std::vector<double> prior(model.num_classes_);
+  KahanSum prior_total;
+  for (size_t c = 0; c < model.num_classes_; ++c) {
+    prior[c] = PostProcessCount(class_marginal.count(c));
+    prior_total.Add(prior[c]);
+  }
+  model.log_prior_.resize(model.num_classes_);
+  for (size_t c = 0; c < model.num_classes_; ++c) {
+    model.log_prior_[c] = std::log(prior[c]) - std::log(prior_total.value());
+  }
+
+  // Likelihood tables from the {feature, class} marginals, normalized per
+  // class over the post-processed counts of the same marginal.
+  size_t next = 1;
+  for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+    if (a == class_attr) continue;
+    if (next >= marginals.size()) {
+      return Status::InvalidArgument("missing feature marginal");
+    }
+    const Marginal& m = marginals[next++];
+    if (m.spec().attributes !=
+        std::vector<uint32_t>{a, static_cast<uint32_t>(class_attr)}) {
+      return Status::InvalidArgument(
+          "feature marginals must be {feature, class} in attribute order");
+    }
+    const uint32_t domain = schema.attribute(a).domain_size;
+    FeatureTable table;
+    table.attribute = a;
+    table.log_likelihood.resize(static_cast<size_t>(domain) *
+                                model.num_classes_);
+    // Per-class totals of the post-processed table.
+    std::vector<double> class_total(model.num_classes_, 0.0);
+    for (uint32_t v = 0; v < domain; ++v) {
+      for (size_t c = 0; c < model.num_classes_; ++c) {
+        class_total[c] +=
+            PostProcessCount(m.count(static_cast<size_t>(v) *
+                                         model.num_classes_ +
+                                     c));
+      }
+    }
+    for (uint32_t v = 0; v < domain; ++v) {
+      for (size_t c = 0; c < model.num_classes_; ++c) {
+        const size_t idx = static_cast<size_t>(v) * model.num_classes_ + c;
+        table.log_likelihood[idx] =
+            std::log(PostProcessCount(m.count(idx))) -
+            std::log(class_total[c]);
+      }
+    }
+    model.features_.push_back(std::move(table));
+  }
+  return model;
+}
+
+uint16_t NaiveBayesModel::Predict(std::span<const uint16_t> row) const {
+  IREDUCT_DCHECK(!log_prior_.empty());
+  uint16_t best_class = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < num_classes_; ++c) {
+    double score = log_prior_[c];
+    for (const FeatureTable& f : features_) {
+      const uint16_t v = row[f.attribute];
+      score += f.log_likelihood[static_cast<size_t>(v) * num_classes_ + c];
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_class = static_cast<uint16_t>(c);
+    }
+  }
+  return best_class;
+}
+
+double NaiveBayesModel::Accuracy(const Dataset& dataset,
+                                 std::span<const uint32_t> rows) const {
+  const size_t n = rows.empty() ? dataset.num_rows() : rows.size();
+  IREDUCT_DCHECK(n > 0);
+  std::vector<uint16_t> row(dataset.num_columns());
+  size_t correct = 0;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t r = rows.empty() ? k : rows[k];
+    for (size_t c = 0; c < dataset.num_columns(); ++c) {
+      row[c] = dataset.value(r, c);
+    }
+    if (Predict(row) == row[class_attr_]) ++correct;
+  }
+  return static_cast<double>(correct) / n;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,61 @@
+// Naive Bayes classification from (noisy) marginals (paper Section 6.5).
+//
+// The model needs exactly the ClassifierSpecs marginal set: the class
+// attribute's 1D marginal for the prior and one {feature, class} 2D
+// marginal per feature for the likelihoods. Noisy counts are first
+// post-processed with y <- max{y + 1, 1} (following the paper, which cites
+// Cormode [6]); the +1 doubles as a Laplace smoother for noise-free input.
+#ifndef IREDUCT_CLASSIFIER_NAIVE_BAYES_H_
+#define IREDUCT_CLASSIFIER_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "marginals/marginal.h"
+
+namespace ireduct {
+
+/// A trained Naive Bayes model over categorical attributes.
+class NaiveBayesModel {
+ public:
+  /// Builds a model from marginals laid out as produced by
+  /// ClassifierSpecs(schema, class_attr): marginals[0] is the 1D class
+  /// marginal; marginals[1..] are {feature, class} 2D marginals covering
+  /// every non-class attribute exactly once, in attribute order.
+  static Result<NaiveBayesModel> FromMarginals(
+      const Schema& schema, size_t class_attr,
+      const std::vector<Marginal>& marginals);
+
+  size_t class_attr() const { return class_attr_; }
+  size_t num_classes() const { return num_classes_; }
+
+  /// Predicts the class for a full row of attribute values (the class
+  /// attribute's position is ignored).
+  uint16_t Predict(std::span<const uint16_t> row) const;
+
+  /// Fraction of the given rows (all rows if `rows` is empty) whose class
+  /// attribute the model predicts correctly.
+  double Accuracy(const Dataset& dataset,
+                  std::span<const uint32_t> rows = {}) const;
+
+ private:
+  NaiveBayesModel() = default;
+
+  size_t class_attr_ = 0;
+  size_t num_classes_ = 0;
+  std::vector<double> log_prior_;  // [class]
+  // One table per feature attribute (schema order, class attribute skipped):
+  // log P(value | class), flattened as value * num_classes + class.
+  struct FeatureTable {
+    uint32_t attribute = 0;
+    std::vector<double> log_likelihood;
+  };
+  std::vector<FeatureTable> features_;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_CLASSIFIER_NAIVE_BAYES_H_

@@ -1,0 +1,20 @@
+// Minimal CHECK macros for internal invariants. These guard programmer
+// errors, not user input — user input errors are reported via Status.
+#ifndef IREDUCT_COMMON_LOGGING_H_
+#define IREDUCT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define IREDUCT_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define IREDUCT_DCHECK(cond) IREDUCT_CHECK(cond)
+
+#endif  // IREDUCT_COMMON_LOGGING_H_

@@ -1,0 +1,38 @@
+#include "common/numeric.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ireduct {
+
+double CoshMinusOne(double x) {
+  const double s = std::sinh(x / 2.0);
+  return 2.0 * s * s;
+}
+
+double CoshDiff(double a, double b) {
+  return 2.0 * std::sinh((a + b) / 2.0) * std::sinh((a - b) / 2.0);
+}
+
+double ExpDiff(double a, double b) { return std::exp(b) * std::expm1(a - b); }
+
+double LogAddExp(double a, double b) {
+  if (std::isinf(a) && a < 0) return b;
+  if (std::isinf(b) && b < 0) return a;
+  const double m = std::max(a, b);
+  return m + std::log1p(std::exp(-std::fabs(a - b)));
+}
+
+double LogSubExp(double a, double b) {
+  if (a <= b) return -std::numeric_limits<double>::infinity();
+  // log(e^a - e^b) = a + log(1 - e^{b-a}).
+  return a + std::log1p(-std::exp(b - a));
+}
+
+double StableSum(std::span<const double> values) {
+  KahanSum acc;
+  for (double v : values) acc.Add(v);
+  return acc.value();
+}
+
+}  // namespace ireduct

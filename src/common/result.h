@@ -1,0 +1,80 @@
+// Result<T>: value-or-Status, the return type of fallible operations that
+// produce a value. Mirrors arrow::Result.
+#ifndef IREDUCT_COMMON_RESULT_H_
+#define IREDUCT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ireduct {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of an errored Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so that `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so that
+  /// `return Status::InvalidArgument(...)` works).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ireduct
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status out of the enclosing function.
+#define IREDUCT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define IREDUCT_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  IREDUCT_ASSIGN_OR_RETURN_IMPL(IREDUCT_CONCAT_(_result_, __LINE__), lhs, \
+                                rexpr)
+
+#define IREDUCT_CONCAT_INNER_(a, b) a##b
+#define IREDUCT_CONCAT_(a, b) IREDUCT_CONCAT_INNER_(a, b)
+
+#endif  // IREDUCT_COMMON_RESULT_H_

@@ -1,0 +1,101 @@
+// Status: a lightweight, exception-free error model in the style of
+// Arrow / RocksDB. Every fallible operation in the library returns either a
+// `Status` or a `Result<T>` (see common/result.h); errors propagate with the
+// `IREDUCT_RETURN_NOT_OK` macro.
+#ifndef IREDUCT_COMMON_STATUS_H_
+#define IREDUCT_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ireduct {
+
+/// Machine-readable category of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kPrivacyBudgetExceeded = 4,
+  kIoError = 5,
+  kNotFound = 6,
+  kInternal = 7,
+};
+
+/// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: either OK (the common case, represented without
+/// any allocation) or an error carrying a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(code, std::move(message))) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status PrivacyBudgetExceeded(std::string msg) {
+    return Status(StatusCode::kPrivacyBudgetExceeded, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    Rep(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so that Status is cheap to copy; null means OK.
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace ireduct
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define IREDUCT_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::ireduct::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#endif  // IREDUCT_COMMON_STATUS_H_

@@ -1,0 +1,216 @@
+#include "data/census_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ireduct {
+
+namespace {
+
+// Categorical sampler over 0..n-1 built from non-negative weights.
+class Categorical {
+ public:
+  explicit Categorical(std::vector<double> weights) {
+    IREDUCT_CHECK(!weights.empty());
+    cumulative_.resize(weights.size());
+    double total = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      IREDUCT_CHECK(weights[i] >= 0);
+      total += weights[i];
+      cumulative_[i] = total;
+    }
+    IREDUCT_CHECK(total > 0);
+    for (double& c : cumulative_) c /= total;
+    cumulative_.back() = 1.0;  // guard against round-off at the top
+  }
+
+  uint16_t Sample(BitGen& gen) const {
+    const double u = gen.Uniform();
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    const size_t idx = static_cast<size_t>(it - cumulative_.begin());
+    return static_cast<uint16_t>(std::min(idx, cumulative_.size() - 1));
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+std::vector<double> ZipfWeights(uint32_t n, double exponent) {
+  std::vector<double> w(n);
+  for (uint32_t i = 0; i < n; ++i) w[i] = 1.0 / std::pow(i + 1.0, exponent);
+  return w;
+}
+
+// Zipf weights whose heaviest item sits at `center`, decaying with circular
+// rank distance — gives every conditioning value its own head of the
+// distribution while keeping a long shared tail.
+std::vector<double> ShiftedZipfWeights(uint32_t n, uint32_t center,
+                                       double exponent) {
+  std::vector<double> w(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t dist = std::min((i + n - center) % n, (center + n - i) % n);
+    w[i] = 1.0 / std::pow(dist + 1.0, exponent);
+  }
+  return w;
+}
+
+struct DomainSizes {
+  uint32_t age, gender, marital, state, birth_place, race, education,
+      occupation, class_of_worker;
+};
+
+DomainSizes DomainsFor(CensusKind kind) {
+  // Table 4 of the paper.
+  if (kind == CensusKind::kBrazil) {
+    return DomainSizes{101, 2, 4, 26, 29, 5, 5, 512, 4};
+  }
+  return DomainSizes{92, 2, 4, 51, 52, 14, 5, 477, 4};
+}
+
+// Coarse age bands driving marital status and education.
+int AgeBand(uint16_t age) {
+  if (age < 15) return 0;
+  if (age < 25) return 1;
+  if (age < 45) return 2;
+  if (age < 65) return 3;
+  return 4;
+}
+
+}  // namespace
+
+Result<Schema> CensusSchema(CensusKind kind) {
+  const DomainSizes d = DomainsFor(kind);
+  return Schema::Create({
+      {"Age", d.age},
+      {"Gender", d.gender},
+      {"MaritalStatus", d.marital},
+      {"State", d.state},
+      {"BirthPlace", d.birth_place},
+      {"Race", d.race},
+      {"Education", d.education},
+      {"Occupation", d.occupation},
+      {"ClassOfWorker", d.class_of_worker},
+  });
+}
+
+Result<Dataset> GenerateCensus(const CensusConfig& config) {
+  if (config.rows == 0) {
+    return Status::InvalidArgument("row count must be positive");
+  }
+  IREDUCT_ASSIGN_OR_RETURN(Schema schema, CensusSchema(config.kind));
+  const DomainSizes d = DomainsFor(config.kind);
+  BitGen gen(config.seed);
+
+  // Age pyramid: linearly thinning (young Brazil, flatter US) with an
+  // exponentially vanishing 75+ tail — the top ages are near-empty cells,
+  // like real census data, which is what makes the sanity bound δ matter.
+  std::vector<double> age_w(d.age);
+  const double slope = config.kind == CensusKind::kBrazil ? 1.1 : 0.7;
+  for (uint32_t a = 0; a < d.age; ++a) {
+    age_w[a] = std::fmax(0.05, 1.0 - slope * a / d.age);
+    if (a > 75) age_w[a] *= std::exp(-(a - 75.0) / 4.0);
+  }
+  const Categorical age_dist(std::move(age_w));
+
+  // Marital status (single, married, divorced, widowed) by age band.
+  const double marital_w[5][4] = {
+      {0.99, 0.01, 0.0, 0.0},    // <15
+      {0.75, 0.23, 0.02, 0.0},   // 15-24
+      {0.30, 0.60, 0.08, 0.02},  // 25-44
+      {0.12, 0.70, 0.10, 0.08},  // 45-64
+      {0.06, 0.55, 0.07, 0.32},  // 65+
+  };
+  std::vector<Categorical> marital_by_band;
+  for (const auto& row : marital_w) {
+    marital_by_band.emplace_back(std::vector<double>(row, row + 4));
+  }
+
+  // Education (5 levels) by age band; adults skew higher.
+  const double education_w[5][5] = {
+      {0.85, 0.13, 0.02, 0.0, 0.0},     // <15
+      {0.10, 0.35, 0.35, 0.15, 0.05},   // 15-24
+      {0.08, 0.22, 0.30, 0.25, 0.15},   // 25-44
+      {0.15, 0.30, 0.28, 0.17, 0.10},   // 45-64
+      {0.30, 0.35, 0.20, 0.10, 0.05},   // 65+
+  };
+  std::vector<Categorical> education_by_band;
+  for (const auto& row : education_w) {
+    education_by_band.emplace_back(std::vector<double>(row, row + 5));
+  }
+
+  // Occupation by education: each education level has its own Zipf head
+  // spread across the large occupation domain. About a quarter of the
+  // codes are retired (zero weight) and another fraction is rare — census
+  // occupation codebooks are sparse, which yields the near-zero marginal
+  // cells the paper's relative-error story hinges on.
+  std::vector<Categorical> occupation_by_education;
+  for (uint32_t e = 0; e < d.education; ++e) {
+    const uint32_t center = e * d.occupation / d.education;
+    std::vector<double> weights =
+        ShiftedZipfWeights(d.occupation, center, 1.05);
+    for (uint32_t o = 0; o < d.occupation; ++o) {
+      const uint32_t hash = o * 2654435761u;  // deterministic code classes
+      if (hash % 8 < 2) {
+        weights[o] = 0.0;  // retired code
+      } else if (hash % 8 < 4) {
+        weights[o] *= 0.01;  // rare specialty
+      }
+    }
+    occupation_by_education.emplace_back(std::move(weights));
+  }
+
+  // Class of worker by education (employee/self-employed/employer/unpaid).
+  const double worker_w[5][4] = {
+      {0.55, 0.25, 0.02, 0.18},
+      {0.65, 0.22, 0.04, 0.09},
+      {0.75, 0.15, 0.06, 0.04},
+      {0.80, 0.10, 0.08, 0.02},
+      {0.70, 0.12, 0.16, 0.02},
+  };
+  std::vector<Categorical> worker_by_education;
+  for (const auto& row : worker_w) {
+    worker_by_education.emplace_back(std::vector<double>(row, row + 4));
+  }
+
+  const Categorical state_dist(ZipfWeights(d.state, 1.0));
+  const Categorical birth_place_dist(ZipfWeights(d.birth_place, 1.0));
+  const Categorical race_dist(ZipfWeights(d.race, 1.3));
+
+  Dataset dataset(std::move(schema));
+  dataset.Reserve(config.rows);
+  std::vector<uint16_t> row(9);
+  for (uint64_t r = 0; r < config.rows; ++r) {
+    const uint16_t age = age_dist.Sample(gen);
+    const int band = AgeBand(age);
+    const uint16_t gender = gen.Bernoulli(0.51) ? 1 : 0;
+    const uint16_t marital = marital_by_band[band].Sample(gen);
+    const uint16_t state = state_dist.Sample(gen);
+    // Most people live where they were born; states map onto the first
+    // `d.state` birth-place codes, the rest of the domain is immigration.
+    const uint16_t birth_place = gen.Bernoulli(0.72)
+                                     ? state
+                                     : birth_place_dist.Sample(gen);
+    const uint16_t race = race_dist.Sample(gen);
+    const uint16_t education = education_by_band[band].Sample(gen);
+    const uint16_t occupation = occupation_by_education[education].Sample(gen);
+    const uint16_t worker = worker_by_education[education].Sample(gen);
+
+    row[kAge] = age;
+    row[kGender] = gender;
+    row[kMaritalStatus] = marital;
+    row[kState] = state;
+    row[kBirthPlace] = birth_place;
+    row[kRace] = race;
+    row[kEducation] = education;
+    row[kOccupation] = occupation;
+    row[kClassOfWorker] = worker;
+    IREDUCT_RETURN_NOT_OK(dataset.AppendRow(row));
+  }
+  return dataset;
+}
+
+}  // namespace ireduct

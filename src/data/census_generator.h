@@ -1,0 +1,57 @@
+// Synthetic census microdata standing in for the IPUMS Brazil / US extracts
+// used in Section 6 (which we cannot redistribute).
+//
+// The generator reproduces what matters for the paper's experiments:
+//  * the exact attribute domains of Table 4 (9 attributes; e.g. 512
+//    occupation codes for Brazil, 477 for the US), so the marginal
+//    workloads have the paper's shapes and sparsity;
+//  * heavy-tailed (Zipf-like) marginal distributions, so each marginal
+//    mixes a few large counts with many small ones — the regime where
+//    relative error separates the mechanisms;
+//  * a dependency chain (Age → Marital status, Education → Occupation →
+//    Class of worker, Age → Education, State → Birth place), so the Naive
+//    Bayes task of Section 6.5 has real signal to lose to noise.
+#ifndef IREDUCT_DATA_CENSUS_GENERATOR_H_
+#define IREDUCT_DATA_CENSUS_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace ireduct {
+
+/// Which of the two paper populations to imitate (Table 4 domains).
+enum class CensusKind { kBrazil, kUs };
+
+/// Attribute order used by the generated datasets.
+enum CensusAttribute : size_t {
+  kAge = 0,
+  kGender = 1,
+  kMaritalStatus = 2,
+  kState = 3,
+  kBirthPlace = 4,
+  kRace = 5,
+  kEducation = 6,
+  kOccupation = 7,
+  kClassOfWorker = 8,
+};
+
+struct CensusConfig {
+  CensusKind kind = CensusKind::kBrazil;
+  /// Number of rows to generate. The paper's datasets hold ~10M (Brazil)
+  /// and ~14M (US) records; all experiment parameters (δ, λmax, λΔ) are
+  /// defined relative to |T|, so smaller replicas preserve curve shapes.
+  uint64_t rows = 400'000;
+  uint64_t seed = 2011;
+};
+
+/// Schema with the Table 4 domain sizes for the given population.
+Result<Schema> CensusSchema(CensusKind kind);
+
+/// Generates a synthetic census dataset per `config`.
+Result<Dataset> GenerateCensus(const CensusConfig& config);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_DATA_CENSUS_GENERATOR_H_

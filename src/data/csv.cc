@@ -1,0 +1,86 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ireduct {
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  const Schema& schema = dataset.schema();
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    out << (c ? "," : "") << schema.attribute(c).name;
+  }
+  out << '\n';
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_attributes(); ++c) {
+      out << (c ? "," : "") << dataset.value(r, c);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("'" + path + "' is empty");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  if (header.size() != schema.num_attributes()) {
+    return Status::InvalidArgument("header arity does not match schema");
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (header[c] != schema.attribute(c).name) {
+      return Status::InvalidArgument("header column '" + header[c] +
+                                     "' does not match attribute '" +
+                                     schema.attribute(c).name + "'");
+    }
+  }
+
+  Dataset dataset(schema);
+  std::vector<uint16_t> row(schema.num_attributes());
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    if (cells.size() != row.size()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": wrong number of cells");
+    }
+    for (size_t c = 0; c < cells.size(); ++c) {
+      char* end = nullptr;
+      const long parsed = std::strtol(cells[c].c_str(), &end, 10);
+      if (end == cells[c].c_str() || *end != '\0' || parsed < 0 ||
+          parsed > 65535) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": bad value '" + cells[c] + "'");
+      }
+      row[c] = static_cast<uint16_t>(parsed);
+    }
+    IREDUCT_RETURN_NOT_OK(dataset.AppendRow(row));
+  }
+  return dataset;
+}
+
+}  // namespace ireduct

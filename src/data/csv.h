@@ -1,0 +1,23 @@
+// CSV import/export for categorical datasets. The format is a header line
+// with attribute names followed by one integer-coded row per line; domain
+// sizes are validated on load against the supplied schema.
+#ifndef IREDUCT_DATA_CSV_H_
+#define IREDUCT_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace ireduct {
+
+/// Writes `dataset` to `path` (attribute-name header + coded rows).
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by WriteCsv. The header must name exactly the
+/// attributes of `schema` in order, and every value must be in-domain.
+Result<Dataset> ReadCsv(const Schema& schema, const std::string& path);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_DATA_CSV_H_

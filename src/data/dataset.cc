@@ -1,0 +1,67 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace ireduct {
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_attributes());
+}
+
+Status Dataset::AppendRow(std::span<const uint16_t> values) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  for (size_t c = 0; c < values.size(); ++c) {
+    if (values[c] >= schema_.attribute(c).domain_size) {
+      return Status::OutOfRange("value " + std::to_string(values[c]) +
+                                " outside domain of attribute '" +
+                                schema_.attribute(c).name + "'");
+    }
+  }
+  for (size_t c = 0; c < values.size(); ++c) {
+    columns_[c].push_back(values[c]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Dataset::Reserve(size_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+}
+
+Result<std::vector<uint8_t>> Dataset::FoldAssignment(int k,
+                                                     BitGen& gen) const {
+  if (k < 2 || static_cast<size_t>(k) > num_rows_) {
+    return Status::InvalidArgument("fold count must be in [2, num_rows]");
+  }
+  std::vector<uint32_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates shuffle driven by our deterministic BitGen.
+  for (size_t i = num_rows_ - 1; i > 0; --i) {
+    const size_t j = gen.UniformInt(i + 1);
+    std::swap(order[i], order[j]);
+  }
+  std::vector<uint8_t> fold(num_rows_);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    fold[order[pos]] = static_cast<uint8_t>(pos % k);
+  }
+  return fold;
+}
+
+Dataset Dataset::Select(std::span<const uint32_t> rows) const {
+  Dataset subset(schema_);
+  subset.Reserve(rows.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    for (uint32_t r : rows) {
+      IREDUCT_DCHECK(r < num_rows_);
+      subset.columns_[c].push_back(columns_[c][r]);
+    }
+  }
+  subset.num_rows_ = rows.size();
+  return subset;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,57 @@
+// Columnar storage for categorical microdata.
+//
+// Values are stored column-major as uint16_t codes, which keeps the
+// marginal-computation scans cache-friendly: computing a k-way marginal
+// touches exactly k contiguous columns.
+#ifndef IREDUCT_DATA_DATASET_H_
+#define IREDUCT_DATA_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/schema.h"
+
+namespace ireduct {
+
+/// An immutable-schema, append-only categorical table.
+class Dataset {
+ public:
+  explicit Dataset(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends a row; must have one in-domain value per attribute.
+  Status AppendRow(std::span<const uint16_t> values);
+
+  /// Value of `row` in column `col` (bounds unchecked in release builds).
+  uint16_t value(size_t row, size_t col) const {
+    return columns_[col][row];
+  }
+
+  /// Read-only view of one column.
+  std::span<const uint16_t> column(size_t col) const { return columns_[col]; }
+
+  /// Reserves storage for `rows` rows in every column.
+  void Reserve(size_t rows);
+
+  /// Splits rows into `k` disjoint folds of near-equal size after a seeded
+  /// shuffle; returns fold id (0..k-1) per row. Requires 2 <= k <= rows.
+  Result<std::vector<uint8_t>> FoldAssignment(int k, BitGen& gen) const;
+
+  /// Materializes the subset of rows with the given indices.
+  Dataset Select(std::span<const uint32_t> rows) const;
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<uint16_t>> columns_;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_DATA_DATASET_H_

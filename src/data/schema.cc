@@ -1,0 +1,34 @@
+#include "data/schema.h"
+
+#include <unordered_set>
+
+namespace ireduct {
+
+Result<Schema> Schema::Create(std::vector<Attribute> attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema requires at least one attribute");
+  }
+  std::unordered_set<std::string_view> seen;
+  for (const Attribute& a : attributes) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute names must be non-empty");
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + a.name);
+    }
+    if (a.domain_size == 0 || a.domain_size > 65535) {
+      return Status::InvalidArgument("attribute '" + a.name +
+                                     "' domain size must be in [1, 65535]");
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + std::string(name) + "'");
+}
+
+}  // namespace ireduct

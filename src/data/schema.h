@@ -1,0 +1,44 @@
+// Schema for categorical relational data: named attributes with finite
+// integer-coded domains, matching the census microdata of Section 6
+// (Table 4 lists the attribute domain sizes).
+#ifndef IREDUCT_DATA_SCHEMA_H_
+#define IREDUCT_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ireduct {
+
+/// One categorical attribute; values are coded 0 .. domain_size-1.
+struct Attribute {
+  std::string name;
+  uint32_t domain_size = 0;
+};
+
+/// An ordered list of attributes with name lookup.
+class Schema {
+ public:
+  /// Validates: at least one attribute, unique non-empty names, every
+  /// domain size in [1, 65535] (values are stored as uint16_t).
+  static Result<Schema> Create(std::vector<Attribute> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with the given name.
+  Result<size_t> IndexOf(std::string_view name) const;
+
+ private:
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_DATA_SCHEMA_H_

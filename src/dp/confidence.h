@@ -1,0 +1,47 @@
+// Confidence intervals for Laplace-noised releases.
+//
+// Publishing a noisy answer without its uncertainty invites
+// over-interpretation; since every mechanism here reports its noise
+// scales, exact Laplace confidence intervals are free. (These are
+// post-processing of published values and scales only — no privacy cost.)
+#ifndef IREDUCT_DP_CONFIDENCE_H_
+#define IREDUCT_DP_CONFIDENCE_H_
+
+#include <vector>
+
+#include "algorithms/mechanism.h"
+#include "common/result.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+
+/// Quantile function of the Laplace distribution with location `mu` and
+/// scale `b` at probability p ∈ (0, 1).
+double LaplaceQuantile(double p, double mu, double b);
+
+/// A two-sided interval.
+struct ConfidenceInterval {
+  double lo = 0;
+  double hi = 0;
+
+  double width() const { return hi - lo; }
+  bool Contains(double x) const { return lo <= x && x <= hi; }
+};
+
+/// Exact central interval covering a Laplace(answer, scale) posterior at
+/// the given confidence level ∈ (0, 1):
+/// answer ± scale·ln(1/(1-level)).
+Result<ConfidenceInterval> LaplaceConfidenceInterval(double answer,
+                                                     double scale,
+                                                     double level);
+
+/// Per-query intervals for a mechanism output, using each query's group
+/// scale. The output must come from a Laplace-based mechanism on
+/// `workload` (Dwork/Oracle/TwoPhase/iReduct/iResamp all qualify; the
+/// combined-estimate mechanisms' intervals are conservative).
+Result<std::vector<ConfidenceInterval>> ConfidenceIntervals(
+    const Workload& workload, const MechanismOutput& output, double level);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_DP_CONFIDENCE_H_

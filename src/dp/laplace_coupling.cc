@@ -1,0 +1,76 @@
+#include "dp/laplace_coupling.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ireduct {
+
+namespace {
+
+Status ValidateCouplingParams(double mu, double y, double lambda,
+                              double lambda_prime) {
+  if (!std::isfinite(mu) || !std::isfinite(y)) {
+    return Status::InvalidArgument("coupling requires finite mu and y");
+  }
+  if (!(lambda_prime > 0) || !std::isfinite(lambda_prime) ||
+      !(lambda > lambda_prime) || !std::isfinite(lambda)) {
+    return Status::InvalidArgument(
+        "coupling requires 0 < lambda_prime < lambda");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double CoupledNoiseDownStickProbability(double mu, double y, double lambda,
+                                        double lambda_prime) {
+  const double w = std::fabs(y - mu);
+  return (lambda_prime / lambda) *
+         std::exp(-w * (1.0 / lambda_prime - 1.0 / lambda));
+}
+
+Result<double> CoupledNoiseDown(double mu, double y, double lambda,
+                                double lambda_prime, BitGen& gen) {
+  IREDUCT_RETURN_NOT_OK(ValidateCouplingParams(mu, y, lambda, lambda_prime));
+
+  // Atom branch: keep the old answer.
+  if (gen.Bernoulli(
+          CoupledNoiseDownStickProbability(mu, y, lambda, lambda_prime))) {
+    return y;
+  }
+
+  // Continuous branch: density ∝ e^{-|y'-μ|/λ' - |y-y'|/λ}, a piecewise
+  // exponential with kinks at y' = μ and y' = y. Work in the canonical
+  // orientation μ <= y (mirror otherwise) with w = y - μ >= 0. Segment
+  // masses share the common factor e^{-w/λ}, which is divided out so that
+  // nothing underflows for large w:
+  //   (-∞, μ]: rate (1/λ + 1/λ'), reduced mass 1/(a+a')
+  //   (μ, y]:  rate (1/λ' - 1/λ), reduced mass (1 - e^{-w(a'-a)})/(a'-a)
+  //   (y, ∞):  rate (1/λ + 1/λ'), reduced mass e^{-w(a'-a)}/(a+a')
+  const bool inverted = mu > y;
+  const double cmu = inverted ? -mu : mu;
+  const double cy = inverted ? -y : y;
+  const double a = 1.0 / lambda;
+  const double ap = 1.0 / lambda_prime;
+  const double w = cy - cmu;
+  IREDUCT_DCHECK(w >= 0);
+
+  const double mass_left = 1.0 / (a + ap);
+  const double mass_mid = -std::expm1(-w * (ap - a)) / (ap - a);
+  const double mass_right = std::exp(-w * (ap - a)) / (a + ap);
+  const double total = mass_left + mass_mid + mass_right;
+
+  const double u = gen.Uniform() * total;
+  double yp;
+  if (u < mass_left) {
+    yp = cmu - gen.Exponential(1.0 / (a + ap));
+  } else if (u < mass_left + mass_mid && w > 0) {
+    yp = cmu + gen.TruncatedExponential(1.0 / (ap - a), 0.0, w);
+  } else {
+    yp = cy + gen.Exponential(1.0 / (a + ap));
+  }
+  return inverted ? -yp : yp;
+}
+
+}  // namespace ireduct

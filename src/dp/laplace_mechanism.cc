@@ -1,0 +1,35 @@
+#include "dp/laplace_mechanism.h"
+
+#include <cmath>
+
+namespace ireduct {
+
+Result<std::vector<double>> AddLaplaceNoise(std::span<const double> values,
+                                            std::span<const double> scales,
+                                            BitGen& gen) {
+  if (values.size() != scales.size()) {
+    return Status::InvalidArgument("values/scales size mismatch");
+  }
+  for (double s : scales) {
+    if (!(s > 0) || !std::isfinite(s)) {
+      return Status::InvalidArgument("noise scales must be positive finite");
+    }
+  }
+  std::vector<double> noisy(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    noisy[i] = values[i] + gen.Laplace(scales[i]);
+  }
+  return noisy;
+}
+
+Result<std::vector<double>> LaplaceNoise(const Workload& workload,
+                                         std::span<const double> group_scales,
+                                         BitGen& gen) {
+  if (group_scales.size() != workload.num_groups()) {
+    return Status::InvalidArgument("one scale per group required");
+  }
+  const std::vector<double> per_query = workload.PerQueryScales(group_scales);
+  return AddLaplaceNoise(workload.true_answers(), per_query, gen);
+}
+
+}  // namespace ireduct

@@ -1,0 +1,62 @@
+#include "dp/noise_down_chain.h"
+
+#include <cmath>
+
+#include "dp/laplace_coupling.h"
+#include "dp/noise_down.h"
+
+namespace ireduct {
+
+double NoiseDownChain::ChargeFor(double scale) const {
+  const double slack = options_.reducer == ChainReducer::kPaperNoiseDown
+                           ? options_.paper_reducer_slack
+                           : 1.0;
+  return options_.sensitivity * slack / scale;
+}
+
+Result<NoiseDownChain> NoiseDownChain::Start(
+    double true_answer, double initial_scale,
+    const NoiseDownChainOptions& options, PrivacyAccountant& accountant,
+    BitGen& gen) {
+  if (!(initial_scale > 0) || !std::isfinite(initial_scale)) {
+    return Status::InvalidArgument("initial scale must be positive finite");
+  }
+  if (!(options.sensitivity > 0) || !std::isfinite(options.sensitivity)) {
+    return Status::InvalidArgument("sensitivity must be positive finite");
+  }
+  NoiseDownChain chain(true_answer, options, &accountant);
+  const double charge = chain.ChargeFor(initial_scale);
+  IREDUCT_RETURN_NOT_OK(accountant.Charge("noise-down chain start", charge));
+  chain.spent_ = charge;
+  chain.scale_ = initial_scale;
+  chain.answer_ = true_answer + gen.Laplace(initial_scale);
+  return chain;
+}
+
+Status NoiseDownChain::Reduce(double new_scale, BitGen& gen) {
+  if (!(new_scale > 0) || !(new_scale < scale_)) {
+    return Status::InvalidArgument(
+        "new scale must be in (0, current scale)");
+  }
+  // Incremental cost: total chain cost is one release at the final scale,
+  // so refining from λ_old to λ_new costs the difference.
+  const double increment = ChargeFor(new_scale) - ChargeFor(scale_);
+  IREDUCT_RETURN_NOT_OK(
+      accountant_->Charge("noise-down chain reduce", increment));
+
+  // The reducers work on unit-sensitivity problems; rescale accordingly.
+  const double step = options_.sensitivity;
+  Result<double> refined =
+      options_.reducer == ChainReducer::kPaperNoiseDown
+          ? NoiseDownWithStep(true_answer_, answer_, scale_, new_scale, step,
+                              gen)
+          : CoupledNoiseDown(true_answer_, answer_, scale_, new_scale, gen);
+  if (!refined.ok()) return refined.status();
+  answer_ = *refined;
+  scale_ = new_scale;
+  spent_ += increment;
+  ++reductions_;
+  return Status::OK();
+}
+
+}  // namespace ireduct

@@ -1,0 +1,84 @@
+// Stateful NoiseDown reduction chain for a single query.
+//
+// iReduct drives many interleaved reductions itself; applications that
+// publish one value progressively ("release a rough count now, refine it
+// when the analyst asks") can use this helper instead. It owns the current
+// (answer, scale) pair, applies correlated resampling on each Reduce() and
+// charges a PrivacyAccountant only for the *incremental* cost
+//   c·(1/λ_new - 1/λ_old_chain_start)  —  i.e. the chain's total charge
+// always equals one release at the current scale (times the documented
+// slack of the chosen reducer).
+#ifndef IREDUCT_DP_NOISE_DOWN_CHAIN_H_
+#define IREDUCT_DP_NOISE_DOWN_CHAIN_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/privacy_accountant.h"
+
+namespace ireduct {
+
+/// Which resampler a chain uses; see dp/noise_down.h and
+/// dp/laplace_coupling.h.
+enum class ChainReducer {
+  kPaperNoiseDown,
+  kExactCoupling,
+};
+
+/// Options for a NoiseDownChain.
+struct NoiseDownChainOptions {
+  /// Per-tuple sensitivity of the query (the budget charged per release at
+  /// scale λ is sensitivity/λ).
+  double sensitivity = 1.0;
+  ChainReducer reducer = ChainReducer::kExactCoupling;
+  /// Multiplicative privacy slack charged for the paper reducer (see the
+  /// reproduction notes in dp/noise_down.h); ignored for kExactCoupling.
+  double paper_reducer_slack = 1.06;
+};
+
+/// A progressively refinable noisy release of one query answer.
+class NoiseDownChain {
+ public:
+  /// Publishes the initial answer: true_answer + Laplace(initial_scale),
+  /// charging `accountant` for a release at that scale. The accountant
+  /// must outlive the chain.
+  static Result<NoiseDownChain> Start(double true_answer,
+                                      double initial_scale,
+                                      const NoiseDownChainOptions& options,
+                                      PrivacyAccountant& accountant,
+                                      BitGen& gen);
+
+  /// Refines the current answer down to `new_scale` (< current scale),
+  /// charging only the incremental budget. On budget exhaustion the chain
+  /// is left unchanged and kPrivacyBudgetExceeded is returned.
+  Status Reduce(double new_scale, BitGen& gen);
+
+  /// The currently published answer.
+  double answer() const { return answer_; }
+  /// Its noise scale.
+  double scale() const { return scale_; }
+  /// Total ε charged by this chain so far.
+  double epsilon_spent() const { return spent_; }
+  /// Number of reductions applied.
+  int reductions() const { return reductions_; }
+
+ private:
+  NoiseDownChain(double true_answer, NoiseDownChainOptions options,
+                 PrivacyAccountant* accountant)
+      : true_answer_(true_answer),
+        options_(options),
+        accountant_(accountant) {}
+
+  double ChargeFor(double scale) const;
+
+  double true_answer_ = 0;
+  NoiseDownChainOptions options_;
+  PrivacyAccountant* accountant_ = nullptr;
+  double answer_ = 0;
+  double scale_ = 0;
+  double spent_ = 0;
+  int reductions_ = 0;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_DP_NOISE_DOWN_CHAIN_H_

@@ -1,0 +1,39 @@
+#include "dp/privacy_accountant.h"
+
+#include <cmath>
+
+namespace ireduct {
+
+namespace {
+// Tolerance for floating-point accumulation at the budget boundary: a charge
+// is admitted if it exceeds the remaining budget by at most this relative
+// slack, so that e.g. ten charges of ε/10 always fit a budget of ε.
+constexpr double kRelativeSlack = 1e-9;
+}  // namespace
+
+Result<PrivacyAccountant> PrivacyAccountant::Create(double epsilon_budget) {
+  if (!(epsilon_budget > 0) || !std::isfinite(epsilon_budget)) {
+    return Status::InvalidArgument("privacy budget must be positive finite");
+  }
+  return PrivacyAccountant(epsilon_budget);
+}
+
+bool PrivacyAccountant::CanAfford(double epsilon) const {
+  return spent_ + epsilon <= budget_ * (1 + kRelativeSlack);
+}
+
+Status PrivacyAccountant::Charge(std::string label, double epsilon) {
+  if (!(epsilon > 0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("privacy charge must be positive finite");
+  }
+  if (!CanAfford(epsilon)) {
+    return Status::PrivacyBudgetExceeded(
+        "charge '" + label + "' of " + std::to_string(epsilon) +
+        " exceeds remaining budget " + std::to_string(remaining()));
+  }
+  spent_ += epsilon;
+  ledger_.push_back(PrivacyCharge{std::move(label), epsilon});
+  return Status::OK();
+}
+
+}  // namespace ireduct

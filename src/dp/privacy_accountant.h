@@ -1,0 +1,53 @@
+// Sequential-composition privacy ledger.
+//
+// Differentially private algorithms compose: running mechanisms with costs
+// ε_1, ..., ε_k on the same data is (Σ ε_i)-differentially private (McSherry
+// & Talwar). The accountant tracks a fixed budget and refuses charges that
+// would exceed it, and keeps a labelled ledger for audit/reporting.
+#ifndef IREDUCT_DP_PRIVACY_ACCOUNTANT_H_
+#define IREDUCT_DP_PRIVACY_ACCOUNTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ireduct {
+
+/// One recorded privacy expenditure.
+struct PrivacyCharge {
+  std::string label;
+  double epsilon = 0;
+};
+
+/// Tracks cumulative ε expenditure against a fixed budget.
+class PrivacyAccountant {
+ public:
+  /// Creates an accountant with the given total ε budget (must be > 0).
+  static Result<PrivacyAccountant> Create(double epsilon_budget);
+
+  /// Records a charge of `epsilon` under `label`. Fails with
+  /// kPrivacyBudgetExceeded (and records nothing) if it would overspend,
+  /// and with kInvalidArgument for non-positive or non-finite charges.
+  Status Charge(std::string label, double epsilon);
+
+  /// True if a further charge of `epsilon` would fit in the budget.
+  bool CanAfford(double epsilon) const;
+
+  double budget() const { return budget_; }
+  double spent() const { return spent_; }
+  double remaining() const { return budget_ - spent_; }
+  const std::vector<PrivacyCharge>& ledger() const { return ledger_; }
+
+ private:
+  explicit PrivacyAccountant(double budget) : budget_(budget) {}
+
+  double budget_;
+  double spent_ = 0;
+  std::vector<PrivacyCharge> ledger_;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_DP_PRIVACY_ACCOUNTANT_H_

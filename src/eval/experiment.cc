@@ -1,0 +1,33 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ireduct {
+
+TrialAggregate RunTrials(int trials, uint64_t base_seed,
+                         const std::function<double(uint64_t)>& trial) {
+  IREDUCT_CHECK(trials >= 1);
+  std::vector<double> values;
+  values.reserve(trials);
+  for (int t = 0; t < trials; ++t) {
+    // Well-spread per-trial seeds (golden-ratio increments).
+    values.push_back(trial(base_seed + 0x9e3779b97f4a7c15ULL * (t + 1)));
+  }
+  const SampleSummary s = Summarize(values);
+  return TrialAggregate{s.mean, std::sqrt(s.variance), trials};
+}
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed <= 0) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+}  // namespace ireduct

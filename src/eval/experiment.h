@@ -1,0 +1,33 @@
+// Repeated-trial experiment runner. The paper reports the mean overall
+// error over 10 runs of each algorithm per configuration (Section 6.1);
+// this helper runs a seeded trial function and aggregates.
+#ifndef IREDUCT_EVAL_EXPERIMENT_H_
+#define IREDUCT_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "eval/stats.h"
+
+namespace ireduct {
+
+/// Aggregate of a repeated measurement.
+struct TrialAggregate {
+  double mean = 0;
+  double stddev = 0;
+  int trials = 0;
+};
+
+/// Runs `trial(seed)` for `trials` distinct seeds derived from `base_seed`
+/// and summarizes the returned measurements. Requires trials >= 1.
+TrialAggregate RunTrials(int trials, uint64_t base_seed,
+                         const std::function<double(uint64_t)>& trial);
+
+/// Reads a positive integer environment variable, or returns `fallback` if
+/// unset/invalid. Benches use this for TRIALS, CENSUS_ROWS, IREDUCT_STEPS.
+int64_t EnvInt64(const char* name, int64_t fallback);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_EVAL_EXPERIMENT_H_

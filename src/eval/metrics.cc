@@ -1,0 +1,69 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/numeric.h"
+
+namespace ireduct {
+
+double RelativeError(double published, double truth, double delta) {
+  IREDUCT_DCHECK(delta > 0);
+  return std::fabs(published - truth) / std::fmax(truth, delta);
+}
+
+double OverallError(const Workload& workload,
+                    std::span<const double> published, double delta) {
+  IREDUCT_DCHECK(published.size() == workload.num_queries());
+  KahanSum group_mean_sum;
+  for (const QueryGroup& g : workload.groups()) {
+    KahanSum in_group;
+    for (uint32_t i = g.begin; i < g.end; ++i) {
+      in_group.Add(
+          RelativeError(published[i], workload.true_answer(i), delta));
+    }
+    group_mean_sum.Add(in_group.value() / g.size());
+  }
+  return group_mean_sum.value() / workload.num_groups();
+}
+
+double OverallError(const Workload& workload,
+                    std::span<const double> published,
+                    const SanityBounds& bounds) {
+  IREDUCT_DCHECK(published.size() == workload.num_queries());
+  IREDUCT_DCHECK(bounds.is_uniform() ||
+                 bounds.size() == workload.num_queries());
+  KahanSum group_mean_sum;
+  for (const QueryGroup& g : workload.groups()) {
+    KahanSum in_group;
+    for (uint32_t i = g.begin; i < g.end; ++i) {
+      in_group.Add(RelativeError(published[i], workload.true_answer(i),
+                                 bounds.at(i)));
+    }
+    group_mean_sum.Add(in_group.value() / g.size());
+  }
+  return group_mean_sum.value() / workload.num_groups();
+}
+
+double MaxRelativeError(const Workload& workload,
+                        std::span<const double> published, double delta) {
+  IREDUCT_DCHECK(published.size() == workload.num_queries());
+  double worst = 0;
+  for (size_t i = 0; i < published.size(); ++i) {
+    worst = std::fmax(
+        worst, RelativeError(published[i], workload.true_answer(i), delta));
+  }
+  return worst;
+}
+
+double MeanAbsoluteError(const Workload& workload,
+                         std::span<const double> published) {
+  IREDUCT_DCHECK(published.size() == workload.num_queries());
+  KahanSum acc;
+  for (size_t i = 0; i < published.size(); ++i) {
+    acc.Add(std::fabs(published[i] - workload.true_answer(i)));
+  }
+  return acc.value() / workload.num_queries();
+}
+
+}  // namespace ireduct

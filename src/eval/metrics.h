@@ -1,0 +1,41 @@
+// Utility metrics from the paper: relative error with a sanity bound
+// (Equation 1) and the overall error of grouped answers (Definition 6).
+#ifndef IREDUCT_EVAL_METRICS_H_
+#define IREDUCT_EVAL_METRICS_H_
+
+#include <span>
+
+#include "dp/workload.h"
+#include "eval/sanity_bounds.h"
+
+namespace ireduct {
+
+/// Relative error of a published value against the true value:
+/// |published - truth| / max{truth, delta} (Equation 1). Requires delta > 0.
+double RelativeError(double published, double truth, double delta);
+
+/// Overall error (Definition 6): the mean over groups of the mean relative
+/// error within each group,
+///   1/|M| Σ_g 1/|G_g| Σ_{j∈g} |y_j - q_j(T)| / max{δ, q_j(T)}.
+double OverallError(const Workload& workload,
+                    std::span<const double> published, double delta);
+
+/// Overall error with per-query sanity bounds (the Section 2.1 extension).
+/// When `bounds` is per-query it must carry one entry per workload query.
+double OverallError(const Workload& workload,
+                    std::span<const double> published,
+                    const SanityBounds& bounds);
+
+/// Maximum relative error over all queries — the worst-case counterpart the
+/// Proportional strategy of Section 3.1 targets.
+double MaxRelativeError(const Workload& workload,
+                        std::span<const double> published, double delta);
+
+/// Mean absolute error over all queries (the objective prior work
+/// optimizes; reported in ablations for contrast).
+double MeanAbsoluteError(const Workload& workload,
+                         std::span<const double> published);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_EVAL_METRICS_H_

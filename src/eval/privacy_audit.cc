@@ -1,0 +1,26 @@
+#include "eval/privacy_audit.h"
+
+#include <cmath>
+
+#include "eval/stats.h"
+
+namespace ireduct {
+
+Result<AuditReport> AuditMechanismPair(
+    const std::function<double()>& mechanism_a,
+    const std::function<double()>& mechanism_b,
+    const AuditOptions& options) {
+  if (options.trials <= 0 || options.bins <= 0 ||
+      !(options.hi > options.lo)) {
+    return Status::InvalidArgument("invalid audit options");
+  }
+  AuditReport report;
+  report.trials = options.trials;
+  report.epsilon_lower_bound =
+      MaxLogFrequencyRatio(mechanism_a, mechanism_b, options.trials,
+                           options.lo, options.hi, options.bins,
+                           options.min_count);
+  return report;
+}
+
+}  // namespace ireduct

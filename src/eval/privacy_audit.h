@@ -1,0 +1,50 @@
+// Black-box empirical privacy auditing.
+//
+// Given two *neighboring* inputs and a randomized mechanism, repeatedly
+// runs the mechanism on both, histograms a scalar projection of the
+// output, and reports the largest observed log frequency ratio. For an
+// ε-differentially private mechanism this converges (from below) to at
+// most ε; a value materially above the claimed ε is a counterexample.
+//
+// This is a lower-bound probe, not a verifier: mechanisms whose leaks hide
+// in far tails (like the paper's Proportional strategy, whose Example 1
+// violation needs outputs ~70 noise scales out) can pass an empirical
+// audit at any realistic sample size.
+#ifndef IREDUCT_EVAL_PRIVACY_AUDIT_H_
+#define IREDUCT_EVAL_PRIVACY_AUDIT_H_
+
+#include <functional>
+
+#include "common/result.h"
+
+namespace ireduct {
+
+struct AuditOptions {
+  /// Mechanism runs per side.
+  int trials = 200'000;
+  /// Histogram buckets over [lo, hi]; outputs outside are ignored.
+  int bins = 40;
+  double lo = 0;
+  double hi = 1;
+  /// Buckets with fewer observations on either side are skipped (their
+  /// ratios are sampling noise).
+  int min_count = 100;
+};
+
+struct AuditReport {
+  /// Largest observed |log ratio| over well-populated buckets — an
+  /// empirical lower bound on the mechanism's true ε.
+  double epsilon_lower_bound = 0;
+  int trials = 0;
+};
+
+/// Audits `mechanism_a` vs `mechanism_b`, which must be the same mechanism
+/// closed over two neighboring inputs, each call returning one scalar
+/// output sample.
+Result<AuditReport> AuditMechanismPair(
+    const std::function<double()>& mechanism_a,
+    const std::function<double()>& mechanism_b, const AuditOptions& options);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_EVAL_PRIVACY_AUDIT_H_

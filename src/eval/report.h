@@ -1,0 +1,55 @@
+// Export of published results for downstream consumption: marginals as
+// CSV (cell coordinates + counts), mechanism outputs with confidence
+// intervals, and multi-mechanism comparison tables.
+#ifndef IREDUCT_EVAL_REPORT_H_
+#define IREDUCT_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "algorithms/mechanism.h"
+#include "common/result.h"
+#include "data/schema.h"
+#include "dp/workload.h"
+#include "marginals/marginal.h"
+
+namespace ireduct {
+
+/// Writes one marginal as CSV: a header naming its attributes (via
+/// `schema`) plus a `count` column, then one row per cell.
+Status WriteMarginalCsv(const Marginal& marginal, const Schema& schema,
+                        std::ostream& out);
+
+/// Convenience: writes every marginal to `directory/<prefix>_<i>.csv`.
+Status WriteMarginalsCsv(const std::vector<Marginal>& marginals,
+                         const Schema& schema, const std::string& directory,
+                         const std::string& prefix);
+
+/// Writes a mechanism's published answers as CSV with columns
+/// query_index, group, answer, noise_scale, ci_lo, ci_hi (at the given
+/// confidence level).
+Status WriteAnswersCsv(const Workload& workload,
+                       const MechanismOutput& output, double level,
+                       std::ostream& out);
+
+/// One row of a mechanism-comparison report.
+struct ComparisonRow {
+  std::string mechanism;
+  double overall_error = 0;
+  double max_relative_error = 0;
+  double mean_absolute_error = 0;
+  double epsilon_spent = 0;
+};
+
+/// Evaluates a published output into a ComparisonRow.
+ComparisonRow Evaluate(const std::string& name, const Workload& workload,
+                       const MechanismOutput& output, double delta);
+
+/// Writes comparison rows as CSV.
+Status WriteComparisonCsv(const std::vector<ComparisonRow>& rows,
+                          std::ostream& out);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_EVAL_REPORT_H_

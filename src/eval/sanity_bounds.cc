@@ -1,0 +1,27 @@
+#include "eval/sanity_bounds.h"
+
+#include <cmath>
+
+namespace ireduct {
+
+Result<SanityBounds> SanityBounds::Uniform(double delta) {
+  if (!(delta > 0) || !std::isfinite(delta)) {
+    return Status::InvalidArgument("sanity bound must be positive finite");
+  }
+  return SanityBounds(delta);
+}
+
+Result<SanityBounds> SanityBounds::PerQuery(std::vector<double> deltas) {
+  if (deltas.empty()) {
+    return Status::InvalidArgument("need at least one sanity bound");
+  }
+  for (double d : deltas) {
+    if (!(d > 0) || !std::isfinite(d)) {
+      return Status::InvalidArgument(
+          "every sanity bound must be positive finite");
+    }
+  }
+  return SanityBounds(std::move(deltas));
+}
+
+}  // namespace ireduct

@@ -1,0 +1,47 @@
+// Per-query sanity bounds.
+//
+// Section 2.1 defines relative error with one sanity bound δ "for ease of
+// exposition ... but our techniques can be easily extended to the case
+// when the sanity bound varies from query to query." This type carries
+// either form; metrics and scale-allocation routines accept it wherever a
+// scalar δ appears.
+#ifndef IREDUCT_EVAL_SANITY_BOUNDS_H_
+#define IREDUCT_EVAL_SANITY_BOUNDS_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace ireduct {
+
+/// A uniform or per-query sanity bound δ (Equation 1's denominator floor).
+class SanityBounds {
+ public:
+  /// The same positive bound for every query.
+  static Result<SanityBounds> Uniform(double delta);
+
+  /// One positive bound per query.
+  static Result<SanityBounds> PerQuery(std::vector<double> deltas);
+
+  /// Bound for query `i`.
+  double at(size_t i) const {
+    return per_query_.empty() ? uniform_ : per_query_[i];
+  }
+
+  bool is_uniform() const { return per_query_.empty(); }
+
+  /// Number of per-query entries (0 when uniform).
+  size_t size() const { return per_query_.size(); }
+
+ private:
+  explicit SanityBounds(double uniform) : uniform_(uniform) {}
+  explicit SanityBounds(std::vector<double> per_query)
+      : per_query_(std::move(per_query)) {}
+
+  double uniform_ = 1.0;
+  std::vector<double> per_query_;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_EVAL_SANITY_BOUNDS_H_

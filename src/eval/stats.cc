@@ -1,0 +1,82 @@
+#include "eval/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/numeric.h"
+
+namespace ireduct {
+
+SampleSummary Summarize(std::span<const double> sample) {
+  IREDUCT_CHECK(!sample.empty());
+  SampleSummary s;
+  s.count = sample.size();
+  KahanSum sum;
+  s.min = sample[0];
+  s.max = sample[0];
+  for (double x : sample) {
+    sum.Add(x);
+    s.min = std::fmin(s.min, x);
+    s.max = std::fmax(s.max, x);
+  }
+  s.mean = sum.value() / s.count;
+  KahanSum sq, abs_dev;
+  for (double x : sample) {
+    const double d = x - s.mean;
+    sq.Add(d * d);
+    abs_dev.Add(std::fabs(d));
+  }
+  s.variance = s.count > 1 ? sq.value() / (s.count - 1) : 0;
+  s.mean_abs_deviation = abs_dev.value() / s.count;
+  return s;
+}
+
+double KsStatistic(std::span<const double> sample,
+                   const std::function<double(double)>& cdf) {
+  IREDUCT_CHECK(!sample.empty());
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double worst = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double lo = i / n;
+    const double hi = (i + 1) / n;
+    worst = std::fmax(worst, std::fmax(std::fabs(f - lo), std::fabs(f - hi)));
+  }
+  return worst;
+}
+
+double LaplaceCdf(double x, double mu, double b) {
+  const double z = (x - mu) / b;
+  return z < 0 ? 0.5 * std::exp(z) : 1.0 - 0.5 * std::exp(-z);
+}
+
+double MaxLogFrequencyRatio(const std::function<double()>& mechanism_a,
+                            const std::function<double()>& mechanism_b,
+                            int trials, double lo, double hi, int bins,
+                            int min_count) {
+  IREDUCT_CHECK(bins > 0 && trials > 0 && hi > lo);
+  std::vector<int> count_a(bins, 0), count_b(bins, 0);
+  const double width = (hi - lo) / bins;
+  auto bucket = [&](double x) -> int {
+    if (x < lo || x >= hi) return -1;
+    return static_cast<int>((x - lo) / width);
+  };
+  for (int t = 0; t < trials; ++t) {
+    if (int i = bucket(mechanism_a()); i >= 0) ++count_a[i];
+    if (int i = bucket(mechanism_b()); i >= 0) ++count_b[i];
+  }
+  double worst = 0;
+  for (int i = 0; i < bins; ++i) {
+    if (count_a[i] >= min_count && count_b[i] >= min_count) {
+      worst = std::fmax(worst, std::fabs(std::log(
+                                   static_cast<double>(count_a[i]) /
+                                   static_cast<double>(count_b[i]))));
+    }
+  }
+  return worst;
+}
+
+}  // namespace ireduct

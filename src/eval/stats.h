@@ -1,0 +1,47 @@
+// Statistical utilities used by the test suite and the benchmark harnesses:
+// summary statistics, a Kolmogorov–Smirnov goodness-of-fit statistic, and
+// an empirical differential-privacy ratio probe.
+#ifndef IREDUCT_EVAL_STATS_H_
+#define IREDUCT_EVAL_STATS_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace ireduct {
+
+/// Summary statistics of a sample.
+struct SampleSummary {
+  double mean = 0;
+  double variance = 0;          // unbiased (n-1)
+  double mean_abs_deviation = 0;  // around the mean
+  double min = 0;
+  double max = 0;
+  size_t count = 0;
+};
+
+/// Computes summary statistics; requires a non-empty sample.
+SampleSummary Summarize(std::span<const double> sample);
+
+/// Kolmogorov–Smirnov statistic sup_x |F_n(x) - F(x)| of `sample` against
+/// the continuous CDF `cdf`. The sample is copied and sorted internally.
+double KsStatistic(std::span<const double> sample,
+                   const std::function<double(double)>& cdf);
+
+/// CDF of the Laplace distribution with location mu and scale b.
+double LaplaceCdf(double x, double mu, double b);
+
+/// Empirical privacy probe: draws `trials` outputs of `mechanism` under two
+/// adjacent inputs (the callbacks close over them), histograms both into
+/// `bins` equal-width buckets over [lo, hi], and returns the maximum
+/// log-ratio of bucket frequencies among buckets where both sides have at
+/// least `min_count` observations. For an ε-DP mechanism this converges to
+/// at most ε (up to sampling noise).
+double MaxLogFrequencyRatio(const std::function<double()>& mechanism_a,
+                            const std::function<double()>& mechanism_b,
+                            int trials, double lo, double hi, int bins,
+                            int min_count = 20);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_EVAL_STATS_H_

@@ -1,0 +1,50 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ireduct {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) {
+  IREDUCT_CHECK(!header.empty());
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  IREDUCT_CHECK(row.size() == rows_[0].size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << rows_[r][c];
+    }
+    os << '\n';
+    if (r == 0) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        os << std::string(widths[c], '-') << "  ";
+      }
+      os << '\n';
+    }
+  }
+  os.flush();
+}
+
+}  // namespace ireduct

@@ -1,0 +1,32 @@
+// Fixed-width table printing for the benchmark harnesses, so each figure
+// bench emits the same rows/series the paper plots.
+#ifndef IREDUCT_EVAL_TABLE_PRINTER_H_
+#define IREDUCT_EVAL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ireduct {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with `precision` significant decimal digits.
+  static std::string Cell(double value, int precision = 4);
+
+  /// Writes the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,47 @@
+// Mutual consistency across a noisy marginal set (paper Conclusion: "the
+// noise introduced for privacy may produce marginals that are infeasible"
+// — e.g. the published {Age} marginal disagreeing with the Age-projection
+// of the published {Age, Gender} marginal).
+//
+// MakeMutuallyConsistent runs an alternating-projection scheme: in each
+// round, every subset pair (coarse ⊆ fine) first averages the coarse
+// table with the fine table's projection (both are unbiased estimates of
+// the same counts), then redistributes the fine table so its projection
+// matches (FitProjection); totals are re-aligned each round. This is a
+// heuristic least-squares repair (the exact joint LS problem is the
+// Barak et al. LP); the discrepancy measure below is driven to the
+// requested tolerance or the round limit.
+#ifndef IREDUCT_MARGINALS_CONSISTENCY_H_
+#define IREDUCT_MARGINALS_CONSISTENCY_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "marginals/marginal.h"
+
+namespace ireduct {
+
+struct ConsistencyOptions {
+  /// Maximum alternating rounds.
+  int max_rounds = 50;
+  /// Stop when MaxProjectionDiscrepancy falls below this.
+  double tolerance = 1e-6;
+  /// Align every marginal's total to this value each round (e.g. the
+  /// public |T|); non-positive means "use the mean of the noisy totals".
+  double target_total = 0;
+};
+
+/// Largest absolute cell disagreement between any marginal and the
+/// projection of any finer marginal onto it (0 for singleton sets or sets
+/// without subset pairs).
+double MaxProjectionDiscrepancy(std::span<const Marginal> marginals);
+
+/// Repairs the set so all subset-pair projections (and totals) agree.
+/// Returns the repaired set; fails only on malformed inputs.
+Result<std::vector<Marginal>> MakeMutuallyConsistent(
+    std::vector<Marginal> marginals, const ConsistencyOptions& options);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_MARGINALS_CONSISTENCY_H_

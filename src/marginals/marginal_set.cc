@@ -1,0 +1,61 @@
+#include "marginals/marginal_set.h"
+
+namespace ireduct {
+
+namespace {
+
+void EnumerateCombinations(uint32_t n, int k, uint32_t next,
+                           std::vector<uint32_t>& current,
+                           std::vector<MarginalSpec>& out) {
+  if (static_cast<int>(current.size()) == k) {
+    out.push_back(MarginalSpec{current});
+    return;
+  }
+  for (uint32_t a = next; a < n; ++a) {
+    current.push_back(a);
+    EnumerateCombinations(n, k, a + 1, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+Result<std::vector<MarginalSpec>> AllKWaySpecs(const Schema& schema, int k) {
+  if (k < 1 || static_cast<size_t>(k) > schema.num_attributes()) {
+    return Status::InvalidArgument("k must be in [1, num_attributes]");
+  }
+  std::vector<MarginalSpec> specs;
+  std::vector<uint32_t> current;
+  EnumerateCombinations(static_cast<uint32_t>(schema.num_attributes()), k, 0,
+                        current, specs);
+  return specs;
+}
+
+Result<std::vector<MarginalSpec>> ClassifierSpecs(const Schema& schema,
+                                                  size_t class_attr) {
+  if (class_attr >= schema.num_attributes()) {
+    return Status::OutOfRange("class attribute index out of range");
+  }
+  std::vector<MarginalSpec> specs;
+  specs.push_back(MarginalSpec{{static_cast<uint32_t>(class_attr)}});
+  for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+    if (a == class_attr) continue;
+    specs.push_back(MarginalSpec{{a, static_cast<uint32_t>(class_attr)}});
+  }
+  return specs;
+}
+
+Result<std::vector<Marginal>> ComputeMarginals(
+    const Dataset& dataset, std::span<const MarginalSpec> specs,
+    std::span<const uint32_t> rows) {
+  std::vector<Marginal> marginals;
+  marginals.reserve(specs.size());
+  for (const MarginalSpec& spec : specs) {
+    IREDUCT_ASSIGN_OR_RETURN(Marginal m,
+                             Marginal::Compute(dataset, spec, rows));
+    marginals.push_back(std::move(m));
+  }
+  return marginals;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,33 @@
+// Enumeration and batch computation of marginal collections: all j-way
+// marginals (the Section 6.3/6.4 tasks) and the classifier set of
+// Section 6.5 (the class attribute's 1D marginal plus one 2D marginal per
+// feature x class pair).
+#ifndef IREDUCT_MARGINALS_MARGINAL_SET_H_
+#define IREDUCT_MARGINALS_MARGINAL_SET_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "marginals/marginal.h"
+
+namespace ireduct {
+
+/// All (num_attributes choose k) k-way marginal specs, in lexicographic
+/// attribute order. Requires 1 <= k <= num_attributes.
+Result<std::vector<MarginalSpec>> AllKWaySpecs(const Schema& schema, int k);
+
+/// The Naive Bayes marginal set (Section 6.5): the 1D marginal on
+/// `class_attr` followed by {feature, class_attr} 2D marginals for every
+/// other attribute.
+Result<std::vector<MarginalSpec>> ClassifierSpecs(const Schema& schema,
+                                                  size_t class_attr);
+
+/// Computes each spec over `dataset` (optionally restricted to `rows`).
+Result<std::vector<Marginal>> ComputeMarginals(
+    const Dataset& dataset, std::span<const MarginalSpec> specs,
+    std::span<const uint32_t> rows = {});
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_MARGINALS_MARGINAL_SET_H_

@@ -1,0 +1,53 @@
+#include "marginals/marginal_workload.h"
+
+namespace ireduct {
+
+namespace {
+// One tuple change moves two cells of every marginal by one each
+// (Section 5.1: sensitivity of a marginal set is 2·|M|).
+constexpr double kMarginalSensitivity = 2.0;
+}  // namespace
+
+Result<MarginalWorkload> MarginalWorkload::Create(
+    std::vector<Marginal> marginals) {
+  if (marginals.empty()) {
+    return Status::InvalidArgument("need at least one marginal");
+  }
+  std::vector<double> answers;
+  std::vector<QueryGroup> groups;
+  uint32_t offset = 0;
+  for (size_t i = 0; i < marginals.size(); ++i) {
+    const Marginal& m = marginals[i];
+    answers.insert(answers.end(), m.counts().begin(), m.counts().end());
+    const uint32_t cells = static_cast<uint32_t>(m.num_cells());
+    groups.push_back(QueryGroup{"M" + std::to_string(i), offset,
+                                offset + cells, kMarginalSensitivity});
+    offset += cells;
+  }
+  IREDUCT_ASSIGN_OR_RETURN(
+      Workload workload, Workload::Create(std::move(answers),
+                                          std::move(groups)));
+  return MarginalWorkload(std::move(marginals), std::move(workload));
+}
+
+Result<std::vector<Marginal>> MarginalWorkload::ToMarginals(
+    std::span<const double> answers) const {
+  if (answers.size() != workload_.num_queries()) {
+    return Status::InvalidArgument("answer vector size mismatch");
+  }
+  std::vector<Marginal> noisy;
+  noisy.reserve(marginals_.size());
+  size_t offset = 0;
+  for (const Marginal& m : marginals_) {
+    std::vector<double> counts(answers.begin() + offset,
+                               answers.begin() + offset + m.num_cells());
+    IREDUCT_ASSIGN_OR_RETURN(
+        Marginal rebuilt,
+        Marginal::FromCounts(m.spec(), m.domain_sizes(), std::move(counts)));
+    noisy.push_back(std::move(rebuilt));
+    offset += m.num_cells();
+  }
+  return noisy;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,43 @@
+// Bridges marginal collections and the mechanism layer: flattens a set of
+// marginals into a grouped Workload (one group per marginal, sensitivity
+// coefficient 2 — changing one tuple moves exactly two cells of each
+// marginal by one, Section 5.1) and reconstructs noisy marginals from a
+// mechanism's flat answer vector.
+#ifndef IREDUCT_MARGINALS_MARGINAL_WORKLOAD_H_
+#define IREDUCT_MARGINALS_MARGINAL_WORKLOAD_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "dp/workload.h"
+#include "marginals/marginal.h"
+
+namespace ireduct {
+
+/// A marginal collection in workload form.
+class MarginalWorkload {
+ public:
+  /// Flattens `marginals` (cells in row-major order, marginal by marginal).
+  static Result<MarginalWorkload> Create(std::vector<Marginal> marginals);
+
+  const Workload& workload() const { return workload_; }
+  size_t num_marginals() const { return marginals_.size(); }
+  const Marginal& marginal(size_t i) const { return marginals_[i]; }
+
+  /// Rebuilds per-marginal tables from a mechanism's flat published
+  /// answers (`answers.size()` must equal the workload's query count).
+  Result<std::vector<Marginal>> ToMarginals(
+      std::span<const double> answers) const;
+
+ private:
+  MarginalWorkload(std::vector<Marginal> marginals, Workload workload)
+      : marginals_(std::move(marginals)), workload_(std::move(workload)) {}
+
+  std::vector<Marginal> marginals_;
+  Workload workload_;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_MARGINALS_MARGINAL_WORKLOAD_H_

@@ -1,0 +1,153 @@
+#include "marginals/postprocess.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/numeric.h"
+
+namespace ireduct {
+
+namespace {
+
+Marginal WithCounts(const Marginal& original, std::vector<double> counts) {
+  auto rebuilt = Marginal::FromCounts(original.spec(),
+                                      original.domain_sizes(),
+                                      std::move(counts));
+  IREDUCT_CHECK(rebuilt.ok());
+  return std::move(rebuilt).value();
+}
+
+}  // namespace
+
+Marginal ClampNonNegative(const Marginal& marginal) {
+  std::vector<double> counts(marginal.counts().begin(),
+                             marginal.counts().end());
+  for (double& c : counts) c = std::fmax(c, 0.0);
+  return WithCounts(marginal, std::move(counts));
+}
+
+Marginal RoundCounts(const Marginal& marginal) {
+  std::vector<double> counts(marginal.counts().begin(),
+                             marginal.counts().end());
+  for (double& c : counts) c = std::round(c);
+  return WithCounts(marginal, std::move(counts));
+}
+
+namespace {
+
+// Positions (indices into fine.spec().attributes) of the coarse attributes
+// within the fine spec, or an error if not a subsequence.
+Result<std::vector<size_t>> SubsequencePositions(const MarginalSpec& fine,
+                                                 const MarginalSpec& coarse) {
+  std::vector<size_t> positions;
+  size_t cursor = 0;
+  for (uint32_t attr : coarse.attributes) {
+    while (cursor < fine.attributes.size() &&
+           fine.attributes[cursor] != attr) {
+      ++cursor;
+    }
+    if (cursor == fine.attributes.size()) {
+      return Status::InvalidArgument(
+          "coarse attributes are not a subsequence of the fine marginal's");
+    }
+    positions.push_back(cursor++);
+  }
+  return positions;
+}
+
+}  // namespace
+
+Result<Marginal> ProjectMarginal(const Marginal& marginal,
+                                 std::span<const uint32_t> keep) {
+  MarginalSpec coarse_spec;
+  coarse_spec.attributes.assign(keep.begin(), keep.end());
+  IREDUCT_ASSIGN_OR_RETURN(
+      std::vector<size_t> positions,
+      SubsequencePositions(marginal.spec(), coarse_spec));
+
+  std::vector<uint32_t> coarse_domains;
+  for (size_t p : positions) {
+    coarse_domains.push_back(marginal.domain_sizes()[p]);
+  }
+  IREDUCT_ASSIGN_OR_RETURN(
+      Marginal coarse,
+      Marginal::FromCounts(coarse_spec, coarse_domains,
+                           std::vector<double>(
+                               [&] {
+                                 size_t cells = 1;
+                                 for (uint32_t d : coarse_domains) cells *= d;
+                                 return cells;
+                               }(),
+                               0.0)));
+
+  std::vector<double> counts(coarse.num_cells(), 0.0);
+  std::vector<uint16_t> coarse_coords(positions.size());
+  for (size_t cell = 0; cell < marginal.num_cells(); ++cell) {
+    const std::vector<uint16_t> coords = marginal.CellCoordinates(cell);
+    for (size_t i = 0; i < positions.size(); ++i) {
+      coarse_coords[i] = coords[positions[i]];
+    }
+    counts[coarse.CellIndex(coarse_coords)] += marginal.count(cell);
+  }
+  return Marginal::FromCounts(coarse_spec, std::move(coarse_domains),
+                              std::move(counts));
+}
+
+double MeanTotal(std::span<const Marginal> marginals) {
+  IREDUCT_CHECK(!marginals.empty());
+  KahanSum acc;
+  for (const Marginal& m : marginals) acc.Add(m.Total());
+  return acc.value() / marginals.size();
+}
+
+std::vector<Marginal> EnforceTotal(std::vector<Marginal> marginals,
+                                   double target_total) {
+  std::vector<Marginal> out;
+  out.reserve(marginals.size());
+  for (Marginal& m : marginals) {
+    const double shift = (target_total - m.Total()) / m.num_cells();
+    std::vector<double> counts(m.counts().begin(), m.counts().end());
+    for (double& c : counts) c += shift;
+    out.push_back(WithCounts(m, std::move(counts)));
+  }
+  return out;
+}
+
+Result<Marginal> FitProjection(const Marginal& fine, const Marginal& coarse) {
+  IREDUCT_ASSIGN_OR_RETURN(
+      std::vector<size_t> positions,
+      SubsequencePositions(fine.spec(), coarse.spec()));
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (fine.domain_sizes()[positions[i]] != coarse.domain_sizes()[i]) {
+      return Status::InvalidArgument("domain sizes disagree");
+    }
+  }
+
+  // Group the fine cells by their coarse cell; spread each residual evenly.
+  const size_t coarse_cells = coarse.num_cells();
+  std::vector<double> projected(coarse_cells, 0.0);
+  std::vector<double> group_size(coarse_cells, 0.0);
+  std::vector<size_t> coarse_of(fine.num_cells());
+  std::vector<uint16_t> coarse_coords(positions.size());
+  for (size_t cell = 0; cell < fine.num_cells(); ++cell) {
+    const std::vector<uint16_t> coords = fine.CellCoordinates(cell);
+    for (size_t i = 0; i < positions.size(); ++i) {
+      coarse_coords[i] = coords[positions[i]];
+    }
+    const size_t cc = coarse.CellIndex(coarse_coords);
+    coarse_of[cell] = cc;
+    projected[cc] += fine.count(cell);
+    group_size[cc] += 1.0;
+  }
+
+  std::vector<double> counts(fine.counts().begin(), fine.counts().end());
+  for (size_t cell = 0; cell < counts.size(); ++cell) {
+    const size_t cc = coarse_of[cell];
+    counts[cell] += (coarse.count(cc) - projected[cc]) / group_size[cc];
+  }
+  return Marginal::FromCounts(fine.spec(), fine.domain_sizes(),
+                              std::move(counts));
+}
+
+}  // namespace ireduct

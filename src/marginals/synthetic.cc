@@ -1,0 +1,146 @@
+#include "marginals/synthetic.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "dp/workload.h"
+#include "eval/metrics.h"
+#include "marginals/marginal_set.h"
+#include "marginals/marginal_workload.h"
+
+namespace ireduct {
+
+namespace {
+
+// Clamp noisy counts into usable non-negative weights. The +1 floor
+// matches the paper's classifier post-processing (y <- max{y+1, 1}).
+double UsableCount(double noisy) { return std::fmax(noisy + 1.0, 1.0); }
+
+// Categorical sampler over cumulative weights.
+class Sampler {
+ public:
+  explicit Sampler(std::vector<double> weights) : cumulative_(weights) {
+    double total = 0;
+    for (double& c : cumulative_) {
+      IREDUCT_CHECK(c >= 0);
+      total += c;
+      c = total;
+    }
+    IREDUCT_CHECK(total > 0);
+    for (double& c : cumulative_) c /= total;
+    cumulative_.back() = 1.0;
+  }
+
+  uint16_t Sample(BitGen& gen) const {
+    const double u = gen.Uniform();
+    size_t lo = 0, hi = cumulative_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<uint16_t>(lo);
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+Result<Dataset> SynthesizeFromClassifierMarginals(
+    const Schema& schema, size_t class_attr,
+    const std::vector<Marginal>& marginals, uint64_t rows, BitGen& gen) {
+  if (class_attr >= schema.num_attributes()) {
+    return Status::OutOfRange("class attribute index out of range");
+  }
+  if (marginals.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "expected the ClassifierSpecs marginal layout");
+  }
+  if (rows == 0) {
+    return Status::InvalidArgument("row count must be positive");
+  }
+  const Marginal& class_marginal = marginals[0];
+  if (class_marginal.spec().attributes !=
+      std::vector<uint32_t>{static_cast<uint32_t>(class_attr)}) {
+    return Status::InvalidArgument(
+        "marginals[0] must be the 1D class marginal");
+  }
+  const uint32_t num_classes = schema.attribute(class_attr).domain_size;
+
+  // Class prior.
+  std::vector<double> prior(num_classes);
+  for (uint32_t c = 0; c < num_classes; ++c) {
+    prior[c] = UsableCount(class_marginal.count(c));
+  }
+  const Sampler class_sampler{std::move(prior)};
+
+  // Per-feature, per-class conditional samplers.
+  struct Feature {
+    uint32_t attribute;
+    std::vector<Sampler> by_class;  // one sampler per class value
+  };
+  std::vector<Feature> features;
+  size_t next = 1;
+  for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+    if (a == class_attr) continue;
+    const Marginal& m = marginals[next++];
+    if (m.spec().attributes !=
+        std::vector<uint32_t>{a, static_cast<uint32_t>(class_attr)}) {
+      return Status::InvalidArgument(
+          "feature marginals must be {feature, class} in attribute order");
+    }
+    const uint32_t domain = schema.attribute(a).domain_size;
+    Feature feature;
+    feature.attribute = a;
+    for (uint32_t c = 0; c < num_classes; ++c) {
+      std::vector<double> weights(domain);
+      for (uint32_t v = 0; v < domain; ++v) {
+        weights[v] =
+            UsableCount(m.count(static_cast<size_t>(v) * num_classes + c));
+      }
+      feature.by_class.emplace_back(std::move(weights));
+    }
+    features.push_back(std::move(feature));
+  }
+
+  Dataset synthetic(schema);
+  synthetic.Reserve(rows);
+  std::vector<uint16_t> row(schema.num_attributes());
+  for (uint64_t r = 0; r < rows; ++r) {
+    const uint16_t cls = class_sampler.Sample(gen);
+    row[class_attr] = cls;
+    for (const Feature& f : features) {
+      row[f.attribute] = f.by_class[cls].Sample(gen);
+    }
+    IREDUCT_RETURN_NOT_OK(synthetic.AppendRow(row));
+  }
+  return synthetic;
+}
+
+Result<double> SyntheticMarginalError(const Dataset& original,
+                                      const Dataset& synthetic,
+                                      std::span<const MarginalSpec> specs,
+                                      double delta) {
+  IREDUCT_ASSIGN_OR_RETURN(std::vector<Marginal> truth,
+                           ComputeMarginals(original, specs));
+  IREDUCT_ASSIGN_OR_RETURN(std::vector<Marginal> synth,
+                           ComputeMarginals(synthetic, specs));
+  // Rescale the synthetic counts to the original cardinality so the error
+  // measures distribution shape, not table size.
+  const double scale = static_cast<double>(original.num_rows()) /
+                       static_cast<double>(synthetic.num_rows());
+  IREDUCT_ASSIGN_OR_RETURN(MarginalWorkload workload,
+                           MarginalWorkload::Create(std::move(truth)));
+  std::vector<double> answers;
+  for (const Marginal& m : synth) {
+    for (double c : m.counts()) answers.push_back(c * scale);
+  }
+  return OverallError(workload.workload(), answers, delta);
+}
+
+}  // namespace ireduct

@@ -1,0 +1,45 @@
+// Synthetic record release from noisy marginals (paper Conclusion: "our
+// technique for generating marginals could be used as a basis for
+// releasing a table of 'synthetic' records").
+//
+// Given the classifier-style marginal set (the class attribute's 1D
+// marginal plus one {feature, class} 2D marginal per feature — see
+// ClassifierSpecs), this module fits the corresponding naive-Bayes-factored
+// joint
+//   P(class, features) = P(class) · Π_f P(feature_f | class)
+// to the (post-processed) noisy counts and samples any number of synthetic
+// rows. Because the inputs are differentially private and sampling touches
+// no private data, the synthetic table inherits the marginals' ε guarantee.
+#ifndef IREDUCT_MARGINALS_SYNTHETIC_H_
+#define IREDUCT_MARGINALS_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/dataset.h"
+#include "marginals/marginal.h"
+
+namespace ireduct {
+
+/// Samples `rows` synthetic records over `schema` from the naive-Bayes
+/// model fitted to `marginals` (laid out as produced by
+/// ClassifierSpecs(schema, class_attr)). Noisy counts are clamped to a
+/// small positive floor before normalization, so negative/zero noisy cells
+/// are handled gracefully.
+Result<Dataset> SynthesizeFromClassifierMarginals(
+    const Schema& schema, size_t class_attr,
+    const std::vector<Marginal>& marginals, uint64_t rows, BitGen& gen);
+
+/// Fidelity metric for a synthetic table: the overall error (Definition 6
+/// with sanity bound `delta`) of the synthetic table's marginals against
+/// the original table's, over the given specs. Lower is better.
+Result<double> SyntheticMarginalError(const Dataset& original,
+                                      const Dataset& synthetic,
+                                      std::span<const MarginalSpec> specs,
+                                      double delta);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_MARGINALS_SYNTHETIC_H_

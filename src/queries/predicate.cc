@@ -1,0 +1,61 @@
+#include "queries/predicate.h"
+
+namespace ireduct {
+
+std::string ConjunctiveQuery::ToString(const Schema& schema) const {
+  if (predicates.empty()) return "TRUE";
+  std::string out;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += schema.attribute(predicates[i].attribute).name;
+    out += '=';
+    out += std::to_string(predicates[i].value);
+  }
+  return out;
+}
+
+Status ValidateQuery(const Schema& schema, const ConjunctiveQuery& query) {
+  for (const EqualityPredicate& p : query.predicates) {
+    if (p.attribute >= schema.num_attributes()) {
+      return Status::OutOfRange("predicate attribute out of range");
+    }
+    if (p.value >= schema.attribute(p.attribute).domain_size) {
+      return Status::OutOfRange("predicate value outside domain of '" +
+                                schema.attribute(p.attribute).name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> EvaluateQuery(const Dataset& dataset,
+                             const ConjunctiveQuery& query) {
+  IREDUCT_RETURN_NOT_OK(ValidateQuery(dataset.schema(), query));
+  size_t count = 0;
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    bool match = true;
+    for (const EqualityPredicate& p : query.predicates) {
+      if (dataset.value(r, p.attribute) != p.value) {
+        match = false;
+        break;
+      }
+    }
+    count += match;
+  }
+  return static_cast<double>(count);
+}
+
+Result<Workload> BuildPredicateWorkload(
+    const Dataset& dataset, std::span<const ConjunctiveQuery> queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("need at least one query");
+  }
+  std::vector<double> answers;
+  answers.reserve(queries.size());
+  for (const ConjunctiveQuery& q : queries) {
+    IREDUCT_ASSIGN_OR_RETURN(double answer, EvaluateQuery(dataset, q));
+    answers.push_back(answer);
+  }
+  return Workload::PerQuery(std::move(answers), /*sensitivity_coeff=*/1.0);
+}
+
+}  // namespace ireduct

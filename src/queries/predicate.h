@@ -1,0 +1,54 @@
+// Conjunctive predicate count queries over categorical datasets: the
+// generic "batch of counting queries" setting of the paper's Section 2,
+// evaluated directly against a Dataset.
+//
+//   ConjunctiveQuery{{ {kAge, 30}, {kGender, 1} }}  counts rows with
+//   Age = 30 AND Gender = 1.
+//
+// A single tuple change alters each conjunctive count by at most 1, so a
+// batch maps onto the grouped workload with singleton groups of
+// coefficient 1 (additively conservative when queries overlap).
+#ifndef IREDUCT_QUERIES_PREDICATE_H_
+#define IREDUCT_QUERIES_PREDICATE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+
+/// attribute == value.
+struct EqualityPredicate {
+  uint32_t attribute = 0;
+  uint16_t value = 0;
+};
+
+/// AND of equality predicates; empty means "count all rows".
+struct ConjunctiveQuery {
+  std::vector<EqualityPredicate> predicates;
+
+  /// Human-readable form like "Age=30 AND Gender=1".
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Validates a query against a schema (attribute indices and values in
+/// domain). Contradictory predicates (same attribute, different values)
+/// are legal; they simply count zero rows.
+Status ValidateQuery(const Schema& schema, const ConjunctiveQuery& query);
+
+/// Number of rows of `dataset` matching all predicates.
+Result<double> EvaluateQuery(const Dataset& dataset,
+                             const ConjunctiveQuery& query);
+
+/// Builds a batch workload with one singleton group per query.
+Result<Workload> BuildPredicateWorkload(
+    const Dataset& dataset, std::span<const ConjunctiveQuery> queries);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_QUERIES_PREDICATE_H_

@@ -1,0 +1,85 @@
+#include "queries/range_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/numeric.h"
+
+namespace ireduct {
+
+Result<double> RangeCountAnswer(std::span<const double> histogram,
+                                const BinRange& range) {
+  if (range.lo > range.hi || range.hi >= histogram.size()) {
+    return Status::OutOfRange("invalid bin range");
+  }
+  KahanSum acc;
+  for (uint32_t b = range.lo; b <= range.hi; ++b) acc.Add(histogram[b]);
+  return acc.value();
+}
+
+Result<Workload> BuildRangeWorkload(std::span<const double> histogram,
+                                    std::span<const BinRange> ranges) {
+  if (ranges.empty()) {
+    return Status::InvalidArgument("need at least one range query");
+  }
+  std::vector<double> answers;
+  answers.reserve(ranges.size());
+  for (const BinRange& r : ranges) {
+    IREDUCT_ASSIGN_OR_RETURN(double answer, RangeCountAnswer(histogram, r));
+    answers.push_back(answer);
+  }
+  return Workload::PerQuery(std::move(answers), /*sensitivity_coeff=*/1.0);
+}
+
+std::vector<BinRange> PrefixRanges(size_t bins) {
+  std::vector<BinRange> ranges;
+  ranges.reserve(bins);
+  for (uint32_t b = 0; b < bins; ++b) {
+    ranges.push_back(BinRange{0, b});
+  }
+  return ranges;
+}
+
+Result<Workload> DisjointHistogramWorkload(std::span<const double> histogram,
+                                           size_t groups_of) {
+  if (histogram.empty() || groups_of == 0) {
+    return Status::InvalidArgument("histogram and group size must be set");
+  }
+  std::vector<double> answers(histogram.begin(), histogram.end());
+  std::vector<QueryGroup> groups;
+  for (uint32_t begin = 0; begin < answers.size();
+       begin += static_cast<uint32_t>(groups_of)) {
+    const uint32_t end = std::min<uint32_t>(
+        begin + static_cast<uint32_t>(groups_of),
+        static_cast<uint32_t>(answers.size()));
+    // The additive coefficient 2 would be used by mechanisms' heuristics;
+    // the exact GS below overrides the budget arithmetic.
+    groups.push_back(
+        QueryGroup{"bins" + std::to_string(begin), begin, end, 2.0});
+  }
+  return Workload::CreateWithSensitivityFn(
+      std::move(answers), std::move(groups),
+      [](std::span<const double> scales) {
+        double min_scale = scales[0];
+        for (double s : scales) min_scale = std::min(min_scale, s);
+        return 2.0 / min_scale;
+      });
+}
+
+std::vector<BinRange> RandomRanges(size_t bins, size_t count, BitGen& gen) {
+  std::vector<BinRange> ranges;
+  ranges.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // Geometric spread of lengths: len = 2^k capped at bins.
+    const uint64_t max_pow = static_cast<uint64_t>(std::log2(bins)) + 1;
+    const uint64_t len = std::min<uint64_t>(
+        bins, uint64_t{1} << gen.UniformInt(max_pow));
+    const uint32_t lo =
+        static_cast<uint32_t>(gen.UniformInt(bins - len + 1));
+    ranges.push_back(
+        BinRange{lo, static_cast<uint32_t>(lo + len - 1)});
+  }
+  return ranges;
+}
+
+}  // namespace ireduct

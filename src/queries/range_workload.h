@@ -1,0 +1,63 @@
+// Range-count query workloads over 1D histograms — the selectivity-
+// estimation setting the paper's introduction motivates (and the query
+// family the absolute-error baselines of Section 7 target).
+//
+// Each query counts the tuples whose (binned) attribute value falls in an
+// inclusive bin range. Changing one tuple moves it between two bins, so a
+// single range count changes by at most 1; the grouped-workload model's
+// additive generalized sensitivity Σ 1/λ_q is therefore a valid (possibly
+// conservative, for heavily overlapping ranges) budget bound.
+#ifndef IREDUCT_QUERIES_RANGE_WORKLOAD_H_
+#define IREDUCT_QUERIES_RANGE_WORKLOAD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+
+/// An inclusive bin range [lo, hi].
+struct BinRange {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+};
+
+/// True answer of one range count over a histogram.
+Result<double> RangeCountAnswer(std::span<const double> histogram,
+                                const BinRange& range);
+
+/// Builds a batch workload with one singleton group per range query
+/// (per-tuple sensitivity 1 each).
+Result<Workload> BuildRangeWorkload(std::span<const double> histogram,
+                                    std::span<const BinRange> ranges);
+
+/// All prefix ranges [0, b] — the classic cumulative-distribution query
+/// set used to compare against hierarchical methods.
+std::vector<BinRange> PrefixRanges(size_t bins);
+
+/// `count` random ranges with lengths geometrically spread between 1 and
+/// `bins`, drawn with `gen` — a mixed workload exercising both point-like
+/// and wide queries.
+std::vector<BinRange> RandomRanges(size_t bins, size_t count, BitGen& gen);
+
+/// Workload over the *bins themselves*, grouped into `groups_of` equal
+/// consecutive runs, with the EXACT generalized sensitivity for disjoint
+/// cells: one moved tuple leaves one bin and enters another, so
+///   GS(Λ) = max(2/λ_g over same-group pairs,
+///               1/λ_g + 1/λ_h over cross-group pairs) = 2/min_g λ_g
+/// — far tighter than the additive Σ 1/λ bound. Because GS depends only
+/// on the smallest scale, uniform scales are optimal for a plain
+/// histogram (the same §5.3 observation the paper makes for a single
+/// marginal); this builder mainly exists so that histogram tasks are not
+/// mis-modeled with the additive bound (see bench/ablation_absolute_error
+/// history in DESIGN.md).
+Result<Workload> DisjointHistogramWorkload(std::span<const double> histogram,
+                                           size_t groups_of = 1);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_QUERIES_RANGE_WORKLOAD_H_

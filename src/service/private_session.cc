@@ -1,0 +1,91 @@
+#include "service/private_session.h"
+
+#include <cmath>
+
+#include "algorithms/geometric.h"
+#include "marginals/marginal_set.h"
+#include "marginals/marginal_workload.h"
+
+namespace ireduct {
+
+Result<PrivateQuerySession> PrivateQuerySession::Create(
+    const Dataset* dataset, double epsilon_budget, uint64_t seed) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset must not be null");
+  }
+  IREDUCT_ASSIGN_OR_RETURN(PrivacyAccountant accountant,
+                           PrivacyAccountant::Create(epsilon_budget));
+  return PrivateQuerySession(
+      dataset,
+      std::make_unique<PrivacyAccountant>(std::move(accountant)), seed);
+}
+
+Result<double> PrivateQuerySession::CountQuery(const ConjunctiveQuery& query,
+                                               double epsilon,
+                                               CountNoise noise) {
+  if (!(epsilon > 0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive finite");
+  }
+  IREDUCT_ASSIGN_OR_RETURN(const double truth,
+                           EvaluateQuery(*dataset_, query));
+  // Charge before sampling; a refused charge must release nothing.
+  IREDUCT_RETURN_NOT_OK(accountant_->Charge(
+      "count " + query.ToString(dataset_->schema()), epsilon));
+  if (noise == CountNoise::kLaplace) {
+    // Per-tuple sensitivity 1 for a conjunctive count.
+    return truth + gen_.Laplace(1.0 / epsilon);
+  }
+  IREDUCT_ASSIGN_OR_RETURN(const int64_t eta,
+                           TwoSidedGeometric(std::exp(-epsilon), gen_));
+  return std::round(truth) + static_cast<double>(eta);
+}
+
+Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
+    std::span<const MarginalSpec> specs, double epsilon, double delta,
+    int lambda_steps) {
+  if (!(epsilon > 0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive finite");
+  }
+  if (lambda_steps < 2) {
+    return Status::InvalidArgument("lambda_steps must be >= 2");
+  }
+  if (!accountant_->CanAfford(epsilon)) {
+    return Status::PrivacyBudgetExceeded(
+        "marginal release does not fit the remaining budget");
+  }
+  IREDUCT_ASSIGN_OR_RETURN(std::vector<Marginal> marginals,
+                           ComputeMarginals(*dataset_, specs));
+  IREDUCT_ASSIGN_OR_RETURN(MarginalWorkload workload,
+                           MarginalWorkload::Create(std::move(marginals)));
+  IReductParams params;
+  params.epsilon = epsilon;
+  params.delta = delta;
+  // λmax: a tenth of the dataset, the paper's default reading of "the
+  // largest amount of noise a user would accept".
+  params.lambda_max =
+      std::fmax(static_cast<double>(dataset_->num_rows()) / 10.0,
+                2 * workload.workload().Sensitivity() / epsilon);
+  params.lambda_delta = params.lambda_max / lambda_steps;
+  IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out,
+                           RunIReduct(workload.workload(), params, gen_));
+  IREDUCT_RETURN_NOT_OK(
+      accountant_->Charge("marginal release (iReduct)", out.epsilon_spent));
+  MarginalRelease release;
+  release.epsilon_spent = out.epsilon_spent;
+  IREDUCT_ASSIGN_OR_RETURN(release.marginals,
+                           workload.ToMarginals(out.answers));
+  return release;
+}
+
+Result<NoiseDownChain> PrivateQuerySession::StartRefinableCount(
+    const ConjunctiveQuery& query, double initial_scale) {
+  IREDUCT_ASSIGN_OR_RETURN(const double truth,
+                           EvaluateQuery(*dataset_, query));
+  NoiseDownChainOptions options;
+  options.sensitivity = 1.0;
+  options.reducer = ChainReducer::kExactCoupling;
+  return NoiseDownChain::Start(truth, initial_scale, options, *accountant_,
+                               gen_);
+}
+
+}  // namespace ireduct

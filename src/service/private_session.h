@@ -1,0 +1,99 @@
+// PrivateQuerySession: the library's front door for interactive use.
+//
+// Owns a dataset and a total ε budget, and answers ad-hoc requests until
+// the budget runs out, charging a PrivacyAccountant for every release:
+//
+//   * CountQuery     — one conjunctive predicate count (Laplace or
+//                      geometric noise at a caller-chosen ε slice);
+//   * PublishMarginals — a batch of marginals through any of the batch
+//                      mechanisms (iReduct by default);
+//   * StartRefinableCount — a progressively refinable count backed by a
+//                      NoiseDown chain, so an analyst can buy accuracy
+//                      incrementally instead of up front.
+//
+// Everything returned is safe to publish; the session never exposes true
+// answers. The batch mechanisms consume their slice via the accountant,
+// so interleaving ad-hoc counts and marginal releases composes correctly
+// (sequential composition, Proposition 3's argument).
+#ifndef IREDUCT_SERVICE_PRIVATE_SESSION_H_
+#define IREDUCT_SERVICE_PRIVATE_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "algorithms/ireduct.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "data/dataset.h"
+#include "dp/noise_down_chain.h"
+#include "dp/privacy_accountant.h"
+#include "marginals/marginal.h"
+#include "queries/predicate.h"
+
+namespace ireduct {
+
+/// Noise family for scalar counts.
+enum class CountNoise {
+  kLaplace,
+  kGeometric,  // integer-valued output
+};
+
+/// A published set of marginals plus its cost.
+struct MarginalRelease {
+  std::vector<Marginal> marginals;
+  double epsilon_spent = 0;
+};
+
+/// An interactive ε-budgeted view over one dataset.
+class PrivateQuerySession {
+ public:
+  /// Creates a session over `dataset` (borrowed; must outlive the
+  /// session) with the given total budget and RNG seed.
+  static Result<PrivateQuerySession> Create(const Dataset* dataset,
+                                            double epsilon_budget,
+                                            uint64_t seed);
+
+  double budget() const { return accountant_->budget(); }
+  double spent() const { return accountant_->spent(); }
+  double remaining() const { return accountant_->remaining(); }
+  /// Labelled record of every charge so far.
+  const std::vector<PrivacyCharge>& ledger() const {
+    return accountant_->ledger();
+  }
+
+  /// Answers one predicate count with `epsilon` of the budget.
+  Result<double> CountQuery(const ConjunctiveQuery& query, double epsilon,
+                            CountNoise noise = CountNoise::kLaplace);
+
+  /// Publishes the given marginals through iReduct with `epsilon` of the
+  /// budget. `lambda_steps` controls the reduction resolution
+  /// (λΔ = λmax/steps); `delta` is the sanity bound driving reallocation.
+  Result<MarginalRelease> PublishMarginals(
+      std::span<const MarginalSpec> specs, double epsilon, double delta,
+      int lambda_steps = 200);
+
+  /// Starts a refinable count at `initial_scale` noise; refine through the
+  /// returned chain (each Reduce draws from this session's budget). The
+  /// chain borrows this session's accountant, so the session must outlive
+  /// it.
+  Result<NoiseDownChain> StartRefinableCount(const ConjunctiveQuery& query,
+                                             double initial_scale);
+
+  /// The session's RNG — pass to NoiseDownChain::Reduce for reproducible
+  /// refinement streams.
+  BitGen& rng() { return gen_; }
+
+ private:
+  PrivateQuerySession(const Dataset* dataset,
+                      std::unique_ptr<PrivacyAccountant> accountant,
+                      uint64_t seed)
+      : dataset_(dataset), accountant_(std::move(accountant)), gen_(seed) {}
+
+  const Dataset* dataset_;
+  std::unique_ptr<PrivacyAccountant> accountant_;
+  BitGen gen_;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_SERVICE_PRIVATE_SESSION_H_

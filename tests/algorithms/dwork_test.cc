@@ -1,0 +1,77 @@
+#include "algorithms/dwork.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+Workload MakeWorkload() {
+  auto r = Workload::Create(
+      {10, 10000},
+      {QueryGroup{"rare", 0, 1, 1.0}, QueryGroup{"common", 1, 2, 1.0}});
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(DworkTest, ValidatesEpsilon) {
+  BitGen gen(1);
+  const Workload w = MakeWorkload();
+  EXPECT_FALSE(RunDwork(w, DworkParams{0}, gen).ok());
+  EXPECT_FALSE(RunDwork(w, DworkParams{-1}, gen).ok());
+}
+
+TEST(DworkTest, UniformScaleEqualsSensitivityOverEpsilon) {
+  BitGen gen(2);
+  const Workload w = MakeWorkload();
+  auto out = RunDwork(w, DworkParams{0.5}, gen);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->group_scales.size(), 2u);
+  EXPECT_DOUBLE_EQ(out->group_scales[0], 2.0 / 0.5);  // S(Q)=2
+  EXPECT_DOUBLE_EQ(out->group_scales[0], out->group_scales[1]);
+  EXPECT_DOUBLE_EQ(out->epsilon_spent, 0.5);
+}
+
+TEST(DworkTest, BudgetIsFullyUsed) {
+  BitGen gen(3);
+  const Workload w = MakeWorkload();
+  auto out = RunDwork(w, DworkParams{0.25}, gen);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(w.GeneralizedSensitivity(out->group_scales), 0.25, 1e-12);
+}
+
+TEST(DworkTest, SmallAnswersSufferLargerRelativeError) {
+  // The motivating observation of the paper: uniform noise drowns small
+  // counts. Average over many runs.
+  const Workload w = MakeWorkload();
+  double rare_err = 0, common_err = 0;
+  const int trials = 3000;
+  BitGen gen(4);
+  for (int t = 0; t < trials; ++t) {
+    auto out = RunDwork(w, DworkParams{0.1}, gen);
+    ASSERT_TRUE(out.ok());
+    rare_err += RelativeError(out->answers[0], 10, 1.0);
+    common_err += RelativeError(out->answers[1], 10000, 1.0);
+  }
+  EXPECT_GT(rare_err / trials, 100 * (common_err / trials));
+}
+
+TEST(DworkTest, NoiseMagnitudeMatchesScale) {
+  const Workload w = MakeWorkload();
+  BitGen gen(5);
+  std::vector<double> noise;
+  for (int t = 0; t < 20000; ++t) {
+    auto out = RunDwork(w, DworkParams{1.0}, gen);
+    ASSERT_TRUE(out.ok());
+    noise.push_back(out->answers[0] - 10);
+  }
+  EXPECT_NEAR(Summarize(noise).mean_abs_deviation, 2.0, 0.1);  // S/ε = 2
+}
+
+}  // namespace
+}  // namespace ireduct

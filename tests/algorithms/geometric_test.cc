@@ -1,0 +1,121 @@
+#include "algorithms/geometric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+TEST(GeometricTest, TwoSidedGeometricValidatesAlpha) {
+  BitGen gen(1);
+  EXPECT_FALSE(TwoSidedGeometric(0.0, gen).ok());
+  EXPECT_FALSE(TwoSidedGeometric(1.0, gen).ok());
+  EXPECT_FALSE(TwoSidedGeometric(-0.5, gen).ok());
+  EXPECT_TRUE(TwoSidedGeometric(0.5, gen).ok());
+}
+
+TEST(GeometricTest, TwoSidedGeometricMatchesPmf) {
+  // Pr[k] = (1-α)/(1+α) · α^{|k|}.
+  const double alpha = 0.6;
+  BitGen gen(2);
+  std::map<int64_t, int> counts;
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) {
+    auto k = TwoSidedGeometric(alpha, gen);
+    ASSERT_TRUE(k.ok());
+    ++counts[*k];
+  }
+  const double norm = (1 - alpha) / (1 + alpha);
+  for (int64_t k = -3; k <= 3; ++k) {
+    const double expected = norm * std::pow(alpha, std::abs(k));
+    const double observed = counts[k] / static_cast<double>(n);
+    EXPECT_NEAR(observed, expected, 4 * std::sqrt(expected / n))
+        << "k=" << k;
+  }
+}
+
+TEST(GeometricTest, TwoSidedGeometricIsSymmetricAndCentered) {
+  BitGen gen(3);
+  std::vector<double> sample(200'000);
+  for (double& s : sample) {
+    auto k = TwoSidedGeometric(0.8, gen);
+    ASSERT_TRUE(k.ok());
+    s = static_cast<double>(*k);
+  }
+  const SampleSummary summary = Summarize(sample);
+  EXPECT_NEAR(summary.mean, 0.0, 0.05);
+  // Var = 2α/(1-α)² = 1.6/0.04 = 40.
+  EXPECT_NEAR(summary.variance, 40.0, 2.0);
+}
+
+TEST(GeometricTest, RunGeometricPublishesIntegers) {
+  auto w = Workload::PerQuery({10, 200, 3000});
+  ASSERT_TRUE(w.ok());
+  BitGen gen(4);
+  auto out = RunGeometric(*w, GeometricParams{0.5}, gen);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->answers.size(), 3u);
+  for (double a : out->answers) {
+    EXPECT_DOUBLE_EQ(a, std::round(a));
+  }
+  EXPECT_DOUBLE_EQ(out->epsilon_spent, 0.5);
+  // Equivalent Laplace scale S/ε = 3/0.5.
+  EXPECT_DOUBLE_EQ(out->group_scales[0], 6.0);
+}
+
+TEST(GeometricTest, RunGeometricValidatesEpsilon) {
+  auto w = Workload::PerQuery({1});
+  ASSERT_TRUE(w.ok());
+  BitGen gen(5);
+  EXPECT_FALSE(RunGeometric(*w, GeometricParams{0}, gen).ok());
+}
+
+TEST(GeometricTest, NoiseMagnitudeTracksLaplaceEquivalent) {
+  // E|two-sided geometric(α)| = 2α/(1-α²); with α = e^{-ε/S} this sits
+  // close to the Laplace scale S/ε for small ε.
+  auto w = Workload::PerQuery({1000});
+  ASSERT_TRUE(w.ok());
+  const double epsilon = 0.2;  // α = e^{-0.2}
+  BitGen gen(6);
+  std::vector<double> noise;
+  for (int t = 0; t < 60'000; ++t) {
+    auto out = RunGeometric(*w, GeometricParams{epsilon}, gen);
+    ASSERT_TRUE(out.ok());
+    noise.push_back(out->answers[0] - 1000);
+  }
+  const double alpha = std::exp(-epsilon);
+  const double expected_mad = 2 * alpha / (1 - alpha * alpha);
+  EXPECT_NEAR(Summarize(noise).mean_abs_deviation, expected_mad,
+              0.05 * expected_mad);
+}
+
+TEST(GeometricTest, EmpiricallyEpsilonDp) {
+  // Direct ratio check on the pmf of outputs for neighboring counts.
+  auto w1 = Workload::PerQuery({50});
+  auto w2 = Workload::PerQuery({51});
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  const double epsilon = 0.4;
+  BitGen g1(7), g2(8);
+  std::map<int64_t, int> c1, c2;
+  const int n = 300'000;
+  for (int t = 0; t < n; ++t) {
+    auto o1 = RunGeometric(*w1, GeometricParams{epsilon}, g1);
+    auto o2 = RunGeometric(*w2, GeometricParams{epsilon}, g2);
+    ++c1[static_cast<int64_t>(o1->answers[0])];
+    ++c2[static_cast<int64_t>(o2->answers[0])];
+  }
+  for (const auto& [k, count] : c1) {
+    if (count < 2000 || c2[k] < 2000) continue;
+    const double ratio =
+        std::fabs(std::log(static_cast<double>(count) / c2[k]));
+    EXPECT_LE(ratio, epsilon + 0.1) << "output " << k;
+  }
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,151 @@
+#include "algorithms/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+std::vector<double> SkewedHistogram(size_t bins) {
+  std::vector<double> counts(bins);
+  for (size_t b = 0; b < bins; ++b) {
+    counts[b] = 10'000.0 / (1 + b * b);  // heavy head, tiny tail
+  }
+  return counts;
+}
+
+TEST(HierarchicalTest, Validates) {
+  BitGen gen(1);
+  EXPECT_FALSE(
+      HierarchicalHistogram::Publish({}, HierarchicalParams{1.0}, gen).ok());
+  const std::vector<double> counts{1, 2, 3};
+  EXPECT_FALSE(
+      HierarchicalHistogram::Publish(counts, HierarchicalParams{0}, gen)
+          .ok());
+}
+
+TEST(HierarchicalTest, PadsToPowerOfTwo) {
+  BitGen gen(2);
+  const std::vector<double> counts{1, 2, 3, 4, 5};
+  auto h = HierarchicalHistogram::Publish(counts, HierarchicalParams{1.0},
+                                          gen);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_bins(), 5u);
+  EXPECT_EQ(h->height(), 4);  // 8 leaves -> 4 levels
+  EXPECT_EQ(h->BinCounts().size(), 5u);
+}
+
+TEST(HierarchicalTest, ConsistencyChildrenSumToParent) {
+  // The consistent estimates must make every range decomposition agree:
+  // sum of leaves == any canonical decomposition of the same range.
+  BitGen gen(3);
+  const std::vector<double> counts = SkewedHistogram(16);
+  auto h = HierarchicalHistogram::Publish(counts, HierarchicalParams{0.5},
+                                          gen);
+  ASSERT_TRUE(h.ok());
+  double leaf_sum = 0;
+  for (size_t b = 0; b < 16; ++b) leaf_sum += h->BinCount(b);
+  auto full_range = h->RangeCount(0, 15);
+  ASSERT_TRUE(full_range.ok());
+  EXPECT_NEAR(*full_range, leaf_sum, 1e-9);
+  // Arbitrary sub-ranges also match their leaf sums.
+  for (auto [lo, hi] : std::vector<std::pair<size_t, size_t>>{
+           {0, 0}, {3, 9}, {5, 15}, {7, 8}}) {
+    double expected = 0;
+    for (size_t b = lo; b <= hi; ++b) expected += h->BinCount(b);
+    auto range = h->RangeCount(lo, hi);
+    ASSERT_TRUE(range.ok());
+    EXPECT_NEAR(*range, expected, 1e-9) << lo << ".." << hi;
+  }
+}
+
+TEST(HierarchicalTest, RangeCountValidatesBounds) {
+  BitGen gen(4);
+  const std::vector<double> counts{1, 2, 3, 4};
+  auto h = HierarchicalHistogram::Publish(counts, HierarchicalParams{1.0},
+                                          gen);
+  ASSERT_TRUE(h.ok());
+  EXPECT_FALSE(h->RangeCount(2, 1).ok());
+  EXPECT_FALSE(h->RangeCount(0, 4).ok());
+  EXPECT_TRUE(h->RangeCount(0, 3).ok());
+}
+
+TEST(HierarchicalTest, EstimatesAreUnbiased) {
+  const std::vector<double> counts{500, 300, 100, 50, 25, 10, 5, 1};
+  std::vector<double> bin0, range25;
+  BitGen gen(5);
+  for (int t = 0; t < 4000; ++t) {
+    auto h = HierarchicalHistogram::Publish(counts, HierarchicalParams{1.0},
+                                            gen);
+    ASSERT_TRUE(h.ok());
+    bin0.push_back(h->BinCount(0));
+    range25.push_back(*h->RangeCount(2, 5));
+  }
+  EXPECT_NEAR(Summarize(bin0).mean, 500, 3);
+  EXPECT_NEAR(Summarize(range25).mean, 100 + 50 + 25 + 10, 5);
+}
+
+TEST(HierarchicalTest, ConsistencyBeatsFlatLeavesOnWideRanges) {
+  // The whole point of the hierarchy: a wide range aggregates O(log n)
+  // noisy nodes instead of O(n) noisy leaves.
+  const size_t bins = 64;
+  const std::vector<double> counts(bins, 100.0);
+  const double epsilon = 0.5;
+  std::vector<double> tree_err, flat_err;
+  BitGen gen(6);
+  for (int t = 0; t < 1500; ++t) {
+    auto h = HierarchicalHistogram::Publish(counts, HierarchicalParams{
+                                                        epsilon},
+                                            gen);
+    ASSERT_TRUE(h.ok());
+    tree_err.push_back(std::fabs(*h->RangeCount(0, bins - 2) -
+                                 100.0 * (bins - 1)));
+    // Flat mechanism: Laplace(2/eps) per bin (sensitivity 2 for one moved
+    // tuple), summed over the same range.
+    double flat = 0;
+    for (size_t b = 0; b + 1 < bins; ++b) {
+      flat += 100.0 + gen.Laplace(2.0 / epsilon);
+    }
+    flat_err.push_back(std::fabs(flat - 100.0 * (bins - 1)));
+  }
+  EXPECT_LT(Summarize(tree_err).mean, Summarize(flat_err).mean);
+}
+
+TEST(HierarchicalTest, SmallBinsStillDrownInNoise) {
+  // The Section 7 argument for iReduct: absolute-error methods spread the
+  // same noise over every bin, so a tiny bin's *relative* error dwarfs a
+  // large bin's by orders of magnitude.
+  const std::vector<double> counts = SkewedHistogram(32);
+  double tail_rel_err = 0, head_rel_err = 0;
+  const int trials = 800;
+  BitGen gen(7);
+  for (int t = 0; t < trials; ++t) {
+    auto h = HierarchicalHistogram::Publish(counts, HierarchicalParams{0.5},
+                                            gen);
+    ASSERT_TRUE(h.ok());
+    tail_rel_err += std::fabs(h->BinCount(31) - counts[31]) /
+                    std::fmax(counts[31], 1.0) / trials;
+    head_rel_err += std::fabs(h->BinCount(0) - counts[0]) /
+                    std::fmax(counts[0], 1.0) / trials;
+  }
+  EXPECT_GT(tail_rel_err, 1.0);                 // >100% error on the tail
+  EXPECT_GT(tail_rel_err, 50 * head_rel_err);   // vs near-exact head
+}
+
+TEST(HierarchicalTest, DeterministicGivenSeed) {
+  const std::vector<double> counts{10, 20, 30, 40};
+  BitGen g1(8), g2(8);
+  auto a = HierarchicalHistogram::Publish(counts, HierarchicalParams{1.0},
+                                          g1);
+  auto b = HierarchicalHistogram::Publish(counts, HierarchicalParams{1.0},
+                                          g2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->BinCounts(), b->BinCounts());
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,147 @@
+// Parameterized invariant sweep for iReduct across privacy budgets,
+// starting scales, reduction resolutions and both resamplers: the Figure 4
+// loop must always terminate with a budget-feasible, budget-saturating,
+// λmax-bounded allocation, and tighter budgets must never produce smaller
+// final scales.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "algorithms/ireduct.h"
+#include "eval/metrics.h"
+
+namespace ireduct {
+namespace {
+
+struct SweepCase {
+  double epsilon;
+  double lambda_max_factor;  // λmax = factor · S(Q)/ε
+  int steps;
+  NoiseReducer reducer;
+};
+
+std::string CaseName(const testing::TestParamInfo<SweepCase>& info) {
+  auto fmt = [](double v) {
+    std::string s = std::to_string(v);
+    for (char& c : s) {
+      if (c == '.' || c == '-') c = '_';
+    }
+    return s;
+  };
+  return "eps" + fmt(info.param.epsilon) + "_f" +
+         fmt(info.param.lambda_max_factor) + "_s" +
+         std::to_string(info.param.steps) +
+         (info.param.reducer == NoiseReducer::kPaperNoiseDown ? "_paper"
+                                                              : "_coupled");
+}
+
+class IReductSweepTest : public testing::TestWithParam<SweepCase> {
+ protected:
+  static Workload MakeWorkload() {
+    auto w = Workload::Create(
+        {3, 5, 8, 200, 350, 7000, 9000, 11000},
+        {QueryGroup{"tiny", 0, 3, 2.0}, QueryGroup{"mid", 3, 5, 2.0},
+         QueryGroup{"large", 5, 8, 2.0}});
+    EXPECT_TRUE(w.ok());
+    return std::move(w).value();
+  }
+
+  IReductParams Params() const {
+    const SweepCase& c = GetParam();
+    IReductParams p;
+    p.epsilon = c.epsilon;
+    p.delta = 2.0;
+    p.lambda_max =
+        c.lambda_max_factor * MakeWorkload().Sensitivity() / c.epsilon;
+    p.lambda_delta = p.lambda_max / c.steps;
+    p.reducer = c.reducer;
+    return p;
+  }
+};
+
+TEST_P(IReductSweepTest, TerminatesWithFeasibleAllocation) {
+  const Workload w = MakeWorkload();
+  const IReductParams p = Params();
+  BitGen gen(101);
+  auto out = RunIReduct(w, p, gen);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_LE(w.GeneralizedSensitivity(out->group_scales),
+            p.epsilon * (1 + 1e-12));
+  for (double s : out->group_scales) {
+    EXPECT_GT(s, 0);
+    EXPECT_LE(s, p.lambda_max * (1 + 1e-12));
+  }
+}
+
+TEST_P(IReductSweepTest, BudgetIsSaturatedUpToOneStep) {
+  const Workload w = MakeWorkload();
+  const IReductParams p = Params();
+  BitGen gen(202);
+  auto out = RunIReduct(w, p, gen);
+  ASSERT_TRUE(out.ok());
+  // No single further λΔ step fits on any group.
+  for (size_t g = 0; g < w.num_groups(); ++g) {
+    std::vector<double> scales = out->group_scales;
+    if (scales[g] <= p.lambda_delta) continue;
+    scales[g] -= p.lambda_delta;
+    EXPECT_GT(w.GeneralizedSensitivity(scales), p.epsilon)
+        << "group " << g << " still reducible";
+  }
+}
+
+TEST_P(IReductSweepTest, AnswersStayNearTruthAtFinalScales) {
+  const Workload w = MakeWorkload();
+  const IReductParams p = Params();
+  BitGen gen(303);
+  auto out = RunIReduct(w, p, gen);
+  ASSERT_TRUE(out.ok());
+  // Every answer within 20 final noise scales of the truth (overwhelming
+  // probability; catches scale-bookkeeping bugs, not noise).
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    const double scale = out->group_scales[w.group_of(i)];
+    EXPECT_LT(std::fabs(out->answers[i] - w.true_answer(i)), 20 * scale)
+        << "query " << i;
+  }
+}
+
+TEST_P(IReductSweepTest, ResampleAccountingIsConsistent) {
+  const Workload w = MakeWorkload();
+  const IReductParams p = Params();
+  BitGen gen(404);
+  auto out = RunIReduct(w, p, gen);
+  ASSERT_TRUE(out.ok());
+  // Each iteration resamples exactly one group's cells, so the number of
+  // resample calls is bounded by iterations times the largest group and
+  // bounded below by iterations (every group has >= 1 cell).
+  uint32_t largest = 0;
+  for (const QueryGroup& g : w.groups()) {
+    largest = std::max(largest, g.size());
+  }
+  EXPECT_GE(out->resample_calls, out->iterations);
+  EXPECT_LE(out->resample_calls, out->iterations * largest);
+  // Total scale reduction implies the iteration count.
+  double total_reduction_steps = 0;
+  for (double s : out->group_scales) {
+    total_reduction_steps += (p.lambda_max - s) / p.lambda_delta;
+  }
+  EXPECT_NEAR(static_cast<double>(out->iterations), total_reduction_steps,
+              0.5 * w.num_groups());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, IReductSweepTest,
+    testing::Values(
+        SweepCase{0.05, 2.0, 50, NoiseReducer::kPaperNoiseDown},
+        SweepCase{0.05, 2.0, 50, NoiseReducer::kExactCoupling},
+        SweepCase{0.5, 4.0, 100, NoiseReducer::kPaperNoiseDown},
+        SweepCase{0.5, 4.0, 100, NoiseReducer::kExactCoupling},
+        SweepCase{1.0, 10.0, 300, NoiseReducer::kPaperNoiseDown},
+        SweepCase{0.01, 1.5, 20, NoiseReducer::kPaperNoiseDown},
+        SweepCase{2.0, 8.0, 500, NoiseReducer::kExactCoupling}),
+    CaseName);
+
+}  // namespace
+}  // namespace ireduct

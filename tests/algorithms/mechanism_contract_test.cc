@@ -1,0 +1,213 @@
+// Parameterized contract suite: every publication mechanism in the
+// library must satisfy the same behavioural invariants — determinism
+// under a fixed seed, answer-vector arity, unbiasedness per query, budget
+// bookkeeping, and graceful rejection of invalid ε. Runs the full
+// mechanism matrix over several workload shapes via TEST_P.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algorithms/dwork.h"
+#include "algorithms/geometric.h"
+#include "algorithms/ireduct.h"
+#include "algorithms/iresamp.h"
+#include "algorithms/oracle.h"
+#include "algorithms/proportional.h"
+#include "algorithms/two_phase.h"
+#include "common/numeric.h"
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+struct MechanismCase {
+  std::string name;
+  // Runs the mechanism at the given ε on the workload.
+  std::function<Result<MechanismOutput>(const Workload&, double epsilon,
+                                        BitGen&)>
+      run;
+  bool is_private = true;
+};
+
+std::vector<MechanismCase> AllMechanisms() {
+  std::vector<MechanismCase> cases;
+  cases.push_back({"Dwork",
+                   [](const Workload& w, double eps, BitGen& gen) {
+                     return RunDwork(w, DworkParams{eps}, gen);
+                   },
+                   true});
+  cases.push_back({"Geometric",
+                   [](const Workload& w, double eps, BitGen& gen) {
+                     return RunGeometric(w, GeometricParams{eps}, gen);
+                   },
+                   true});
+  cases.push_back({"TwoPhase",
+                   [](const Workload& w, double eps, BitGen& gen) {
+                     return RunTwoPhase(
+                         w, TwoPhaseParams{0.1 * eps, 0.9 * eps, 1.0}, gen);
+                   },
+                   true});
+  cases.push_back({"iReduct",
+                   [](const Workload& w, double eps, BitGen& gen) {
+                     IReductParams p;
+                     p.epsilon = eps;
+                     p.delta = 1.0;
+                     p.lambda_max = 4 * w.Sensitivity() / eps;
+                     p.lambda_delta = p.lambda_max / 64;
+                     return RunIReduct(w, p, gen);
+                   },
+                   true});
+  cases.push_back({"iReductCoupled",
+                   [](const Workload& w, double eps, BitGen& gen) {
+                     IReductParams p;
+                     p.epsilon = eps;
+                     p.delta = 1.0;
+                     p.lambda_max = 4 * w.Sensitivity() / eps;
+                     p.lambda_delta = p.lambda_max / 64;
+                     p.reducer = NoiseReducer::kExactCoupling;
+                     return RunIReduct(w, p, gen);
+                   },
+                   true});
+  cases.push_back({"iResamp",
+                   [](const Workload& w, double eps, BitGen& gen) {
+                     IResampParams p;
+                     p.epsilon = eps;
+                     p.delta = 1.0;
+                     p.lambda_max = 4 * w.Sensitivity() / eps;
+                     return RunIResamp(w, p, gen);
+                   },
+                   true});
+  cases.push_back({"Oracle",
+                   [](const Workload& w, double eps, BitGen& gen) {
+                     return RunOracle(w, OracleParams{eps, 1.0}, gen);
+                   },
+                   false});
+  cases.push_back({"Proportional",
+                   [](const Workload& w, double eps, BitGen& gen) {
+                     return RunProportional(w, ProportionalParams{eps, 1.0},
+                                            gen);
+                   },
+                   false});
+  return cases;
+}
+
+struct ContractCase {
+  MechanismCase mechanism;
+  int workload_shape;  // 0: per-query, 1: two groups, 2: single group
+};
+
+Workload ShapedWorkload(int shape) {
+  Result<Workload> w = Status::Internal("unset");
+  switch (shape) {
+    case 0:
+      w = Workload::PerQuery({7, 80, 900, 4000});
+      break;
+    case 1:
+      w = Workload::Create({5, 6, 7, 5000, 6000},
+                           {QueryGroup{"small", 0, 3, 2.0},
+                            QueryGroup{"large", 3, 5, 2.0}});
+      break;
+    default:
+      w = Workload::Create({10, 20, 30}, {QueryGroup{"all", 0, 3, 2.0}});
+      break;
+  }
+  EXPECT_TRUE(w.ok());
+  return std::move(w).value();
+}
+
+class MechanismContractTest : public testing::TestWithParam<ContractCase> {};
+
+TEST_P(MechanismContractTest, ProducesOneAnswerPerQuery) {
+  const Workload w = ShapedWorkload(GetParam().workload_shape);
+  BitGen gen(1);
+  auto out = GetParam().mechanism.run(w, 0.5, gen);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->answers.size(), w.num_queries());
+  EXPECT_EQ(out->group_scales.size(), w.num_groups());
+  for (double a : out->answers) EXPECT_TRUE(std::isfinite(a));
+  for (double s : out->group_scales) EXPECT_GT(s, 0);
+}
+
+TEST_P(MechanismContractTest, DeterministicUnderFixedSeed) {
+  const Workload w = ShapedWorkload(GetParam().workload_shape);
+  BitGen g1(42), g2(42);
+  auto a = GetParam().mechanism.run(w, 0.5, g1);
+  auto b = GetParam().mechanism.run(w, 0.5, g2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->answers, b->answers);
+  EXPECT_EQ(a->group_scales, b->group_scales);
+}
+
+TEST_P(MechanismContractTest, RejectsNonPositiveEpsilon) {
+  const Workload w = ShapedWorkload(GetParam().workload_shape);
+  BitGen gen(2);
+  EXPECT_FALSE(GetParam().mechanism.run(w, 0.0, gen).ok());
+  EXPECT_FALSE(GetParam().mechanism.run(w, -1.0, gen).ok());
+}
+
+TEST_P(MechanismContractTest, PrivateMechanismsReportSpendWithinBudget) {
+  const Workload w = ShapedWorkload(GetParam().workload_shape);
+  BitGen gen(3);
+  const double eps = 0.4;
+  auto out = GetParam().mechanism.run(w, eps, gen);
+  ASSERT_TRUE(out.ok());
+  if (GetParam().mechanism.is_private) {
+    EXPECT_LE(out->epsilon_spent, eps * (1 + 1e-9));
+    EXPECT_GT(out->epsilon_spent, 0);
+    // The reported group scales must themselves fit the budget.
+    EXPECT_LE(w.GeneralizedSensitivity(out->group_scales),
+              eps * (1 + 1e-9));
+  } else {
+    EXPECT_TRUE(std::isinf(out->epsilon_spent));
+  }
+}
+
+TEST_P(MechanismContractTest, AnswersAreUnbiased) {
+  const Workload w = ShapedWorkload(GetParam().workload_shape);
+  const int trials = 3000;
+  std::vector<KahanSum> sums(w.num_queries());
+  BitGen gen(4);
+  std::vector<double> scales_snapshot;
+  for (int t = 0; t < trials; ++t) {
+    auto out = GetParam().mechanism.run(w, 0.8, gen);
+    ASSERT_TRUE(out.ok());
+    for (size_t i = 0; i < w.num_queries(); ++i) {
+      sums[i].Add(out->answers[i]);
+    }
+    if (t == 0) scales_snapshot = out->group_scales;
+  }
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    const double mean = sums[i].value() / trials;
+    // Tolerance ~ 5σ of the trial mean; the per-answer scale is bounded by
+    // the largest group scale observed.
+    double scale_bound = 0;
+    for (double s : scales_snapshot) scale_bound = std::fmax(scale_bound, s);
+    const double tol =
+        5 * std::sqrt(2.0) * scale_bound / std::sqrt(trials) + 0.3;
+    EXPECT_NEAR(mean, w.true_answer(i), tol) << "query " << i;
+  }
+}
+
+std::vector<ContractCase> AllCases() {
+  std::vector<ContractCase> cases;
+  for (const MechanismCase& m : AllMechanisms()) {
+    for (int shape = 0; shape < 3; ++shape) {
+      cases.push_back(ContractCase{m, shape});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanismsAndShapes, MechanismContractTest,
+    testing::ValuesIn(AllCases()),
+    [](const testing::TestParamInfo<ContractCase>& info) {
+      return info.param.mechanism.name + "_shape" +
+             std::to_string(info.param.workload_shape);
+    });
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,64 @@
+#include "algorithms/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/dwork.h"
+#include "eval/metrics.h"
+
+namespace ireduct {
+namespace {
+
+Workload SkewedWorkload() {
+  // Two marginal-style groups: tiny counts vs large counts.
+  auto r = Workload::Create(
+      {2, 3, 4, 5000, 6000, 7000},
+      {QueryGroup{"tiny", 0, 3, 2.0}, QueryGroup{"large", 3, 6, 2.0}});
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(OracleTest, MarkedNonPrivateAndBudgetShaped) {
+  const Workload w = SkewedWorkload();
+  BitGen gen(1);
+  auto out = RunOracle(w, OracleParams{0.4, 1.0}, gen);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(std::isinf(out->epsilon_spent));
+  EXPECT_NEAR(w.GeneralizedSensitivity(out->group_scales), 0.4, 1e-12);
+  // Larger counts get more noise.
+  EXPECT_GT(out->group_scales[1], out->group_scales[0]);
+}
+
+TEST(OracleTest, BeatsDworkOnSkewedCounts) {
+  const Workload w = SkewedWorkload();
+  const double eps = 0.2, delta = 1.0;
+  double oracle_err = 0, dwork_err = 0;
+  BitGen gen(2);
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    auto o = RunOracle(w, OracleParams{eps, delta}, gen);
+    auto d = RunDwork(w, DworkParams{eps}, gen);
+    ASSERT_TRUE(o.ok());
+    ASSERT_TRUE(d.ok());
+    oracle_err += OverallError(w, o->answers, delta);
+    dwork_err += OverallError(w, d->answers, delta);
+  }
+  EXPECT_LT(oracle_err, dwork_err * 0.8);
+}
+
+TEST(OracleTest, UniformCountsReduceToDworkAllocation) {
+  // When every group looks the same, the optimal allocation is uniform.
+  auto w = Workload::Create(
+      {50, 50, 50, 50},
+      {QueryGroup{"A", 0, 2, 2.0}, QueryGroup{"B", 2, 4, 2.0}});
+  ASSERT_TRUE(w.ok());
+  BitGen gen(3);
+  auto out = RunOracle(*w, OracleParams{1.0, 1.0}, gen);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->group_scales[0], out->group_scales[1], 1e-12);
+  EXPECT_NEAR(out->group_scales[0], 4.0, 1e-12);  // S(Q)/ε = 4
+}
+
+}  // namespace
+}  // namespace ireduct

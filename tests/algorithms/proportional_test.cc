@@ -1,0 +1,71 @@
+#include "algorithms/proportional.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "eval/metrics.h"
+
+namespace ireduct {
+namespace {
+
+TEST(ProportionalTest, MarkedNonPrivate) {
+  auto w = Workload::PerQuery({2, 5});
+  ASSERT_TRUE(w.ok());
+  BitGen gen(1);
+  auto out = RunProportional(*w, ProportionalParams{1.0, 1.0}, gen);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(std::isinf(out->epsilon_spent));
+}
+
+TEST(ProportionalTest, ScalesMatchExampleOne) {
+  auto w = Workload::PerQuery({2, 5});
+  ASSERT_TRUE(w.ok());
+  BitGen gen(2);
+  auto out = RunProportional(*w, ProportionalParams{1.0, 1.0}, gen);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->group_scales[0], 1.4, 1e-12);
+  EXPECT_NEAR(out->group_scales[1], 3.5, 1e-12);
+}
+
+TEST(ProportionalTest, EqualizesExpectedRelativeError) {
+  // With λ_i ∝ max{q_i, δ}, expected relative error λ_i/max{q_i, δ} is
+  // identical across queries.
+  auto w = Workload::PerQuery({4, 40, 400});
+  ASSERT_TRUE(w.ok());
+  BitGen gen(3);
+  auto out = RunProportional(*w, ProportionalParams{1.0, 1.0}, gen);
+  ASSERT_TRUE(out.ok());
+  const double r0 = out->group_scales[0] / 4;
+  const double r1 = out->group_scales[1] / 40;
+  const double r2 = out->group_scales[2] / 400;
+  EXPECT_NEAR(r0, r1, 1e-12);
+  EXPECT_NEAR(r1, r2, 1e-12);
+}
+
+TEST(ProportionalTest, NominalBudgetConstraintHolds) {
+  auto w = Workload::PerQuery({3, 7, 11});
+  ASSERT_TRUE(w.ok());
+  BitGen gen(4);
+  auto out = RunProportional(*w, ProportionalParams{0.7, 1.0}, gen);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(w->GeneralizedSensitivity(out->group_scales), 0.7, 1e-12);
+}
+
+TEST(ProportionalTest, ScaleDependsOnData) {
+  // The privacy defect: neighboring datasets produce different scales.
+  auto w1 = Workload::PerQuery({2, 5});
+  auto w2 = Workload::PerQuery({1, 5});  // neighboring: q1 differs by 1
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  BitGen gen(5);
+  auto o1 = RunProportional(*w1, ProportionalParams{1.0, 1.0}, gen);
+  auto o2 = RunProportional(*w2, ProportionalParams{1.0, 1.0}, gen);
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  EXPECT_NE(o1->group_scales[0], o2->group_scales[0]);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,101 @@
+#include "algorithms/two_phase.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "algorithms/dwork.h"
+#include "eval/metrics.h"
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+Workload SkewedWorkload() {
+  auto r = Workload::Create(
+      {2, 3, 4, 5000, 6000, 7000},
+      {QueryGroup{"tiny", 0, 3, 2.0}, QueryGroup{"large", 3, 6, 2.0}});
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(TwoPhaseTest, ValidatesEpsilons) {
+  BitGen gen(1);
+  const Workload w = SkewedWorkload();
+  EXPECT_FALSE(RunTwoPhase(w, TwoPhaseParams{0, 0.1, 1.0}, gen).ok());
+  EXPECT_FALSE(RunTwoPhase(w, TwoPhaseParams{0.1, -0.1, 1.0}, gen).ok());
+}
+
+TEST(TwoPhaseTest, EpsilonSpentIsSumOfPhases) {
+  BitGen gen(2);
+  const Workload w = SkewedWorkload();
+  auto out = RunTwoPhase(w, TwoPhaseParams{0.02, 0.18, 1.0}, gen);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->epsilon_spent, 0.2);
+  // Phase-2 scales consume exactly ε2.
+  EXPECT_NEAR(w.GeneralizedSensitivity(out->group_scales), 0.18, 1e-12);
+}
+
+TEST(TwoPhaseTest, SecondPhaseScalesReflectFirstPhaseMagnitudes) {
+  BitGen gen(3);
+  const Workload w = SkewedWorkload();
+  auto out = RunTwoPhase(w, TwoPhaseParams{0.05, 0.15, 1.0}, gen);
+  ASSERT_TRUE(out.ok());
+  // With ε1 large enough to see the 3-vs-6000 gap, the large group must be
+  // assigned the larger scale.
+  EXPECT_GT(out->group_scales[1], out->group_scales[0]);
+}
+
+TEST(TwoPhaseTest, CombinationIsMinimumVariance) {
+  // Verify line 8's weighted average empirically: the combined estimate
+  // should have variance 2·λ1²λ2²/(λ1²+λ2²), which is below both phases'.
+  auto w = Workload::Create({100}, {QueryGroup{"q", 0, 1, 1.0}});
+  ASSERT_TRUE(w.ok());
+  BitGen gen(4);
+  std::vector<double> combined;
+  const TwoPhaseParams params{0.5, 0.5, 1.0};
+  for (int t = 0; t < 30'000; ++t) {
+    auto out = RunTwoPhase(*w, params, gen);
+    ASSERT_TRUE(out.ok());
+    combined.push_back(out->answers[0]);
+  }
+  const SampleSummary s = Summarize(combined);
+  // One query, one group: λ1 = 1/ε1 = 2, and Rescale gives λ2 = 1/ε2 = 2.
+  const double l1 = 2, l2 = 2;
+  const double expected_var = 2 * l1 * l1 * l2 * l2 / (l1 * l1 + l2 * l2);
+  EXPECT_NEAR(s.mean, 100.0, 0.05);
+  EXPECT_NEAR(s.variance, expected_var, 0.2);
+  EXPECT_LT(s.variance, 2 * l1 * l1);  // better than either phase alone
+}
+
+TEST(TwoPhaseTest, BeatsDworkOnSkewedCounts) {
+  const Workload w = SkewedWorkload();
+  const double eps = 0.2, delta = 1.0;
+  double two_phase_err = 0, dwork_err = 0;
+  BitGen gen(5);
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    auto tp = RunTwoPhase(w, TwoPhaseParams{0.05 * eps, 0.95 * eps, delta},
+                          gen);
+    auto d = RunDwork(w, DworkParams{eps}, gen);
+    ASSERT_TRUE(tp.ok());
+    ASSERT_TRUE(d.ok());
+    two_phase_err += OverallError(w, tp->answers, delta);
+    dwork_err += OverallError(w, d->answers, delta);
+  }
+  EXPECT_LT(two_phase_err, dwork_err);
+}
+
+TEST(TwoPhaseTest, DeterministicGivenSeed) {
+  const Workload w = SkewedWorkload();
+  BitGen g1(7), g2(7);
+  auto a = RunTwoPhase(w, TwoPhaseParams{0.05, 0.15, 1.0}, g1);
+  auto b = RunTwoPhase(w, TwoPhaseParams{0.05, 0.15, 1.0}, g2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->answers, b->answers);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,125 @@
+#include "algorithms/wavelet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+TEST(WaveletTest, TransformValidatesLength) {
+  const std::vector<double> not_pow2{1, 2, 3};
+  EXPECT_FALSE(HaarTransform(not_pow2).ok());
+  EXPECT_FALSE(HaarReconstruct(not_pow2).ok());
+  const std::vector<double> empty;
+  EXPECT_FALSE(HaarTransform(empty).ok());
+}
+
+TEST(WaveletTest, TransformKnownValues) {
+  // [4, 2, 5, 1]: average 3; root detail = (3 - 3)/2 = 0;
+  // left detail = (4-2)/2 = 1; right detail = (5-1)/2 = 2.
+  const std::vector<double> values{4, 2, 5, 1};
+  auto coeffs = HaarTransform(values);
+  ASSERT_TRUE(coeffs.ok());
+  EXPECT_DOUBLE_EQ((*coeffs)[0], 3);
+  EXPECT_DOUBLE_EQ((*coeffs)[1], 0);
+  EXPECT_DOUBLE_EQ((*coeffs)[2], 1);
+  EXPECT_DOUBLE_EQ((*coeffs)[3], 2);
+}
+
+TEST(WaveletTest, TransformRoundTripsExactly) {
+  BitGen gen(1);
+  for (size_t m : {1u, 2u, 8u, 64u}) {
+    std::vector<double> values(m);
+    for (double& v : values) v = gen.Uniform(-50, 50);
+    auto coeffs = HaarTransform(values);
+    ASSERT_TRUE(coeffs.ok());
+    auto back = HaarReconstruct(*coeffs);
+    ASSERT_TRUE(back.ok());
+    for (size_t i = 0; i < m; ++i) {
+      EXPECT_NEAR((*back)[i], values[i], 1e-9) << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST(WaveletTest, PublishValidates) {
+  BitGen gen(2);
+  EXPECT_FALSE(WaveletHistogram::Publish({}, WaveletParams{1.0}, gen).ok());
+  const std::vector<double> counts{1, 2};
+  EXPECT_FALSE(
+      WaveletHistogram::Publish(counts, WaveletParams{0}, gen).ok());
+}
+
+TEST(WaveletTest, PublishPadsAndUnpads) {
+  BitGen gen(3);
+  const std::vector<double> counts{5, 6, 7, 8, 9};
+  auto h = WaveletHistogram::Publish(counts, WaveletParams{2.0}, gen);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_bins(), 5u);
+  EXPECT_EQ(h->BinCounts().size(), 5u);
+  EXPECT_DOUBLE_EQ(h->epsilon_spent(), 2.0);
+}
+
+TEST(WaveletTest, EstimatesAreUnbiased) {
+  const std::vector<double> counts{400, 100, 50, 10, 5, 2, 1, 0};
+  std::vector<double> bin0, range;
+  BitGen gen(4);
+  for (int t = 0; t < 5000; ++t) {
+    auto h = WaveletHistogram::Publish(counts, WaveletParams{1.0}, gen);
+    ASSERT_TRUE(h.ok());
+    bin0.push_back(h->BinCount(0));
+    range.push_back(*h->RangeCount(1, 4));
+  }
+  EXPECT_NEAR(Summarize(bin0).mean, 400, 2.5);
+  EXPECT_NEAR(Summarize(range).mean, 165, 2.5);
+}
+
+TEST(WaveletTest, RangeCountsMatchLeafSums) {
+  BitGen gen(5);
+  const std::vector<double> counts{3, 1, 4, 1, 5, 9, 2, 6, 5, 3};
+  auto h = WaveletHistogram::Publish(counts, WaveletParams{0.7}, gen);
+  ASSERT_TRUE(h.ok());
+  double expected = 0;
+  for (size_t b = 2; b <= 7; ++b) expected += h->BinCount(b);
+  auto range = h->RangeCount(2, 7);
+  ASSERT_TRUE(range.ok());
+  EXPECT_NEAR(*range, expected, 1e-9);
+  EXPECT_FALSE(h->RangeCount(5, 4).ok());
+  EXPECT_FALSE(h->RangeCount(0, 10).ok());
+}
+
+TEST(WaveletTest, WideRangesBeatFlatLaplace) {
+  // The Privelet claim: range variance is polylog in m, not linear.
+  const size_t bins = 128;
+  const std::vector<double> counts(bins, 50.0);
+  const double epsilon = 0.5;
+  std::vector<double> wavelet_err, flat_err;
+  BitGen gen(6);
+  for (int t = 0; t < 1200; ++t) {
+    auto h = WaveletHistogram::Publish(counts, WaveletParams{epsilon}, gen);
+    ASSERT_TRUE(h.ok());
+    wavelet_err.push_back(
+        std::fabs(*h->RangeCount(0, bins - 2) - 50.0 * (bins - 1)));
+    double flat = 0;
+    for (size_t b = 0; b + 1 < bins; ++b) {
+      flat += 50.0 + gen.Laplace(2.0 / epsilon);
+    }
+    flat_err.push_back(std::fabs(flat - 50.0 * (bins - 1)));
+  }
+  EXPECT_LT(Summarize(wavelet_err).mean, Summarize(flat_err).mean);
+}
+
+TEST(WaveletTest, DeterministicGivenSeed) {
+  const std::vector<double> counts{10, 20, 30, 40};
+  BitGen g1(7), g2(7);
+  auto a = WaveletHistogram::Publish(counts, WaveletParams{1.0}, g1);
+  auto b = WaveletHistogram::Publish(counts, WaveletParams{1.0}, g2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->BinCounts(), b->BinCounts());
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,89 @@
+#include "classifier/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algorithms/dwork.h"
+
+namespace ireduct {
+namespace {
+
+Dataset SeparableDataset(int rows_per_class, uint64_t seed) {
+  auto schema = Schema::Create({{"F1", 4}, {"F2", 4}, {"C", 2}});
+  EXPECT_TRUE(schema.ok());
+  Dataset d(std::move(schema).value());
+  BitGen gen(seed);
+  for (int c = 0; c < 2; ++c) {
+    for (int r = 0; r < rows_per_class; ++r) {
+      auto draw = [&](int cls) -> uint16_t {
+        const bool flip = gen.Bernoulli(0.05);
+        const int base = (cls == 0) ? 0 : 2;
+        return static_cast<uint16_t>(flip ? (2 - base) + gen.UniformInt(2)
+                                          : base + gen.UniformInt(2));
+      };
+      const std::vector<uint16_t> row{draw(c), draw(c),
+                                      static_cast<uint16_t>(c)};
+      EXPECT_TRUE(d.AppendRow(row).ok());
+    }
+  }
+  return d;
+}
+
+PublishFn IdentityPublish() {
+  return [](const MarginalWorkload& mw) -> Result<std::vector<double>> {
+    const auto answers = mw.workload().true_answers();
+    return std::vector<double>(answers.begin(), answers.end());
+  };
+}
+
+TEST(CrossValidationTest, NoiseFreePublishGivesHighAccuracyAndZeroError) {
+  const Dataset d = SeparableDataset(1500, 1);
+  BitGen gen(2);
+  auto cv = CrossValidateClassifier(d, 2, 10, 1.0, IdentityPublish(), gen);
+  ASSERT_TRUE(cv.ok()) << cv.status();
+  EXPECT_EQ(cv->folds, 10);
+  EXPECT_GT(cv->mean_accuracy, 0.9);
+  EXPECT_NEAR(cv->mean_overall_error, 0.0, 1e-12);
+}
+
+TEST(CrossValidationTest, HeavyNoiseHurtsAccuracy) {
+  const Dataset d = SeparableDataset(1500, 3);
+  BitGen gen(4);
+  auto clean = CrossValidateClassifier(d, 2, 5, 1.0, IdentityPublish(), gen);
+  ASSERT_TRUE(clean.ok());
+
+  BitGen noise_gen(5);
+  PublishFn noisy = [&noise_gen](const MarginalWorkload& mw) {
+    // Tiny ε: answers are all but destroyed.
+    auto out = RunDwork(mw.workload(), DworkParams{1e-4}, noise_gen);
+    EXPECT_TRUE(out.ok());
+    return Result<std::vector<double>>(std::move(out->answers));
+  };
+  BitGen gen2(4);
+  auto degraded = CrossValidateClassifier(d, 2, 5, 1.0, noisy, gen2);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_GT(degraded->mean_overall_error, clean->mean_overall_error);
+  EXPECT_LT(degraded->mean_accuracy, clean->mean_accuracy);
+}
+
+TEST(CrossValidationTest, ValidatesFoldCount) {
+  const Dataset d = SeparableDataset(50, 6);
+  BitGen gen(7);
+  EXPECT_FALSE(
+      CrossValidateClassifier(d, 2, 1, 1.0, IdentityPublish(), gen).ok());
+}
+
+TEST(CrossValidationTest, PublishErrorsPropagate) {
+  const Dataset d = SeparableDataset(50, 8);
+  BitGen gen(9);
+  PublishFn failing = [](const MarginalWorkload&) {
+    return Result<std::vector<double>>(Status::Internal("boom"));
+  };
+  auto cv = CrossValidateClassifier(d, 2, 5, 1.0, failing, gen);
+  ASSERT_FALSE(cv.ok());
+  EXPECT_EQ(cv.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace ireduct

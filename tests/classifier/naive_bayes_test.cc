@@ -1,0 +1,114 @@
+#include "classifier/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "marginals/marginal_set.h"
+
+namespace ireduct {
+namespace {
+
+// A two-feature dataset where class = 0 implies feature values near 0 and
+// class = 1 implies values near the top of the domain.
+Dataset SeparableDataset(int rows_per_class, double flip_prob,
+                         uint64_t seed) {
+  auto schema = Schema::Create({{"F1", 4}, {"F2", 4}, {"C", 2}});
+  EXPECT_TRUE(schema.ok());
+  Dataset d(std::move(schema).value());
+  BitGen gen(seed);
+  for (int c = 0; c < 2; ++c) {
+    for (int r = 0; r < rows_per_class; ++r) {
+      auto draw = [&](int cls) -> uint16_t {
+        const bool flip = gen.Bernoulli(flip_prob);
+        const int base = (cls == 0) ? 0 : 2;
+        return static_cast<uint16_t>(flip ? 3 - base - gen.UniformInt(2)
+                                          : base + gen.UniformInt(2));
+      };
+      const std::vector<uint16_t> row{draw(c), draw(c),
+                                      static_cast<uint16_t>(c)};
+      EXPECT_TRUE(d.AppendRow(row).ok());
+    }
+  }
+  return d;
+}
+
+std::vector<Marginal> TrainMarginals(const Dataset& d, size_t class_attr) {
+  auto specs = ClassifierSpecs(d.schema(), class_attr);
+  EXPECT_TRUE(specs.ok());
+  auto marginals = ComputeMarginals(d, *specs);
+  EXPECT_TRUE(marginals.ok());
+  return std::move(marginals).value();
+}
+
+TEST(NaiveBayesTest, LearnsSeparableConcept) {
+  const Dataset d = SeparableDataset(2000, 0.05, 1);
+  auto model =
+      NaiveBayesModel::FromMarginals(d.schema(), 2, TrainMarginals(d, 2));
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_GT(model->Accuracy(d), 0.9);
+}
+
+TEST(NaiveBayesTest, PredictUsesFeatures) {
+  const Dataset d = SeparableDataset(2000, 0.02, 2);
+  auto model =
+      NaiveBayesModel::FromMarginals(d.schema(), 2, TrainMarginals(d, 2));
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Predict(std::vector<uint16_t>{0, 0, 0}), 0);
+  EXPECT_EQ(model->Predict(std::vector<uint16_t>{3, 3, 0}), 1);
+}
+
+TEST(NaiveBayesTest, RandomLabelsYieldChanceAccuracy) {
+  const Dataset d = SeparableDataset(3000, 0.5, 3);  // features carry no signal
+  auto model =
+      NaiveBayesModel::FromMarginals(d.schema(), 2, TrainMarginals(d, 2));
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Accuracy(d), 0.5, 0.07);
+}
+
+TEST(NaiveBayesTest, ValidatesMarginalLayout) {
+  const Dataset d = SeparableDataset(10, 0.1, 4);
+  std::vector<Marginal> marginals = TrainMarginals(d, 2);
+  // Wrong class attribute index.
+  EXPECT_FALSE(
+      NaiveBayesModel::FromMarginals(d.schema(), 0, marginals).ok());
+  // Missing one marginal.
+  std::vector<Marginal> truncated(marginals.begin(), marginals.end() - 1);
+  EXPECT_FALSE(
+      NaiveBayesModel::FromMarginals(d.schema(), 2, truncated).ok());
+  // Out-of-range class attribute.
+  EXPECT_FALSE(
+      NaiveBayesModel::FromMarginals(d.schema(), 9, marginals).ok());
+}
+
+TEST(NaiveBayesTest, HandlesNegativeNoisyCountsViaPostprocessing) {
+  // All counts negative: post-processing clamps to 1, the model degrades
+  // to the prior without producing NaN or crashing.
+  auto schema = Schema::Create({{"F", 2}, {"C", 2}});
+  ASSERT_TRUE(schema.ok());
+  auto class_marginal =
+      Marginal::FromCounts(MarginalSpec{{1}}, {2}, {-5.0, 3.0});
+  auto feature_marginal = Marginal::FromCounts(MarginalSpec{{0, 1}}, {2, 2},
+                                               {-2.0, -9.0, -1.0, -3.0});
+  ASSERT_TRUE(class_marginal.ok());
+  ASSERT_TRUE(feature_marginal.ok());
+  auto model = NaiveBayesModel::FromMarginals(
+      *schema, 1, {*class_marginal, *feature_marginal});
+  ASSERT_TRUE(model.ok());
+  // Class 1 has the larger post-processed prior (4 vs 1).
+  EXPECT_EQ(model->Predict(std::vector<uint16_t>{0, 0}), 1);
+}
+
+TEST(NaiveBayesTest, AccuracyOnRowSubset) {
+  const Dataset d = SeparableDataset(500, 0.02, 5);
+  auto model =
+      NaiveBayesModel::FromMarginals(d.schema(), 2, TrainMarginals(d, 2));
+  ASSERT_TRUE(model.ok());
+  const std::vector<uint32_t> subset{0, 1, 2, 3, 4};
+  EXPECT_GE(model->Accuracy(d, subset), 0.0);
+  EXPECT_LE(model->Accuracy(d, subset), 1.0);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,102 @@
+#include "common/numeric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace ireduct {
+namespace {
+
+TEST(NumericTest, CoshMinusOneMatchesNaiveAtModerateArguments) {
+  for (double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(CoshMinusOne(x), std::cosh(x) - 1.0,
+                1e-12 * (std::cosh(x) - 1.0));
+  }
+}
+
+TEST(NumericTest, CoshMinusOneAccurateForTinyArguments) {
+  // cosh(x) - 1 = x²/2 + x⁴/24 + ...; at x = 1e-6 the naive form retains
+  // only ~3 significant digits while ours keeps full precision.
+  const double x = 1e-6;
+  const double expected = x * x / 2 + x * x * x * x / 24;
+  EXPECT_NEAR(CoshMinusOne(x), expected, 1e-15 * expected);
+}
+
+TEST(NumericTest, CoshMinusOneIsEven) {
+  EXPECT_DOUBLE_EQ(CoshMinusOne(0.3), CoshMinusOne(-0.3));
+  EXPECT_EQ(CoshMinusOne(0.0), 0.0);
+}
+
+TEST(NumericTest, CoshDiffMatchesNaive) {
+  EXPECT_NEAR(CoshDiff(2.0, 1.0), std::cosh(2.0) - std::cosh(1.0), 1e-12);
+  EXPECT_NEAR(CoshDiff(1.0, 2.0), std::cosh(1.0) - std::cosh(2.0), 1e-12);
+}
+
+TEST(NumericTest, CoshDiffAccurateForTinyNearbyArguments) {
+  // cosh(a)-cosh(b) ≈ (a²-b²)/2 for small a, b.
+  const double a = 2e-6, b = 1e-6;
+  const double expected = (a * a - b * b) / 2;
+  EXPECT_NEAR(CoshDiff(a, b), expected, 1e-12 * expected);
+}
+
+TEST(NumericTest, ExpDiffMatchesNaive) {
+  EXPECT_NEAR(ExpDiff(1.0, 0.5), std::exp(1.0) - std::exp(0.5), 1e-12);
+}
+
+TEST(NumericTest, ExpDiffAccurateWhenArgumentsAreClose) {
+  // e^{1e-9} - 1 = 1e-9 + (1e-9)²/2 + ... to full precision.
+  const double a = 1e-9, b = 0.0;
+  EXPECT_NEAR(ExpDiff(a, b), 1e-9 + 5e-19, 1e-24);
+}
+
+TEST(NumericTest, LogAddExpBasics) {
+  EXPECT_NEAR(LogAddExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  // Does not overflow for large inputs.
+  EXPECT_NEAR(LogAddExp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(LogAddExp(neg_inf, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(LogAddExp(3.0, neg_inf), 3.0);
+}
+
+TEST(NumericTest, LogSubExpBasics) {
+  EXPECT_NEAR(LogSubExp(std::log(5.0), std::log(3.0)), std::log(2.0), 1e-12);
+  EXPECT_TRUE(std::isinf(LogSubExp(1.0, 1.0)));
+  EXPECT_LT(LogSubExp(1.0, 2.0), 0);  // -inf for a <= b
+}
+
+TEST(NumericTest, KahanSumBeatsNaiveSummation) {
+  // 1 + 1e-16 added 1e7 times: naive summation loses the small addends.
+  KahanSum acc;
+  acc.Add(1.0);
+  for (int i = 0; i < 10'000'000; ++i) acc.Add(1e-16);
+  EXPECT_NEAR(acc.value(), 1.0 + 1e-9, 1e-12);
+}
+
+TEST(NumericTest, StableSumMatchesExpected) {
+  std::vector<double> v{0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(StableSum(v), 1.0, 1e-15);
+}
+
+TEST(NumericTest, SimpsonIntegratesPolynomialsExactly) {
+  // Simpson is exact for cubics.
+  auto cubic = [](double x) { return x * x * x - 2 * x + 1; };
+  // ∫₀² = 4 - 4 + 2 = 2.
+  EXPECT_NEAR(SimpsonIntegrate(cubic, 0.0, 2.0, 10), 2.0, 1e-12);
+}
+
+TEST(NumericTest, SimpsonConvergesOnExponential) {
+  auto f = [](double x) { return std::exp(-x); };
+  EXPECT_NEAR(SimpsonIntegrate(f, 0.0, 10.0, 2000), 1.0 - std::exp(-10.0),
+              1e-10);
+}
+
+TEST(NumericTest, SimpsonHandlesOddIntervalRequest) {
+  auto f = [](double) { return 1.0; };
+  EXPECT_NEAR(SimpsonIntegrate(f, 0.0, 1.0, 3), 1.0, 1e-12);
+  EXPECT_NEAR(SimpsonIntegrate(f, 0.0, 1.0, 1), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,145 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+constexpr int kSamples = 200'000;
+
+TEST(BitGenTest, DeterministicForSameSeed) {
+  BitGen a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(BitGenTest, DifferentSeedsDiverge) {
+  BitGen a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(BitGenTest, UniformInUnitInterval) {
+  BitGen gen(7);
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = gen.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.005);
+}
+
+TEST(BitGenTest, UniformPositiveNeverZero) {
+  BitGen gen(7);
+  for (int i = 0; i < 10'000; ++i) ASSERT_GT(gen.UniformPositive(), 0.0);
+}
+
+TEST(BitGenTest, UniformRangeRespectsBounds) {
+  BitGen gen(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = gen.Uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(BitGenTest, UniformIntCoversRangeUniformly) {
+  BitGen gen(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t v = gen.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / 10.0, 5 * std::sqrt(kSamples / 10.0));
+  }
+}
+
+TEST(BitGenTest, ExponentialMatchesMeanAndVariance) {
+  BitGen gen(13);
+  std::vector<double> sample(kSamples);
+  for (double& x : sample) x = gen.Exponential(2.5);
+  const SampleSummary s = Summarize(sample);
+  EXPECT_NEAR(s.mean, 2.5, 0.05);
+  EXPECT_NEAR(s.variance, 2.5 * 2.5, 0.25);
+  EXPECT_GE(s.min, 0.0);
+}
+
+TEST(BitGenTest, LaplaceMatchesMomentsAndMad) {
+  BitGen gen(17);
+  const double scale = 3.0;
+  std::vector<double> sample(kSamples);
+  for (double& x : sample) x = gen.Laplace(scale);
+  const SampleSummary s = Summarize(sample);
+  // Laplace(b): mean 0, variance 2b², expected absolute deviation b.
+  EXPECT_NEAR(s.mean, 0.0, 0.05);
+  EXPECT_NEAR(s.variance, 2 * scale * scale, 0.5);
+  EXPECT_NEAR(s.mean_abs_deviation, scale, 0.05);
+}
+
+TEST(BitGenTest, LaplaceWithLocationShiftsMean) {
+  BitGen gen(19);
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) sum += gen.Laplace(100.0, 1.0);
+  EXPECT_NEAR(sum / kSamples, 100.0, 0.05);
+}
+
+TEST(BitGenTest, LaplacePassesKsAgainstAnalyticCdf) {
+  BitGen gen(23);
+  std::vector<double> sample(50'000);
+  for (double& x : sample) x = gen.Laplace(5.0, 2.0);
+  const double ks = KsStatistic(
+      sample, [](double x) { return LaplaceCdf(x, 5.0, 2.0); });
+  // 1.63/sqrt(n) is the 1% critical value of the one-sample KS test.
+  EXPECT_LT(ks, 1.63 / std::sqrt(50'000.0));
+}
+
+TEST(BitGenTest, TruncatedExponentialStaysInInterval) {
+  BitGen gen(29);
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = gen.TruncatedExponential(1.5, 2.0, 4.5);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LE(x, 4.5);
+  }
+}
+
+TEST(BitGenTest, TruncatedExponentialMatchesAnalyticCdf) {
+  BitGen gen(31);
+  const double mean = 2.0, lo = 1.0, hi = 6.0;
+  std::vector<double> sample(50'000);
+  for (double& x : sample) x = gen.TruncatedExponential(mean, lo, hi);
+  auto cdf = [&](double x) {
+    return std::expm1(-(x - lo) / mean) / std::expm1(-(hi - lo) / mean);
+  };
+  EXPECT_LT(KsStatistic(sample, cdf), 1.63 / std::sqrt(50'000.0));
+}
+
+TEST(BitGenTest, TruncatedExponentialUnboundedMatchesShiftedExponential) {
+  BitGen gen(37);
+  std::vector<double> sample(50'000);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double& x : sample) x = gen.TruncatedExponential(3.0, 10.0, inf);
+  const SampleSummary s = Summarize(sample);
+  EXPECT_NEAR(s.mean, 13.0, 0.1);
+  EXPECT_GE(s.min, 10.0);
+}
+
+TEST(BitGenTest, BernoulliMatchesProbability) {
+  BitGen gen(41);
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) hits += gen.Bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(kSamples), 0.3, 0.01);
+  EXPECT_FALSE(gen.Bernoulli(0.0));
+  EXPECT_TRUE(gen.Bernoulli(1.0));
+}
+
+}  // namespace
+}  // namespace ireduct

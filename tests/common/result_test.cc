@@ -1,0 +1,63 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ireduct {
+namespace {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  EXPECT_EQ(ParsePositive(7).value_or(-1), 7);
+  EXPECT_EQ(ParsePositive(-7).value_or(-1), -1);
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto chain = [](int x) -> Result<int> {
+    IREDUCT_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+    return v * 2;
+  };
+  ASSERT_TRUE(chain(5).ok());
+  EXPECT_EQ(chain(5).value(), 10);
+  EXPECT_EQ(chain(-5).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, CopyableWhenValueIsCopyable) {
+  Result<int> a = 9;
+  Result<int> b = a;
+  EXPECT_EQ(b.value(), 9);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,79 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ireduct {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("oob").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("fp").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::PrivacyBudgetExceeded("pb").code(),
+            StatusCode::kPrivacyBudgetExceeded);
+  EXPECT_EQ(Status::IoError("io").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("in").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+  EXPECT_FALSE(Status::InvalidArgument("bad").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::PrivacyBudgetExceeded("over by 0.5");
+  EXPECT_EQ(s.ToString(), "Privacy budget exceeded: over by 0.5");
+}
+
+TEST(StatusTest, StreamInsertionMatchesToString) {
+  std::ostringstream os;
+  os << Status::NotFound("thing");
+  EXPECT_EQ(os.str(), "Not found: thing");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  const Status original = Status::IoError("disk");
+  const Status copy = original;  // NOLINT(performance-unnecessary-copy)
+  EXPECT_EQ(copy.code(), StatusCode::kIoError);
+  EXPECT_EQ(copy.message(), "disk");
+}
+
+TEST(StatusTest, OkConstructedWithExplicitCodeIsOk) {
+  const Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    IREDUCT_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+
+  auto succeeds = [] { return Status::OK(); };
+  auto wrapper_ok = [&]() -> Status {
+    IREDUCT_RETURN_NOT_OK(succeeds());
+    return Status::NotFound("sentinel");
+  };
+  EXPECT_EQ(wrapper_ok().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,150 @@
+#include "data/census_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "marginals/marginal.h"
+
+namespace ireduct {
+namespace {
+
+CensusConfig SmallConfig(CensusKind kind) {
+  CensusConfig c;
+  c.kind = kind;
+  c.rows = 30'000;
+  c.seed = 7;
+  return c;
+}
+
+TEST(CensusGeneratorTest, SchemaMatchesTableFour) {
+  auto brazil = CensusSchema(CensusKind::kBrazil);
+  ASSERT_TRUE(brazil.ok());
+  ASSERT_EQ(brazil->num_attributes(), 9u);
+  EXPECT_EQ(brazil->attribute(kAge).domain_size, 101u);
+  EXPECT_EQ(brazil->attribute(kGender).domain_size, 2u);
+  EXPECT_EQ(brazil->attribute(kMaritalStatus).domain_size, 4u);
+  EXPECT_EQ(brazil->attribute(kState).domain_size, 26u);
+  EXPECT_EQ(brazil->attribute(kBirthPlace).domain_size, 29u);
+  EXPECT_EQ(brazil->attribute(kRace).domain_size, 5u);
+  EXPECT_EQ(brazil->attribute(kEducation).domain_size, 5u);
+  EXPECT_EQ(brazil->attribute(kOccupation).domain_size, 512u);
+  EXPECT_EQ(brazil->attribute(kClassOfWorker).domain_size, 4u);
+
+  auto us = CensusSchema(CensusKind::kUs);
+  ASSERT_TRUE(us.ok());
+  EXPECT_EQ(us->attribute(kAge).domain_size, 92u);
+  EXPECT_EQ(us->attribute(kState).domain_size, 51u);
+  EXPECT_EQ(us->attribute(kBirthPlace).domain_size, 52u);
+  EXPECT_EQ(us->attribute(kRace).domain_size, 14u);
+  EXPECT_EQ(us->attribute(kOccupation).domain_size, 477u);
+}
+
+TEST(CensusGeneratorTest, GeneratesRequestedRows) {
+  auto d = GenerateCensus(SmallConfig(CensusKind::kBrazil));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 30'000u);
+  EXPECT_EQ(d->num_columns(), 9u);
+}
+
+TEST(CensusGeneratorTest, RejectsZeroRows) {
+  CensusConfig c;
+  c.rows = 0;
+  EXPECT_FALSE(GenerateCensus(c).ok());
+}
+
+TEST(CensusGeneratorTest, DeterministicForSeed) {
+  auto a = GenerateCensus(SmallConfig(CensusKind::kUs));
+  auto b = GenerateCensus(SmallConfig(CensusKind::kUs));
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t r = 0; r < 100; ++r) {
+    for (size_t c = 0; c < 9; ++c) {
+      ASSERT_EQ(a->value(r, c), b->value(r, c));
+    }
+  }
+}
+
+TEST(CensusGeneratorTest, DifferentSeedsProduceDifferentData) {
+  CensusConfig c1 = SmallConfig(CensusKind::kBrazil);
+  CensusConfig c2 = c1;
+  c2.seed = 8;
+  auto a = GenerateCensus(c1);
+  auto b = GenerateCensus(c2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  int diffs = 0;
+  for (size_t r = 0; r < 200; ++r) diffs += a->value(r, kAge) != b->value(r, kAge);
+  EXPECT_GT(diffs, 50);
+}
+
+TEST(CensusGeneratorTest, ChildrenAreOverwhelminglySingle) {
+  auto d = GenerateCensus(SmallConfig(CensusKind::kBrazil));
+  ASSERT_TRUE(d.ok());
+  int children = 0, single_children = 0;
+  for (size_t r = 0; r < d->num_rows(); ++r) {
+    if (d->value(r, kAge) < 15) {
+      ++children;
+      single_children += d->value(r, kMaritalStatus) == 0;
+    }
+  }
+  ASSERT_GT(children, 1000);
+  EXPECT_GT(single_children / static_cast<double>(children), 0.95);
+}
+
+TEST(CensusGeneratorTest, OccupationCorrelatesWithEducation) {
+  // The generator concentrates each education level's occupations around
+  // its own head; mutual information must be visible as a shifted modal
+  // occupation across education levels.
+  auto d = GenerateCensus(SmallConfig(CensusKind::kBrazil));
+  ASSERT_TRUE(d.ok());
+  auto marginal = Marginal::Compute(
+      *d, MarginalSpec{{kEducation, kOccupation}});
+  ASSERT_TRUE(marginal.ok());
+  // Modal occupation per education level.
+  std::vector<size_t> mode(5, 0);
+  for (uint16_t e = 0; e < 5; ++e) {
+    double best = -1;
+    for (uint16_t o = 0; o < 512; ++o) {
+      const double c = marginal->count(static_cast<size_t>(e) * 512 + o);
+      if (c > best) {
+        best = c;
+        mode[e] = o;
+      }
+    }
+  }
+  // Heads are spread across the domain (centers at e*512/5); distance is
+  // circular and the exact center code may be a retired (zero-weight) one.
+  for (int e = 0; e < 5; ++e) {
+    const int center = e * 512 / 5;
+    const int diff = std::abs(static_cast<int>(mode[e]) - center);
+    EXPECT_LE(std::min(diff, 512 - diff), 16) << "education " << e;
+  }
+}
+
+TEST(CensusGeneratorTest, MarginalsAreHeavyTailed) {
+  // Zipf-style states: the top state should dwarf the median one.
+  auto d = GenerateCensus(SmallConfig(CensusKind::kUs));
+  ASSERT_TRUE(d.ok());
+  auto states = Marginal::Compute(*d, MarginalSpec{{kState}});
+  ASSERT_TRUE(states.ok());
+  std::vector<double> counts(states->counts().begin(),
+                             states->counts().end());
+  std::sort(counts.rbegin(), counts.rend());
+  EXPECT_GT(counts[0], 5 * counts[25]);
+}
+
+TEST(CensusGeneratorTest, BirthPlaceMostlyMatchesState) {
+  auto d = GenerateCensus(SmallConfig(CensusKind::kBrazil));
+  ASSERT_TRUE(d.ok());
+  size_t match = 0;
+  for (size_t r = 0; r < d->num_rows(); ++r) {
+    match += d->value(r, kState) == d->value(r, kBirthPlace);
+  }
+  const double frac = match / static_cast<double>(d->num_rows());
+  EXPECT_GT(frac, 0.6);
+  EXPECT_LT(frac, 0.95);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,116 @@
+// Statistical-realism checks of the synthetic census generators: the
+// properties that make the paper's experiments meaningful (near-empty
+// cells for δ to act on, retired occupation codes, attribute coupling,
+// population differences between the two datasets).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "data/census_generator.h"
+#include "marginals/marginal.h"
+
+namespace ireduct {
+namespace {
+
+Dataset Generate(CensusKind kind, uint64_t rows = 60'000) {
+  CensusConfig config;
+  config.kind = kind;
+  config.rows = rows;
+  config.seed = 99;
+  auto d = GenerateCensus(config);
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+std::vector<double> Counts(const Dataset& d, CensusAttribute attr) {
+  auto m = Marginal::Compute(
+      d, MarginalSpec{{static_cast<uint32_t>(attr)}});
+  EXPECT_TRUE(m.ok());
+  return std::vector<double>(m->counts().begin(), m->counts().end());
+}
+
+TEST(CensusRealismTest, TopAgesAreNearEmpty) {
+  // The sanity bound δ = 1e-4·|T| = 6 must actually bind somewhere:
+  // centenarian cells hold a handful of rows at most.
+  const Dataset d = Generate(CensusKind::kBrazil);
+  const std::vector<double> ages = Counts(d, kAge);
+  double top_five = 0;
+  for (size_t a = ages.size() - 5; a < ages.size(); ++a) {
+    top_five += ages[a];
+  }
+  EXPECT_LT(top_five, 20);
+  // While prime ages are populous.
+  EXPECT_GT(ages[20], 500);
+}
+
+TEST(CensusRealismTest, RetiredOccupationCodesAreExactlyEmpty) {
+  const Dataset d = Generate(CensusKind::kBrazil);
+  const std::vector<double> occupations = Counts(d, kOccupation);
+  size_t empty = 0;
+  for (double c : occupations) empty += (c == 0);
+  // ~25% of codes are retired by the deterministic hash classes.
+  EXPECT_GT(empty, occupations.size() / 6);
+  EXPECT_LT(empty, occupations.size() / 2);
+}
+
+TEST(CensusRealismTest, OccupationMarginalIsHeavyTailed) {
+  const Dataset d = Generate(CensusKind::kUs);
+  std::vector<double> occupations = Counts(d, kOccupation);
+  std::sort(occupations.rbegin(), occupations.rend());
+  // Top decile carries the majority of the mass.
+  double top = 0, total = 0;
+  for (size_t i = 0; i < occupations.size(); ++i) {
+    total += occupations[i];
+    if (i < occupations.size() / 10) top += occupations[i];
+  }
+  EXPECT_GT(top / total, 0.5);
+}
+
+TEST(CensusRealismTest, EducationCouplesWithAge) {
+  // Children overwhelmingly sit in the lowest education level.
+  const Dataset d = Generate(CensusKind::kBrazil);
+  size_t children = 0, low_edu_children = 0;
+  for (size_t r = 0; r < d.num_rows(); ++r) {
+    if (d.value(r, kAge) < 15) {
+      ++children;
+      low_edu_children += d.value(r, kEducation) == 0;
+    }
+  }
+  ASSERT_GT(children, 1000u);
+  EXPECT_GT(static_cast<double>(low_edu_children) / children, 0.7);
+}
+
+TEST(CensusRealismTest, PopulationsDifferInAgeStructure) {
+  // Brazil-like is younger than US-like (the slope knob).
+  auto mean_age = [](const Dataset& d) {
+    double sum = 0;
+    for (size_t r = 0; r < d.num_rows(); ++r) sum += d.value(r, kAge);
+    return sum / d.num_rows();
+  };
+  const double brazil = mean_age(Generate(CensusKind::kBrazil));
+  const double us = mean_age(Generate(CensusKind::kUs));
+  EXPECT_LT(brazil + 2, us);
+}
+
+TEST(CensusRealismTest, ClassOfWorkerDependsOnEducation) {
+  // Unpaid/family work concentrates at the lowest education level.
+  const Dataset d = Generate(CensusKind::kBrazil);
+  auto joint = Marginal::Compute(
+      d, MarginalSpec{{kEducation, kClassOfWorker}});
+  ASSERT_TRUE(joint.ok());
+  auto rate = [&](uint16_t edu) {
+    double unpaid = joint->count(
+        joint->CellIndex(std::vector<uint16_t>{edu, 3}));
+    double total = 0;
+    for (uint16_t w = 0; w < 4; ++w) {
+      total += joint->count(
+          joint->CellIndex(std::vector<uint16_t>{edu, w}));
+    }
+    return unpaid / total;
+  };
+  EXPECT_GT(rate(0), 3 * rate(4));
+}
+
+}  // namespace
+}  // namespace ireduct

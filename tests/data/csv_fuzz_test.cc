@@ -1,0 +1,80 @@
+// Randomized CSV round-trip coverage across schema shapes and dataset
+// sizes, plus hostile-input rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/csv.h"
+
+namespace ireduct {
+namespace {
+
+class CsvFuzzTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/ireduct_csv_fuzz_" +
+            std::to_string(GetParam()) + ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_P(CsvFuzzTest, RandomDatasetRoundTrips) {
+  BitGen gen(GetParam());
+  const size_t attrs = 1 + gen.UniformInt(6);
+  std::vector<Attribute> schema_attrs;
+  for (size_t a = 0; a < attrs; ++a) {
+    schema_attrs.push_back(
+        {"col" + std::to_string(a),
+         static_cast<uint32_t>(1 + gen.UniformInt(5000))});
+  }
+  auto schema = Schema::Create(schema_attrs);
+  ASSERT_TRUE(schema.ok());
+  Dataset original(*schema);
+  const size_t rows = gen.UniformInt(400);
+  std::vector<uint16_t> row(attrs);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t a = 0; a < attrs; ++a) {
+      row[a] = static_cast<uint16_t>(
+          gen.UniformInt(schema->attribute(a).domain_size));
+    }
+    ASSERT_TRUE(original.AppendRow(row).ok());
+  }
+
+  ASSERT_TRUE(WriteCsv(original, path_).ok());
+  auto loaded = ReadCsv(*schema, path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_rows(), original.num_rows());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t a = 0; a < attrs; ++a) {
+      ASSERT_EQ(loaded->value(r, a), original.value(r, a))
+          << "row " << r << " col " << a;
+    }
+  }
+}
+
+TEST_P(CsvFuzzTest, CorruptedFilesAreRejectedNotCrashed) {
+  auto schema = Schema::Create({{"A", 10}, {"B", 10}});
+  ASSERT_TRUE(schema.ok());
+  BitGen gen(GetParam() + 77);
+  // Assemble a hostile file: valid header then garbage lines.
+  std::ofstream out(path_);
+  out << "A,B\n";
+  const char* garbage[] = {"1,2,3", "x,y", "-1,5", "99999,0", "5", ",,",
+                           "3,abc"};
+  out << garbage[gen.UniformInt(7)] << "\n";
+  out.close();
+  auto loaded = ReadCsv(*schema, path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         testing::Values(3u, 17u, 2024u, 555u));
+
+}  // namespace
+}  // namespace ireduct

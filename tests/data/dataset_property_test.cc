@@ -1,0 +1,98 @@
+// Randomized invariants for dataset fold assignment and row selection.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+
+namespace ireduct {
+namespace {
+
+class DatasetPropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  Dataset RandomDataset(BitGen& gen, size_t rows) {
+    auto schema = Schema::Create({{"A", 7}, {"B", 3}});
+    EXPECT_TRUE(schema.ok());
+    Dataset d(std::move(schema).value());
+    for (size_t r = 0; r < rows; ++r) {
+      EXPECT_TRUE(d.AppendRow(std::vector<uint16_t>{
+                       static_cast<uint16_t>(gen.UniformInt(7)),
+                       static_cast<uint16_t>(gen.UniformInt(3))})
+                      .ok());
+    }
+    return d;
+  }
+};
+
+TEST_P(DatasetPropertyTest, FoldsAreBalancedForAnyK) {
+  BitGen gen(GetParam());
+  const size_t rows = 50 + gen.UniformInt(500);
+  const Dataset d = RandomDataset(gen, rows);
+  for (int k : {2, 3, 5, 10}) {
+    auto folds = d.FoldAssignment(k, gen);
+    ASSERT_TRUE(folds.ok());
+    std::vector<size_t> counts(k, 0);
+    for (uint8_t f : *folds) {
+      ASSERT_LT(f, k);
+      ++counts[f];
+    }
+    size_t lo = rows, hi = 0;
+    for (size_t c : counts) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    EXPECT_LE(hi - lo, 1u) << "k=" << k << " rows=" << rows;
+  }
+}
+
+TEST_P(DatasetPropertyTest, FoldsShuffle) {
+  // Rows assigned to fold 0 should not simply be the first block: with a
+  // few hundred rows, the probability of that under a real shuffle is
+  // astronomically small.
+  BitGen gen(GetParam() + 1);
+  const Dataset d = RandomDataset(gen, 300);
+  auto folds = d.FoldAssignment(3, gen);
+  ASSERT_TRUE(folds.ok());
+  bool prefix_only = true;
+  for (size_t r = 0; r < 100; ++r) prefix_only &= ((*folds)[r] == 0);
+  EXPECT_FALSE(prefix_only);
+}
+
+TEST_P(DatasetPropertyTest, SelectPreservesRowContentAndOrder) {
+  BitGen gen(GetParam() + 2);
+  const Dataset d = RandomDataset(gen, 200);
+  // A random subset of indices.
+  std::vector<uint32_t> rows;
+  for (uint32_t r = 0; r < 200; ++r) {
+    if (gen.Bernoulli(0.3)) rows.push_back(r);
+  }
+  if (rows.empty()) rows.push_back(0);
+  const Dataset subset = d.Select(rows);
+  ASSERT_EQ(subset.num_rows(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t c = 0; c < d.num_columns(); ++c) {
+      ASSERT_EQ(subset.value(i, c), d.value(rows[i], c));
+    }
+  }
+}
+
+TEST_P(DatasetPropertyTest, SelectOfAllRowsIsIdentity) {
+  BitGen gen(GetParam() + 3);
+  const Dataset d = RandomDataset(gen, 120);
+  std::vector<uint32_t> all(d.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  const Dataset copy = d.Select(all);
+  for (size_t r = 0; r < d.num_rows(); ++r) {
+    for (size_t c = 0; c < d.num_columns(); ++c) {
+      ASSERT_EQ(copy.value(r, c), d.value(r, c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatasetPropertyTest,
+                         testing::Values(2u, 13u, 77u, 4096u));
+
+}  // namespace
+}  // namespace ireduct

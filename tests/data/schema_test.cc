@@ -1,0 +1,30 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace ireduct {
+namespace {
+
+TEST(SchemaTest, CreateValidates) {
+  EXPECT_FALSE(Schema::Create({}).ok());
+  EXPECT_FALSE(Schema::Create({{"", 2}}).ok());
+  EXPECT_FALSE(Schema::Create({{"A", 0}}).ok());
+  EXPECT_FALSE(Schema::Create({{"A", 70000}}).ok());
+  EXPECT_FALSE(Schema::Create({{"A", 2}, {"A", 3}}).ok());
+  EXPECT_TRUE(Schema::Create({{"A", 2}, {"B", 65535}}).ok());
+}
+
+TEST(SchemaTest, AccessorsAndLookup) {
+  auto s = Schema::Create({{"Age", 101}, {"Gender", 2}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attributes(), 2u);
+  EXPECT_EQ(s->attribute(0).name, "Age");
+  EXPECT_EQ(s->attribute(1).domain_size, 2u);
+  auto idx = s->IndexOf("Gender");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_EQ(s->IndexOf("Missing").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,99 @@
+#include "dp/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/dwork.h"
+#include "common/random.h"
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+TEST(ConfidenceTest, QuantileBasics) {
+  EXPECT_DOUBLE_EQ(LaplaceQuantile(0.5, 3.0, 2.0), 3.0);
+  // CDF(quantile(p)) = p.
+  for (double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+    const double q = LaplaceQuantile(p, -1.0, 1.7);
+    EXPECT_NEAR(LaplaceCdf(q, -1.0, 1.7), p, 1e-12) << "p=" << p;
+  }
+  // Symmetry.
+  EXPECT_NEAR(LaplaceQuantile(0.9, 0, 1), -LaplaceQuantile(0.1, 0, 1),
+              1e-12);
+}
+
+TEST(ConfidenceTest, IntervalValidates) {
+  EXPECT_FALSE(LaplaceConfidenceInterval(0, 1, 0).ok());
+  EXPECT_FALSE(LaplaceConfidenceInterval(0, 1, 1).ok());
+  EXPECT_FALSE(LaplaceConfidenceInterval(0, 0, 0.9).ok());
+}
+
+TEST(ConfidenceTest, IntervalWidthMatchesFormula) {
+  auto ci = LaplaceConfidenceInterval(100, 5, 0.95);
+  ASSERT_TRUE(ci.ok());
+  // half width = 5·ln(20).
+  EXPECT_NEAR(ci->width(), 2 * 5 * std::log(20.0), 1e-9);
+  EXPECT_TRUE(ci->Contains(100));
+  EXPECT_NEAR((ci->lo + ci->hi) / 2, 100, 1e-12);
+}
+
+TEST(ConfidenceTest, EmpiricalCoverageMatchesLevel) {
+  // A 90% interval around the noisy answer must contain the true answer
+  // ~90% of the time (Laplace noise is symmetric, so posterior and
+  // sampling intervals coincide).
+  const double truth = 500, scale = 7, level = 0.9;
+  BitGen gen(1);
+  int covered = 0;
+  const int trials = 100'000;
+  for (int t = 0; t < trials; ++t) {
+    const double answer = truth + gen.Laplace(scale);
+    auto ci = LaplaceConfidenceInterval(answer, scale, level);
+    ASSERT_TRUE(ci.ok());
+    covered += ci->Contains(truth);
+  }
+  EXPECT_NEAR(covered / static_cast<double>(trials), level, 0.005);
+}
+
+TEST(ConfidenceTest, PerQueryIntervalsUseGroupScales) {
+  auto w = Workload::Create(
+      {10, 20, 30},
+      {QueryGroup{"a", 0, 1, 1.0}, QueryGroup{"b", 1, 3, 1.0}});
+  ASSERT_TRUE(w.ok());
+  MechanismOutput out;
+  out.answers = {11, 19, 31};
+  out.group_scales = {2, 8};
+  auto intervals = ConfidenceIntervals(*w, out, 0.95);
+  ASSERT_TRUE(intervals.ok());
+  ASSERT_EQ(intervals->size(), 3u);
+  EXPECT_NEAR((*intervals)[0].width() * 4, (*intervals)[1].width(), 1e-9);
+  EXPECT_DOUBLE_EQ((*intervals)[1].width(), (*intervals)[2].width());
+}
+
+TEST(ConfidenceTest, PerQueryIntervalsValidateShape) {
+  auto w = Workload::PerQuery({1, 2});
+  ASSERT_TRUE(w.ok());
+  MechanismOutput out;
+  out.answers = {1};
+  out.group_scales = {1, 1};
+  EXPECT_FALSE(ConfidenceIntervals(*w, out, 0.9).ok());
+}
+
+TEST(ConfidenceTest, EndToEndWithDwork) {
+  auto w = Workload::PerQuery({100, 2000});
+  ASSERT_TRUE(w.ok());
+  BitGen gen(2);
+  int covered = 0;
+  const int trials = 20'000;
+  for (int t = 0; t < trials; ++t) {
+    auto out = RunDwork(*w, DworkParams{0.5}, gen);
+    ASSERT_TRUE(out.ok());
+    auto intervals = ConfidenceIntervals(*w, *out, 0.95);
+    ASSERT_TRUE(intervals.ok());
+    covered += (*intervals)[0].Contains(100);
+  }
+  EXPECT_NEAR(covered / static_cast<double>(trials), 0.95, 0.01);
+}
+
+}  // namespace
+}  // namespace ireduct

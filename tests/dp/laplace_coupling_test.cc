@@ -1,0 +1,124 @@
+#include "dp/laplace_coupling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+TEST(LaplaceCouplingTest, ValidatesParameters) {
+  BitGen gen(1);
+  EXPECT_FALSE(CoupledNoiseDown(0, 1, 1.0, 1.0, gen).ok());
+  EXPECT_FALSE(CoupledNoiseDown(0, 1, 1.0, 2.0, gen).ok());
+  EXPECT_FALSE(CoupledNoiseDown(std::nan(""), 1, 2.0, 1.0, gen).ok());
+  EXPECT_TRUE(CoupledNoiseDown(0, 1, 2.0, 1.0, gen).ok());
+}
+
+TEST(LaplaceCouplingTest, StickProbabilityFormula) {
+  // p = (λ'/λ)·e^{-|y-μ|(1/λ'-1/λ)}.
+  EXPECT_NEAR(CoupledNoiseDownStickProbability(0, 0, 2.0, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(CoupledNoiseDownStickProbability(0, 3, 2.0, 1.0),
+              0.5 * std::exp(-3 * 0.5), 1e-12);
+  // Symmetric in the sign of y - μ.
+  EXPECT_DOUBLE_EQ(CoupledNoiseDownStickProbability(0, 3, 2.0, 1.0),
+                   CoupledNoiseDownStickProbability(0, -3, 2.0, 1.0));
+  EXPECT_LE(CoupledNoiseDownStickProbability(0, 0, 2.0, 1.0), 1.0);
+}
+
+TEST(LaplaceCouplingTest, MarginalIsExactlyLaplaceEvenAtUnitScale) {
+  // Unlike the paper's NoiseDown (O(1/λ') slack at toy scales), the atom
+  // coupling is exact at every scale; KS passes at λ' = 1.
+  const double mu = -2.0, lambda = 3.0, lp = 1.0;
+  BitGen gen(7);
+  const int n = 60'000;
+  std::vector<double> sample(n);
+  for (double& s : sample) {
+    const double y = gen.Laplace(mu, lambda);
+    auto yp = CoupledNoiseDown(mu, y, lambda, lp, gen);
+    ASSERT_TRUE(yp.ok());
+    s = *yp;
+  }
+  const double ks = KsStatistic(
+      sample, [&](double x) { return LaplaceCdf(x, mu, lp); });
+  EXPECT_LT(ks, 1.63 / std::sqrt(n));
+}
+
+TEST(LaplaceCouplingTest, ChainOfReductionsStaysLaplace) {
+  const double mu = 5.0;
+  BitGen gen(11);
+  const int n = 40'000;
+  std::vector<double> sample(n);
+  for (double& s : sample) {
+    double prev = 4.0;
+    double y = gen.Laplace(mu, prev);
+    for (double target : {2.5, 1.5, 0.8}) {
+      auto yp = CoupledNoiseDown(mu, y, prev, target, gen);
+      ASSERT_TRUE(yp.ok());
+      y = *yp;
+      prev = target;
+    }
+    s = y;
+  }
+  const double ks = KsStatistic(
+      sample, [&](double x) { return LaplaceCdf(x, mu, 0.8); });
+  EXPECT_LT(ks, 1.63 / std::sqrt(n));
+}
+
+TEST(LaplaceCouplingTest, SticksWithPositiveProbability) {
+  BitGen gen(13);
+  const double mu = 0, lambda = 2.0, lp = 1.5, y = 0.5;
+  int stuck = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    auto yp = CoupledNoiseDown(mu, y, lambda, lp, gen);
+    ASSERT_TRUE(yp.ok());
+    stuck += (*yp == y);
+  }
+  const double expected =
+      CoupledNoiseDownStickProbability(mu, y, lambda, lp);
+  EXPECT_NEAR(stuck / static_cast<double>(n), expected,
+              4 / std::sqrt(static_cast<double>(n)));
+}
+
+TEST(LaplaceCouplingTest, FarFromTruthRarelySticks) {
+  // |y - μ| >> λ' makes sticking exponentially unlikely, and the sampler
+  // must stay numerically healthy (no underflow NaNs).
+  BitGen gen(17);
+  for (int i = 0; i < 1000; ++i) {
+    auto yp = CoupledNoiseDown(0.0, 5000.0, 2.0, 1.0, gen);
+    ASSERT_TRUE(yp.ok());
+    ASSERT_TRUE(std::isfinite(*yp));
+  }
+}
+
+TEST(LaplaceCouplingTest, ExactJointPrivacyFactorization) {
+  // Continuous-branch joint density: Lap(y)·f_cont(y'|y) must equal
+  // Lap'(y')·(1-α)·Lap_λ(y-y') — the μ appears only through Lap'(y').
+  // We verify via the closed-form pieces: the analytic continuous density
+  //   f_cont(y') = (1-α)·Lap(y';μ,λ')·Lap(y-y';0,λ)/((1-p)·Lap(y;μ,λ))
+  // integrates to 1 together with the atom mass p.
+  const double mu = 0.3, lambda = 2.0, lp = 0.9, y = 1.7;
+  const double alpha = (lp * lp) / (lambda * lambda);
+  const double p = CoupledNoiseDownStickProbability(mu, y, lambda, lp);
+  auto lap = [](double x, double m, double b) {
+    return std::exp(-std::fabs(x - m) / b) / (2 * b);
+  };
+  // Numeric integral of the unnormalized continuous joint over y'.
+  double integral = 0;
+  const int steps = 400'000;
+  const double lo = -40, hi = 40;
+  for (int i = 0; i < steps; ++i) {
+    const double x = lo + (hi - lo) * (i + 0.5) / steps;
+    integral += lap(x, mu, lp) * lap(y - x, 0, lambda);
+  }
+  integral *= (hi - lo) / steps;
+  // Total probability: p + (1-α)·integral / Lap(y;μ,λ) = 1.
+  EXPECT_NEAR(p + (1 - alpha) * integral / lap(y, mu, lambda), 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,85 @@
+#include "dp/laplace_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+TEST(LaplaceMechanismTest, RejectsSizeMismatch) {
+  BitGen gen(1);
+  const std::vector<double> values{1, 2};
+  const std::vector<double> scales{1};
+  EXPECT_FALSE(AddLaplaceNoise(values, scales, gen).ok());
+}
+
+TEST(LaplaceMechanismTest, RejectsNonPositiveScales) {
+  BitGen gen(1);
+  const std::vector<double> values{1};
+  EXPECT_FALSE(AddLaplaceNoise(values, std::vector<double>{0.0}, gen).ok());
+  EXPECT_FALSE(AddLaplaceNoise(values, std::vector<double>{-1.0}, gen).ok());
+}
+
+TEST(LaplaceMechanismTest, NoiseIsCenteredWithRequestedScale) {
+  BitGen gen(42);
+  const int n = 100'000;
+  const std::vector<double> values(n, 50.0);
+  const std::vector<double> scales(n, 3.0);
+  auto noisy = AddLaplaceNoise(values, scales, gen);
+  ASSERT_TRUE(noisy.ok());
+  std::vector<double> noise(n);
+  for (int i = 0; i < n; ++i) noise[i] = (*noisy)[i] - 50.0;
+  const SampleSummary s = Summarize(noise);
+  EXPECT_NEAR(s.mean, 0.0, 0.05);
+  EXPECT_NEAR(s.mean_abs_deviation, 3.0, 0.05);  // E|Lap(b)| = b
+}
+
+TEST(LaplaceMechanismTest, PerQueryScalesAreHonored) {
+  BitGen gen(7);
+  const int n = 60'000;
+  std::vector<double> values(2 * n, 0.0);
+  std::vector<double> scales(2 * n);
+  for (int i = 0; i < n; ++i) {
+    scales[i] = 1.0;
+    scales[n + i] = 10.0;
+  }
+  auto noisy = AddLaplaceNoise(values, scales, gen);
+  ASSERT_TRUE(noisy.ok());
+  const SampleSummary small =
+      Summarize(std::span<const double>(*noisy).subspan(0, n));
+  const SampleSummary big =
+      Summarize(std::span<const double>(*noisy).subspan(n, n));
+  EXPECT_NEAR(small.mean_abs_deviation, 1.0, 0.05);
+  EXPECT_NEAR(big.mean_abs_deviation, 10.0, 0.5);
+}
+
+TEST(LaplaceMechanismTest, WorkloadVersionExpandsGroupScales) {
+  BitGen gen(9);
+  auto w = Workload::Create(
+      {100, 200, 300},
+      {QueryGroup{"A", 0, 1, 1.0}, QueryGroup{"B", 1, 3, 1.0}});
+  ASSERT_TRUE(w.ok());
+  auto noisy = LaplaceNoise(*w, std::vector<double>{1.0, 5.0}, gen);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->size(), 3u);
+  // One scale per group, not per query.
+  EXPECT_FALSE(LaplaceNoise(*w, std::vector<double>{1.0, 2.0, 3.0}, gen).ok());
+}
+
+TEST(LaplaceMechanismTest, DeterministicGivenSeed) {
+  const std::vector<double> values{1, 2, 3};
+  const std::vector<double> scales{1, 1, 1};
+  BitGen g1(5), g2(5);
+  auto a = AddLaplaceNoise(values, scales, g1);
+  auto b = AddLaplaceNoise(values, scales, g2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,123 @@
+#include "dp/noise_down_chain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+NoiseDownChainOptions ExactOptions() {
+  NoiseDownChainOptions o;
+  o.reducer = ChainReducer::kExactCoupling;
+  return o;
+}
+
+TEST(NoiseDownChainTest, StartValidatesInputs) {
+  auto acct = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(acct.ok());
+  BitGen gen(1);
+  EXPECT_FALSE(
+      NoiseDownChain::Start(10, 0, ExactOptions(), *acct, gen).ok());
+  NoiseDownChainOptions bad = ExactOptions();
+  bad.sensitivity = 0;
+  EXPECT_FALSE(NoiseDownChain::Start(10, 5, bad, *acct, gen).ok());
+}
+
+TEST(NoiseDownChainTest, StartChargesInitialScale) {
+  auto acct = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(acct.ok());
+  BitGen gen(2);
+  auto chain = NoiseDownChain::Start(100, 10, ExactOptions(), *acct, gen);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_DOUBLE_EQ(chain->epsilon_spent(), 0.1);
+  EXPECT_DOUBLE_EQ(acct->spent(), 0.1);
+  EXPECT_DOUBLE_EQ(chain->scale(), 10);
+}
+
+TEST(NoiseDownChainTest, TotalChargeEqualsFinalScaleRelease) {
+  auto acct = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(acct.ok());
+  BitGen gen(3);
+  auto chain = NoiseDownChain::Start(100, 50, ExactOptions(), *acct, gen);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_TRUE(chain->Reduce(20, gen).ok());
+  ASSERT_TRUE(chain->Reduce(5, gen).ok());
+  // Whole chain = one release at scale 5.
+  EXPECT_NEAR(chain->epsilon_spent(), 1.0 / 5, 1e-12);
+  EXPECT_NEAR(acct->spent(), 1.0 / 5, 1e-12);
+  EXPECT_EQ(chain->reductions(), 2);
+}
+
+TEST(NoiseDownChainTest, PaperReducerChargesSlack) {
+  auto acct = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(acct.ok());
+  NoiseDownChainOptions options;
+  options.reducer = ChainReducer::kPaperNoiseDown;
+  BitGen gen(4);
+  auto chain = NoiseDownChain::Start(100, 50, options, *acct, gen);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_TRUE(chain->Reduce(10, gen).ok());
+  EXPECT_NEAR(chain->epsilon_spent(), 1.06 / 10, 1e-12);
+}
+
+TEST(NoiseDownChainTest, ReduceValidatesScale) {
+  auto acct = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(acct.ok());
+  BitGen gen(5);
+  auto chain = NoiseDownChain::Start(100, 10, ExactOptions(), *acct, gen);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_FALSE(chain->Reduce(10, gen).ok());  // not smaller
+  EXPECT_FALSE(chain->Reduce(0, gen).ok());
+  EXPECT_FALSE(chain->Reduce(-3, gen).ok());
+}
+
+TEST(NoiseDownChainTest, BudgetExhaustionLeavesChainIntact) {
+  auto acct = PrivacyAccountant::Create(0.11);
+  ASSERT_TRUE(acct.ok());
+  BitGen gen(6);
+  auto chain = NoiseDownChain::Start(100, 10, ExactOptions(), *acct, gen);
+  ASSERT_TRUE(chain.ok());  // 0.1 spent
+  const double before_answer = chain->answer();
+  const Status s = chain->Reduce(1, gen);  // would need +0.9
+  EXPECT_EQ(s.code(), StatusCode::kPrivacyBudgetExceeded);
+  EXPECT_DOUBLE_EQ(chain->answer(), before_answer);
+  EXPECT_DOUBLE_EQ(chain->scale(), 10);
+  EXPECT_NEAR(acct->spent(), 0.1, 1e-12);
+}
+
+TEST(NoiseDownChainTest, SensitivityScalesCharges) {
+  auto acct = PrivacyAccountant::Create(5.0);
+  ASSERT_TRUE(acct.ok());
+  NoiseDownChainOptions options = ExactOptions();
+  options.sensitivity = 2.0;
+  BitGen gen(7);
+  auto chain = NoiseDownChain::Start(100, 10, options, *acct, gen);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_DOUBLE_EQ(chain->epsilon_spent(), 0.2);
+  ASSERT_TRUE(chain->Reduce(2, gen).ok());
+  EXPECT_NEAR(chain->epsilon_spent(), 1.0, 1e-12);
+}
+
+TEST(NoiseDownChainTest, FinalAnswerIsLaplaceAtFinalScale) {
+  const double mu = 42.0;
+  std::vector<double> sample(40'000);
+  BitGen gen(8);
+  for (double& s : sample) {
+    auto acct = PrivacyAccountant::Create(10.0);
+    auto chain = NoiseDownChain::Start(mu, 8.0, ExactOptions(), *acct, gen);
+    ASSERT_TRUE(chain.ok());
+    ASSERT_TRUE(chain->Reduce(4.0, gen).ok());
+    ASSERT_TRUE(chain->Reduce(1.5, gen).ok());
+    s = chain->answer();
+  }
+  const double ks = KsStatistic(
+      sample, [&](double x) { return LaplaceCdf(x, mu, 1.5); });
+  EXPECT_LT(ks, 1.63 / std::sqrt(40'000.0));
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,117 @@
+// Moment and shape properties of the NoiseDown conditional distribution:
+// where the conditional mass concentrates, how the conditional mean
+// interpolates between the previous answer and the true answer, and how
+// variance contracts along a chain.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/numeric.h"
+#include "dp/noise_down.h"
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+// Numeric conditional mean of Y' | Y = y via the normalized pdf.
+double ConditionalMean(const NoiseDownDistribution& dist) {
+  const double span = 60 * dist.lambda();
+  auto integrand = [&](double x) { return x * dist.Pdf(x); };
+  // Split at the kinks.
+  std::vector<double> cuts{dist.mu() - span, dist.mu(), dist.y() - 1,
+                           dist.y(), dist.y() + 1, dist.mu() + span};
+  std::sort(cuts.begin(), cuts.end());
+  double mean = 0;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    if (cuts[i + 1] > cuts[i]) {
+      mean += SimpsonIntegrate(integrand, cuts[i], cuts[i + 1], 6000);
+    }
+  }
+  return mean;
+}
+
+TEST(NoiseDownMomentsTest, ConditionalMeanPullsTowardTruth) {
+  // Given a noisy answer far from the truth, the refined answer's
+  // conditional mean sits strictly between y and μ: resampling shrinks
+  // toward the true answer (that is where the accuracy gain comes from).
+  const double mu = 0.0, lambda = 3.0, lp = 1.0;
+  for (double y : {4.0, 8.0, -6.0}) {
+    auto dist = NoiseDownDistribution::Create(mu, y, lambda, lp);
+    ASSERT_TRUE(dist.ok());
+    const double mean = ConditionalMean(*dist);
+    if (y > mu) {
+      EXPECT_LT(mean, y);
+      EXPECT_GT(mean, mu);
+    } else {
+      EXPECT_GT(mean, y);
+      EXPECT_LT(mean, mu);
+    }
+  }
+}
+
+TEST(NoiseDownMomentsTest, ConditionalMeanNearYWhenScalesClose) {
+  // A tiny reduction barely moves the estimate (the mollified-atom
+  // regime: most mass stays within the unit interval around y).
+  auto dist = NoiseDownDistribution::Create(0.0, 5.0, 10.0, 9.9);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(ConditionalMean(*dist), 5.0, 0.35);
+  EXPECT_GT(dist->middle_mass(), 0.9);
+}
+
+TEST(NoiseDownMomentsTest, BigReductionMovesMassTowardTruth) {
+  // A large reduction (λ' << λ) re-centers most of the mass near μ.
+  auto dist = NoiseDownDistribution::Create(0.0, 9.0, 10.0, 1.0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(ConditionalMean(*dist), 0.0, 1.2);
+}
+
+TEST(NoiseDownMomentsTest, ChainVarianceMatchesFinalScale) {
+  // The unconditional variance after a chain equals the final Laplace
+  // variance 2λ'², not an accumulation of the steps.
+  const double mu = 0.0;
+  BitGen gen(5);
+  std::vector<double> sample(50'000);
+  for (double& s : sample) {
+    double y = gen.Laplace(mu, 40.0);
+    double prev = 40.0;
+    for (double target : {25.0, 16.0, 10.0}) {
+      auto yp = NoiseDown(mu, y, prev, target, gen);
+      ASSERT_TRUE(yp.ok());
+      y = *yp;
+      prev = target;
+    }
+    s = y;
+  }
+  const SampleSummary summary = Summarize(sample);
+  EXPECT_NEAR(summary.variance, 2 * 10.0 * 10.0, 8.0);
+  EXPECT_NEAR(summary.mean_abs_deviation, 10.0, 0.3);
+}
+
+TEST(NoiseDownMomentsTest, ConditionalVarianceBelowFreshResample) {
+  // Conditioning on the previous sample is what saves budget, but it also
+  // means the per-step conditional variance is below a fresh Laplace(λ')
+  // draw whenever y is informative (close to μ).
+  auto dist = NoiseDownDistribution::Create(0.0, 0.5, 3.0, 1.5);
+  ASSERT_TRUE(dist.ok());
+  BitGen gen(6);
+  std::vector<double> sample(60'000);
+  for (double& s : sample) s = dist->Sample(gen);
+  const SampleSummary summary = Summarize(sample);
+  EXPECT_LT(summary.variance, 2 * 1.5 * 1.5);
+}
+
+TEST(NoiseDownMomentsTest, SampleMomentsMatchPdfMoments) {
+  const auto dist = NoiseDownDistribution::Create(1.0, 3.5, 4.0, 2.0);
+  ASSERT_TRUE(dist.ok());
+  BitGen gen(7);
+  std::vector<double> sample(120'000);
+  for (double& s : sample) s = dist->Sample(gen);
+  const SampleSummary summary = Summarize(sample);
+  EXPECT_NEAR(summary.mean, ConditionalMean(*dist),
+              5 * std::sqrt(summary.variance / sample.size()));
+}
+
+}  // namespace
+}  // namespace ireduct

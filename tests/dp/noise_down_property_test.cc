@@ -1,0 +1,168 @@
+// Parameterized property sweeps of the NoiseDown distribution over a grid
+// of (λ, λ') pairs and μ-to-y offsets, covering both unit-scale and the
+// paper's |T|/10-scale regimes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/numeric.h"
+#include "dp/noise_down.h"
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace {
+
+struct NoiseDownCase {
+  double lambda;
+  double lambda_prime;
+  double offset;  // y - mu
+};
+
+std::string CaseName(const testing::TestParamInfo<NoiseDownCase>& info) {
+  auto fmt = [](double v) {
+    std::string s = std::to_string(v);
+    for (char& c : s) {
+      if (c == '.' || c == '-') c = '_';
+    }
+    return s;
+  };
+  return "l" + fmt(info.param.lambda) + "_lp" + fmt(info.param.lambda_prime) +
+         "_off" + fmt(info.param.offset);
+}
+
+class NoiseDownPropertyTest : public testing::TestWithParam<NoiseDownCase> {
+ protected:
+  NoiseDownDistribution Dist(double mu = 0.0) const {
+    const NoiseDownCase& c = GetParam();
+    auto r = NoiseDownDistribution::Create(mu, mu + c.offset, c.lambda,
+                                           c.lambda_prime);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return std::move(r).value();
+  }
+};
+
+TEST_P(NoiseDownPropertyTest, ThetasAreProbabilities) {
+  const auto dist = Dist();
+  EXPECT_GE(dist.theta1(), 0.0);
+  EXPECT_GE(dist.theta2(), -1e-15);
+  EXPECT_GE(dist.theta3(), 0.0);
+  EXPECT_LE(dist.theta1() + dist.theta2() + dist.theta3(), 1.0 + 1e-9);
+}
+
+TEST_P(NoiseDownPropertyTest, TotalMassIsOne) {
+  const auto dist = Dist();
+  const NoiseDownCase& c = GetParam();
+  // θ1/θ2/θ3 are closed-form; integrate the central interval and the θ2
+  // segment numerically and require the pieces to sum to 1, cross-checking
+  // the Equation 8-10 formulas at every parameter combination (including
+  // the λ ~ 10^5 regime where naive evaluation loses all precision). The θ
+  // masses and ξ live in the canonical μ <= y orientation, so mirror the
+  // pdf when this case is inverted.
+  const bool inverted = dist.mu() > dist.y();
+  const double y = inverted ? -dist.y() : dist.y();
+  const double mu = inverted ? -dist.mu() : dist.mu();
+  auto pdf = [&](double x) { return dist.Pdf(inverted ? -x : x); };
+  // Split the central interval at the kinks μ and y.
+  std::vector<double> cuts{y - 1, y + 1};
+  if (mu > y - 1 && mu < y + 1) cuts.insert(cuts.begin() + 1, mu);
+  double mid = 0;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    mid += SimpsonIntegrate(pdf, cuts[i], cuts[i + 1], 2000);
+  }
+  const double seg2 =
+      dist.xi() < y - 1
+          ? SimpsonIntegrate(pdf, dist.xi(), y - 1,
+                             std::max(2000, static_cast<int>(
+                                                20 * (y - 1 - dist.xi()) /
+                                                c.lambda_prime)))
+          : 0.0;
+  EXPECT_NEAR(seg2, dist.theta2(), 2e-5);
+  EXPECT_NEAR(dist.theta1() + seg2 + dist.theta3() + mid, 1.0, 5e-5);
+}
+
+TEST_P(NoiseDownPropertyTest, PhiDominatesCentralRawPdf) {
+  const auto dist = Dist();
+  const double y = dist.y();
+  const double phi = dist.phi();
+  for (int i = 1; i < 1000; ++i) {
+    const double x = y - 1 + 2.0 * i / 1000;
+    ASSERT_LE(dist.Pdf(x) * dist.normalization(), phi * (1 + 1e-9))
+        << "x=" << x;
+  }
+}
+
+TEST_P(NoiseDownPropertyTest, NormalizationWithinDocumentedBound) {
+  // |Z - 1| ≤ ~0.05/λ' (worst case, |y-μ| < 1) + O(1/λ'²) (see the
+  // dp/noise_down.h reproduction notes). The 1e-9 additive term covers
+  // floating-point noise in the closed-form middle mass at 10^5..10^6
+  // scales.
+  const NoiseDownCase& c = GetParam();
+  const double z = Dist().normalization();
+  EXPECT_GT(z, 0);
+  EXPECT_LE(std::fabs(z - 1.0),
+            0.05 / c.lambda_prime +
+                0.25 / (c.lambda_prime * c.lambda_prime) + 1e-9);
+}
+
+TEST_P(NoiseDownPropertyTest, PdfNonNegativeOnWideGrid) {
+  const auto dist = Dist();
+  const NoiseDownCase& c = GetParam();
+  const double span = 10 * c.lambda;
+  for (int i = 0; i <= 2000; ++i) {
+    const double x = dist.mu() - span + 2 * span * i / 2000;
+    ASSERT_GE(dist.Pdf(x), 0.0) << "x=" << x;
+  }
+}
+
+TEST_P(NoiseDownPropertyTest, SamplesAreFiniteAndDeterministic) {
+  const auto dist = Dist(3.0);
+  BitGen g1(11), g2(11);
+  for (int i = 0; i < 500; ++i) {
+    const double a = dist.Sample(g1);
+    const double b = dist.Sample(g2);
+    ASSERT_TRUE(std::isfinite(a));
+    ASSERT_EQ(a, b);
+  }
+}
+
+TEST_P(NoiseDownPropertyTest, ChainMarginalIsLaplaceAtReducedScale) {
+  const NoiseDownCase& c = GetParam();
+  const double mu = 7.0;
+  BitGen gen(1234);
+  const int n = 30'000;
+  std::vector<double> sample(n);
+  for (double& s : sample) {
+    const double y = gen.Laplace(mu, c.lambda);
+    auto yp = NoiseDown(mu, y, c.lambda, c.lambda_prime, gen);
+    ASSERT_TRUE(yp.ok());
+    s = *yp;
+  }
+  const double ks = KsStatistic(sample, [&](double x) {
+    return LaplaceCdf(x, mu, c.lambda_prime);
+  });
+  // KS noise floor plus the O(1/λ'²) marginal slack of the normalized
+  // sampler (exact only in the λ' -> ∞ limit; see dp/noise_down.h).
+  EXPECT_LT(ks, 1.63 / std::sqrt(n) +
+                    0.25 / (c.lambda_prime * c.lambda_prime));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScaleAndOffsetGrid, NoiseDownPropertyTest,
+    testing::Values(
+        // Unit-scale regime, y on both sides of and straddling mu.
+        NoiseDownCase{1.0, 0.5, 0.0}, NoiseDownCase{1.0, 0.5, 2.5},
+        NoiseDownCase{1.0, 0.5, -2.5}, NoiseDownCase{2.0, 1.9, 0.7},
+        NoiseDownCase{2.0, 0.1, -0.7}, NoiseDownCase{10.0, 1.0, 4.0},
+        // Nearly-equal scales (slow (1/λ' - 1/λ) decay on the middle-left
+        // segment) and a long μ..y gap.
+        NoiseDownCase{5.0, 4.999, 12.0},
+        // Paper-scale parameters: λmax = |T|/10 with small decrements.
+        NoiseDownCase{1e5, 9.9e4, 300.0}, NoiseDownCase{1e5, 5e4, -800.0},
+        NoiseDownCase{1e6, 9.99e5, 0.5}),
+    CaseName);
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,60 @@
+#include "dp/privacy_accountant.h"
+
+#include <gtest/gtest.h>
+
+namespace ireduct {
+namespace {
+
+TEST(PrivacyAccountantTest, CreateValidatesBudget) {
+  EXPECT_FALSE(PrivacyAccountant::Create(0).ok());
+  EXPECT_FALSE(PrivacyAccountant::Create(-1).ok());
+  EXPECT_TRUE(PrivacyAccountant::Create(0.01).ok());
+}
+
+TEST(PrivacyAccountantTest, ChargesAccumulate) {
+  auto acct = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(acct.ok());
+  EXPECT_TRUE(acct->Charge("phase1", 0.3).ok());
+  EXPECT_TRUE(acct->Charge("phase2", 0.5).ok());
+  EXPECT_DOUBLE_EQ(acct->spent(), 0.8);
+  EXPECT_NEAR(acct->remaining(), 0.2, 1e-12);
+  EXPECT_EQ(acct->ledger().size(), 2u);
+  EXPECT_EQ(acct->ledger()[0].label, "phase1");
+}
+
+TEST(PrivacyAccountantTest, RefusesOverspend) {
+  auto acct = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(acct.ok());
+  ASSERT_TRUE(acct->Charge("big", 0.9).ok());
+  const Status s = acct->Charge("too much", 0.2);
+  EXPECT_EQ(s.code(), StatusCode::kPrivacyBudgetExceeded);
+  // A refused charge records nothing.
+  EXPECT_DOUBLE_EQ(acct->spent(), 0.9);
+  EXPECT_EQ(acct->ledger().size(), 1u);
+}
+
+TEST(PrivacyAccountantTest, RefusesInvalidCharges) {
+  auto acct = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(acct.ok());
+  EXPECT_EQ(acct->Charge("zero", 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(acct->Charge("neg", -0.1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PrivacyAccountantTest, ExactlyFullBudgetFitsDespiteRounding) {
+  auto acct = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(acct.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(acct->Charge("slice", 0.1).ok()) << "slice " << i;
+  }
+  EXPECT_FALSE(acct->Charge("extra", 0.01).ok());
+}
+
+TEST(PrivacyAccountantTest, CanAffordPredictsCharge) {
+  auto acct = PrivacyAccountant::Create(0.5);
+  ASSERT_TRUE(acct.ok());
+  EXPECT_TRUE(acct->CanAfford(0.5));
+  EXPECT_FALSE(acct->CanAfford(0.51));
+}
+
+}  // namespace
+}  // namespace ireduct

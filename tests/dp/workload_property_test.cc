@@ -1,0 +1,97 @@
+// Property suite over randomly generated group structures: generalized
+// sensitivity, scale expansion and group lookup must stay mutually
+// consistent, and the mechanisms' budget arithmetic must agree with the
+// workload's own.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/numeric.h"
+#include "common/random.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+namespace {
+
+class WorkloadPropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  Workload RandomWorkload(BitGen& gen) {
+    const size_t groups = 1 + gen.UniformInt(12);
+    std::vector<QueryGroup> group_list;
+    std::vector<double> answers;
+    uint32_t offset = 0;
+    for (size_t g = 0; g < groups; ++g) {
+      const uint32_t size = 1 + static_cast<uint32_t>(gen.UniformInt(20));
+      for (uint32_t i = 0; i < size; ++i) {
+        answers.push_back(gen.Uniform(0, 10'000));
+      }
+      group_list.push_back(QueryGroup{"g" + std::to_string(g), offset,
+                                      offset + size,
+                                      0.5 + gen.Uniform() * 4});
+      offset += size;
+    }
+    auto w = Workload::Create(std::move(answers), std::move(group_list));
+    EXPECT_TRUE(w.ok());
+    return std::move(w).value();
+  }
+};
+
+TEST_P(WorkloadPropertyTest, SensitivityEqualsGsAtUnitScales) {
+  BitGen gen(GetParam());
+  const Workload w = RandomWorkload(gen);
+  const std::vector<double> unit(w.num_groups(), 1.0);
+  EXPECT_NEAR(w.GeneralizedSensitivity(unit), w.Sensitivity(), 1e-9);
+}
+
+TEST_P(WorkloadPropertyTest, GsMatchesDirectSum) {
+  BitGen gen(GetParam() + 1);
+  const Workload w = RandomWorkload(gen);
+  std::vector<double> scales(w.num_groups());
+  for (double& s : scales) s = 0.1 + gen.Uniform() * 100;
+  KahanSum expected;
+  for (size_t g = 0; g < w.num_groups(); ++g) {
+    expected.Add(w.group(g).sensitivity_coeff / scales[g]);
+  }
+  EXPECT_NEAR(w.GeneralizedSensitivity(scales), expected.value(), 1e-12);
+}
+
+TEST_P(WorkloadPropertyTest, GsIsMonotoneInScales) {
+  BitGen gen(GetParam() + 2);
+  const Workload w = RandomWorkload(gen);
+  std::vector<double> scales(w.num_groups());
+  for (double& s : scales) s = 1 + gen.Uniform() * 50;
+  const double before = w.GeneralizedSensitivity(scales);
+  // Growing any scale cannot increase GS.
+  const size_t g = gen.UniformInt(w.num_groups());
+  scales[g] *= 2;
+  EXPECT_LE(w.GeneralizedSensitivity(scales), before);
+}
+
+TEST_P(WorkloadPropertyTest, PerQueryScalesAgreeWithGroupOf) {
+  BitGen gen(GetParam() + 3);
+  const Workload w = RandomWorkload(gen);
+  std::vector<double> scales(w.num_groups());
+  for (double& s : scales) s = 1 + gen.Uniform() * 10;
+  const std::vector<double> per_query = w.PerQueryScales(scales);
+  ASSERT_EQ(per_query.size(), w.num_queries());
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    EXPECT_DOUBLE_EQ(per_query[i], scales[w.group_of(i)]);
+    const QueryGroup& g = w.group(w.group_of(i));
+    EXPECT_GE(i, g.begin);
+    EXPECT_LT(i, g.end);
+  }
+}
+
+TEST_P(WorkloadPropertyTest, GroupsTileQueriesExactly) {
+  BitGen gen(GetParam() + 4);
+  const Workload w = RandomWorkload(gen);
+  size_t covered = 0;
+  for (const QueryGroup& g : w.groups()) covered += g.size();
+  EXPECT_EQ(covered, w.num_queries());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadPropertyTest,
+                         testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,97 @@
+#include "dp/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ireduct {
+namespace {
+
+Workload MakeTwoGroupWorkload() {
+  // Group A: 2 queries with coefficient 2; group B: 3 queries, coefficient 1.
+  auto result = Workload::Create(
+      {10, 20, 30, 40, 50},
+      {QueryGroup{"A", 0, 2, 2.0}, QueryGroup{"B", 2, 5, 1.0}});
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(WorkloadTest, CreateValidatesContiguity) {
+  EXPECT_FALSE(Workload::Create({1, 2}, {QueryGroup{"A", 0, 1, 1.0},
+                                         QueryGroup{"B", 0, 2, 1.0}})
+                   .ok());
+  EXPECT_FALSE(Workload::Create({1, 2}, {QueryGroup{"A", 1, 2, 1.0}}).ok());
+  EXPECT_FALSE(Workload::Create({1, 2}, {QueryGroup{"A", 0, 1, 1.0}}).ok());
+}
+
+TEST(WorkloadTest, CreateRejectsEmptyGroupsAndBadCoefficients) {
+  EXPECT_FALSE(Workload::Create({1}, {}).ok());
+  EXPECT_FALSE(Workload::Create({1}, {QueryGroup{"A", 0, 0, 1.0}}).ok());
+  EXPECT_FALSE(Workload::Create({1}, {QueryGroup{"A", 0, 1, 0.0}}).ok());
+  EXPECT_FALSE(Workload::Create({1}, {QueryGroup{"A", 0, 1, -2.0}}).ok());
+}
+
+TEST(WorkloadTest, CreateRejectsNonFiniteAnswers) {
+  EXPECT_FALSE(Workload::Create({std::nan("")},
+                                {QueryGroup{"A", 0, 1, 1.0}})
+                   .ok());
+}
+
+TEST(WorkloadTest, AccessorsReflectStructure) {
+  const Workload w = MakeTwoGroupWorkload();
+  EXPECT_EQ(w.num_queries(), 5u);
+  EXPECT_EQ(w.num_groups(), 2u);
+  EXPECT_EQ(w.group(0).name, "A");
+  EXPECT_EQ(w.group(1).size(), 3u);
+  EXPECT_EQ(w.group_of(0), 0u);
+  EXPECT_EQ(w.group_of(1), 0u);
+  EXPECT_EQ(w.group_of(4), 1u);
+  EXPECT_DOUBLE_EQ(w.true_answer(3), 40);
+}
+
+TEST(WorkloadTest, SensitivityIsSumOfCoefficients) {
+  EXPECT_DOUBLE_EQ(MakeTwoGroupWorkload().Sensitivity(), 3.0);
+}
+
+TEST(WorkloadTest, GeneralizedSensitivityMatchesDefinition) {
+  const Workload w = MakeTwoGroupWorkload();
+  const std::vector<double> scales{4.0, 2.0};
+  // 2/4 + 1/2 = 1.
+  EXPECT_DOUBLE_EQ(w.GeneralizedSensitivity(scales), 1.0);
+}
+
+TEST(WorkloadTest, GeneralizedSensitivityInfiniteForNonPositiveScale) {
+  const Workload w = MakeTwoGroupWorkload();
+  EXPECT_TRUE(std::isinf(w.GeneralizedSensitivity({1.0, 0.0})));
+  EXPECT_TRUE(std::isinf(w.GeneralizedSensitivity({-1.0, 1.0})));
+}
+
+TEST(WorkloadTest, PerQueryScalesExpandGroups) {
+  const Workload w = MakeTwoGroupWorkload();
+  const std::vector<double> per_query = w.PerQueryScales({4.0, 2.0});
+  EXPECT_EQ(per_query, (std::vector<double>{4, 4, 2, 2, 2}));
+}
+
+TEST(WorkloadTest, PerQueryFactoryMakesSingletonGroups) {
+  auto w = Workload::PerQuery({1, 2, 3}, 2.0);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->num_groups(), 3u);
+  EXPECT_DOUBLE_EQ(w->Sensitivity(), 6.0);
+  // Uniform scale λ: GS = 3·2/λ.
+  EXPECT_DOUBLE_EQ(w->GeneralizedSensitivity({2.0, 2.0, 2.0}), 3.0);
+}
+
+TEST(WorkloadTest, MarginalStyleSensitivityMatchesPaper) {
+  // Section 5.1: |M| marginals with uniform scale λ have GS = 2|M|/λ.
+  auto w = Workload::Create(
+      {1, 2, 3, 4, 5, 6},
+      {QueryGroup{"M1", 0, 3, 2.0}, QueryGroup{"M2", 3, 6, 2.0}});
+  ASSERT_TRUE(w.ok());
+  const double lambda = 8.0;
+  EXPECT_DOUBLE_EQ(w->GeneralizedSensitivity({lambda, lambda}),
+                   2.0 * 2 / lambda);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,50 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+namespace ireduct {
+namespace {
+
+TEST(ExperimentTest, RunTrialsAggregates) {
+  int calls = 0;
+  const TrialAggregate agg = RunTrials(5, 1, [&](uint64_t) {
+    return static_cast<double>(++calls);  // 1..5
+  });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(agg.trials, 5);
+  EXPECT_DOUBLE_EQ(agg.mean, 3.0);
+  EXPECT_NEAR(agg.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(ExperimentTest, SeedsAreDistinctAndDeterministic) {
+  std::set<uint64_t> seeds_a, seeds_b;
+  RunTrials(8, 42, [&](uint64_t s) {
+    seeds_a.insert(s);
+    return 0.0;
+  });
+  RunTrials(8, 42, [&](uint64_t s) {
+    seeds_b.insert(s);
+    return 0.0;
+  });
+  EXPECT_EQ(seeds_a.size(), 8u);
+  EXPECT_EQ(seeds_a, seeds_b);
+}
+
+TEST(ExperimentTest, EnvInt64FallsBackWhenUnsetOrInvalid) {
+  unsetenv("IREDUCT_TEST_ENV");
+  EXPECT_EQ(EnvInt64("IREDUCT_TEST_ENV", 7), 7);
+  setenv("IREDUCT_TEST_ENV", "not a number", 1);
+  EXPECT_EQ(EnvInt64("IREDUCT_TEST_ENV", 7), 7);
+  setenv("IREDUCT_TEST_ENV", "-3", 1);
+  EXPECT_EQ(EnvInt64("IREDUCT_TEST_ENV", 7), 7);
+  setenv("IREDUCT_TEST_ENV", "123", 1);
+  EXPECT_EQ(EnvInt64("IREDUCT_TEST_ENV", 7), 123);
+  unsetenv("IREDUCT_TEST_ENV");
+}
+
+}  // namespace
+}  // namespace ireduct

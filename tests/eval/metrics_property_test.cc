@@ -1,0 +1,122 @@
+// Metric invariants over randomized workloads: Definition 6's averaging
+// structure, monotonicity in the sanity bound, invariance under exact
+// answers, and the relationship between the overall, max and absolute
+// error metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "eval/metrics.h"
+
+namespace ireduct {
+namespace {
+
+class MetricsPropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  Workload RandomWorkload(BitGen& gen) {
+    const size_t groups = 1 + gen.UniformInt(6);
+    std::vector<QueryGroup> group_list;
+    std::vector<double> answers;
+    uint32_t offset = 0;
+    for (size_t g = 0; g < groups; ++g) {
+      const uint32_t size = 1 + static_cast<uint32_t>(gen.UniformInt(8));
+      for (uint32_t i = 0; i < size; ++i) {
+        answers.push_back(gen.Uniform(0, 5000));
+      }
+      group_list.push_back(
+          QueryGroup{"g", offset, offset + size, 1.0});
+      offset += size;
+    }
+    auto w = Workload::Create(std::move(answers), std::move(group_list));
+    EXPECT_TRUE(w.ok());
+    return std::move(w).value();
+  }
+
+  std::vector<double> NoisyAnswers(const Workload& w, BitGen& gen) {
+    std::vector<double> noisy(w.true_answers().begin(),
+                              w.true_answers().end());
+    for (double& a : noisy) a += gen.Laplace(30.0);
+    return noisy;
+  }
+};
+
+TEST_P(MetricsPropertyTest, ExactAnswersScoreZero) {
+  BitGen gen(GetParam());
+  const Workload w = RandomWorkload(gen);
+  const std::vector<double> exact(w.true_answers().begin(),
+                                  w.true_answers().end());
+  EXPECT_DOUBLE_EQ(OverallError(w, exact, 7.0), 0.0);
+  EXPECT_DOUBLE_EQ(MaxRelativeError(w, exact, 7.0), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(w, exact), 0.0);
+}
+
+TEST_P(MetricsPropertyTest, OverallErrorDecreasesInDelta) {
+  BitGen gen(GetParam() + 1);
+  const Workload w = RandomWorkload(gen);
+  const std::vector<double> noisy = NoisyAnswers(w, gen);
+  double prev = OverallError(w, noisy, 0.5);
+  for (double delta : {5.0, 50.0, 500.0, 5000.0}) {
+    const double err = OverallError(w, noisy, delta);
+    EXPECT_LE(err, prev * (1 + 1e-12)) << "delta " << delta;
+    prev = err;
+  }
+}
+
+TEST_P(MetricsPropertyTest, MaxDominatesOverall) {
+  BitGen gen(GetParam() + 2);
+  const Workload w = RandomWorkload(gen);
+  const std::vector<double> noisy = NoisyAnswers(w, gen);
+  EXPECT_GE(MaxRelativeError(w, noisy, 10.0) * (1 + 1e-12),
+            OverallError(w, noisy, 10.0));
+}
+
+TEST_P(MetricsPropertyTest, OverallErrorMatchesManualDefinitionSix) {
+  BitGen gen(GetParam() + 3);
+  const Workload w = RandomWorkload(gen);
+  const std::vector<double> noisy = NoisyAnswers(w, gen);
+  const double delta = 12.0;
+  double manual = 0;
+  for (const QueryGroup& g : w.groups()) {
+    double in_group = 0;
+    for (uint32_t i = g.begin; i < g.end; ++i) {
+      in_group += std::fabs(noisy[i] - w.true_answer(i)) /
+                  std::fmax(w.true_answer(i), delta);
+    }
+    manual += in_group / g.size();
+  }
+  manual /= w.num_groups();
+  EXPECT_NEAR(OverallError(w, noisy, delta), manual, 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, UniformBoundsOverloadAgrees) {
+  BitGen gen(GetParam() + 4);
+  const Workload w = RandomWorkload(gen);
+  const std::vector<double> noisy = NoisyAnswers(w, gen);
+  auto bounds = SanityBounds::Uniform(9.0);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_DOUBLE_EQ(OverallError(w, noisy, *bounds),
+                   OverallError(w, noisy, 9.0));
+}
+
+TEST_P(MetricsPropertyTest, LargerDeviationNeverReducesAnyMetric) {
+  // Doubling every deviation doubles the relative metrics exactly.
+  BitGen gen(GetParam() + 5);
+  const Workload w = RandomWorkload(gen);
+  const std::vector<double> noisy = NoisyAnswers(w, gen);
+  std::vector<double> doubled(noisy.size());
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    doubled[i] = w.true_answer(i) + 2 * (noisy[i] - w.true_answer(i));
+  }
+  EXPECT_NEAR(OverallError(w, doubled, 10.0),
+              2 * OverallError(w, noisy, 10.0), 1e-9);
+  EXPECT_NEAR(MeanAbsoluteError(w, doubled),
+              2 * MeanAbsoluteError(w, noisy), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         testing::Values(5u, 19u, 333u, 8080u));
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,57 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ireduct {
+namespace {
+
+TEST(MetricsTest, RelativeErrorBasics) {
+  EXPECT_DOUBLE_EQ(RelativeError(110, 100, 1.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90, 100, 1.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(100, 100, 1.0), 0.0);
+}
+
+TEST(MetricsTest, SanityBoundCapsSmallDenominators) {
+  // Equation 1: err = |r* - r| / max{r, δ}.
+  EXPECT_DOUBLE_EQ(RelativeError(5, 0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeError(5, 2, 10.0), 0.3);
+  // Negative true answers also clamp to δ.
+  EXPECT_DOUBLE_EQ(RelativeError(5, -20, 10.0), 2.5);
+}
+
+TEST(MetricsTest, OverallErrorAveragesPerGroupMeans) {
+  // Definition 6: mean over groups of within-group mean relative error.
+  auto w = Workload::Create(
+      {10, 10, 100},
+      {QueryGroup{"A", 0, 2, 1.0}, QueryGroup{"B", 2, 3, 1.0}});
+  ASSERT_TRUE(w.ok());
+  const std::vector<double> published{11, 12, 150};
+  // Group A: (0.1 + 0.2)/2 = 0.15; group B: 0.5; overall (0.15+0.5)/2.
+  EXPECT_NEAR(OverallError(*w, published, 1.0), 0.325, 1e-12);
+}
+
+TEST(MetricsTest, OverallErrorZeroForExactAnswers) {
+  auto w = Workload::PerQuery({5, 10, 20});
+  ASSERT_TRUE(w.ok());
+  const std::vector<double> exact{5, 10, 20};
+  EXPECT_DOUBLE_EQ(OverallError(*w, exact, 1.0), 0.0);
+}
+
+TEST(MetricsTest, MaxRelativeErrorPicksWorstQuery) {
+  auto w = Workload::PerQuery({10, 100});
+  ASSERT_TRUE(w.ok());
+  const std::vector<double> published{15, 101};
+  EXPECT_DOUBLE_EQ(MaxRelativeError(*w, published, 1.0), 0.5);
+}
+
+TEST(MetricsTest, MeanAbsoluteError) {
+  auto w = Workload::PerQuery({10, 100});
+  ASSERT_TRUE(w.ok());
+  const std::vector<double> published{12, 96};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(*w, published), 3.0);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,100 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "algorithms/dwork.h"
+#include "common/random.h"
+
+namespace ireduct {
+namespace {
+
+Schema TwoAttrSchema() {
+  auto s = Schema::Create({{"Age", 3}, {"Gender", 2}});
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+TEST(ReportTest, MarginalCsvLayout) {
+  const Schema schema = TwoAttrSchema();
+  auto m = Marginal::FromCounts(MarginalSpec{{0, 1}}, {3, 2},
+                                {1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(m.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteMarginalCsv(*m, schema, out).ok());
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("Age,Gender,count\n"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("2,1,6\n"), std::string::npos);
+  // 1 header + 6 cells.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);
+}
+
+TEST(ReportTest, MarginalCsvValidatesSchema) {
+  auto tiny = Schema::Create({{"OnlyOne", 2}});
+  ASSERT_TRUE(tiny.ok());
+  auto m = Marginal::FromCounts(MarginalSpec{{0, 1}}, {2, 2}, {1, 2, 3, 4});
+  ASSERT_TRUE(m.ok());
+  std::ostringstream out;
+  EXPECT_FALSE(WriteMarginalCsv(*m, *tiny, out).ok());
+}
+
+TEST(ReportTest, MarginalsCsvWritesFiles) {
+  const Schema schema = TwoAttrSchema();
+  std::vector<Marginal> marginals;
+  auto m1 = Marginal::FromCounts(MarginalSpec{{0}}, {3}, {1, 2, 3});
+  auto m2 = Marginal::FromCounts(MarginalSpec{{1}}, {2}, {4, 5});
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  marginals.push_back(std::move(*m1));
+  marginals.push_back(std::move(*m2));
+  const std::string dir = testing::TempDir();
+  ASSERT_TRUE(
+      WriteMarginalsCsv(marginals, schema, dir, "report_test").ok());
+  for (int i = 0; i < 2; ++i) {
+    const std::string path =
+        dir + "/report_test_" + std::to_string(i) + ".csv";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ReportTest, AnswersCsvIncludesIntervals) {
+  auto w = Workload::PerQuery({100, 200});
+  ASSERT_TRUE(w.ok());
+  BitGen gen(1);
+  auto out = RunDwork(*w, DworkParams{1.0}, gen);
+  ASSERT_TRUE(out.ok());
+  std::ostringstream csv;
+  ASSERT_TRUE(WriteAnswersCsv(*w, *out, 0.95, csv).ok());
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("query_index,group,answer,noise_scale,ci_lo,ci_hi"),
+            std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(ReportTest, ComparisonRowsAndCsv) {
+  auto w = Workload::PerQuery({10, 1000});
+  ASSERT_TRUE(w.ok());
+  MechanismOutput out;
+  out.answers = {12, 990};
+  out.group_scales = {2, 2};
+  out.epsilon_spent = 0.7;
+  const ComparisonRow row = Evaluate("test", *w, out, 1.0);
+  EXPECT_EQ(row.mechanism, "test");
+  EXPECT_NEAR(row.overall_error, (0.2 + 0.01) / 2, 1e-12);
+  EXPECT_NEAR(row.max_relative_error, 0.2, 1e-12);
+  EXPECT_NEAR(row.mean_absolute_error, 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(row.epsilon_spent, 0.7);
+
+  std::ostringstream csv;
+  ASSERT_TRUE(WriteComparisonCsv({row}, csv).ok());
+  EXPECT_NE(csv.str().find("test,0.105,0.2,6,0.7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,83 @@
+#include "eval/sanity_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algorithms/selection.h"
+#include "eval/metrics.h"
+
+namespace ireduct {
+namespace {
+
+TEST(SanityBoundsTest, UniformValidatesAndEvaluates) {
+  EXPECT_FALSE(SanityBounds::Uniform(0).ok());
+  EXPECT_FALSE(SanityBounds::Uniform(-1).ok());
+  auto bounds = SanityBounds::Uniform(5.0);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_TRUE(bounds->is_uniform());
+  EXPECT_DOUBLE_EQ(bounds->at(0), 5.0);
+  EXPECT_DOUBLE_EQ(bounds->at(99), 5.0);
+}
+
+TEST(SanityBoundsTest, PerQueryValidatesAndEvaluates) {
+  EXPECT_FALSE(SanityBounds::PerQuery({}).ok());
+  EXPECT_FALSE(SanityBounds::PerQuery({1.0, 0.0}).ok());
+  auto bounds = SanityBounds::PerQuery({1.0, 10.0, 100.0});
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_FALSE(bounds->is_uniform());
+  EXPECT_EQ(bounds->size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds->at(1), 10.0);
+}
+
+TEST(SanityBoundsTest, OverallErrorUniformMatchesScalarOverload) {
+  auto w = Workload::PerQuery({10, 100});
+  ASSERT_TRUE(w.ok());
+  const std::vector<double> published{15, 90};
+  auto bounds = SanityBounds::Uniform(2.0);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_DOUBLE_EQ(OverallError(*w, published, *bounds),
+                   OverallError(*w, published, 2.0));
+}
+
+TEST(SanityBoundsTest, PerQueryBoundsChangeTheMetric) {
+  // A query with a generous sanity bound tolerates absolute noise that a
+  // strict one does not.
+  auto w = Workload::PerQuery({0, 0});
+  ASSERT_TRUE(w.ok());
+  const std::vector<double> published{5, 5};
+  auto bounds = SanityBounds::PerQuery({1.0, 100.0});
+  ASSERT_TRUE(bounds.ok());
+  // Query 0: 5/1 = 5; query 1: 5/100 = 0.05; mean = 2.525.
+  EXPECT_NEAR(OverallError(*w, published, *bounds), 2.525, 1e-12);
+}
+
+TEST(SanityBoundsTest, ErrorOptimalScalesRespectPerQueryBounds) {
+  // Both groups have the same tiny answers; only the bounds differ. The
+  // generously-bounded group tolerates more noise, so it must get the
+  // larger scale.
+  auto w = Workload::Create(
+      {0, 0, 0, 0},
+      {QueryGroup{"strict", 0, 2, 1.0}, QueryGroup{"loose", 2, 4, 1.0}});
+  ASSERT_TRUE(w.ok());
+  auto bounds = SanityBounds::PerQuery({1.0, 1.0, 100.0, 100.0});
+  ASSERT_TRUE(bounds.ok());
+  auto scales = ErrorOptimalScales(*w, w->true_answers(), *bounds, 1.0);
+  ASSERT_TRUE(scales.ok());
+  EXPECT_GT((*scales)[1], (*scales)[0]);
+  // λ ∝ sqrt(max{v, δ}): ratio sqrt(100/1) = 10.
+  EXPECT_NEAR((*scales)[1] / (*scales)[0], 10.0, 1e-9);
+  EXPECT_NEAR(w->GeneralizedSensitivity(*scales), 1.0, 1e-12);
+}
+
+TEST(SanityBoundsTest, ErrorOptimalScalesValidateSize) {
+  auto w = Workload::PerQuery({1, 2});
+  ASSERT_TRUE(w.ok());
+  auto bounds = SanityBounds::PerQuery({1.0});
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_FALSE(
+      ErrorOptimalScales(*w, w->true_answers(), *bounds, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace ireduct

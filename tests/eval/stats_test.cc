@@ -1,0 +1,78 @@
+#include "eval/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ireduct {
+namespace {
+
+TEST(StatsTest, SummarizeBasics) {
+  const std::vector<double> v{1, 2, 3, 4};
+  const SampleSummary s = Summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.variance, 5.0 / 3, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.mean_abs_deviation, 1.0);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(StatsTest, SummarizeSingleton) {
+  const std::vector<double> v{7};
+  const SampleSummary s = Summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 7);
+  EXPECT_DOUBLE_EQ(s.variance, 0);
+}
+
+TEST(StatsTest, LaplaceCdfProperties) {
+  EXPECT_DOUBLE_EQ(LaplaceCdf(0, 0, 1), 0.5);
+  EXPECT_NEAR(LaplaceCdf(1, 0, 1), 1 - 0.5 * std::exp(-1), 1e-12);
+  EXPECT_NEAR(LaplaceCdf(-1, 0, 1), 0.5 * std::exp(-1), 1e-12);
+  EXPECT_LT(LaplaceCdf(-50, 0, 1), 1e-20);
+  EXPECT_GE(LaplaceCdf(50, 0, 1), 1 - 1e-20);
+}
+
+TEST(StatsTest, KsStatisticDetectsWrongDistribution) {
+  BitGen gen(1);
+  std::vector<double> sample(20'000);
+  for (double& x : sample) x = gen.Laplace(0.0, 1.0);
+  const double ks_right =
+      KsStatistic(sample, [](double x) { return LaplaceCdf(x, 0, 1); });
+  const double ks_wrong =
+      KsStatistic(sample, [](double x) { return LaplaceCdf(x, 0.5, 1); });
+  EXPECT_LT(ks_right, 0.015);
+  EXPECT_GT(ks_wrong, 0.1);
+}
+
+TEST(StatsTest, KsStatisticExactOnTinySample) {
+  // Single point at the median of the reference: D = 1/2.
+  const std::vector<double> v{0.0};
+  EXPECT_DOUBLE_EQ(
+      KsStatistic(v, [](double x) { return LaplaceCdf(x, 0, 1); }), 0.5);
+}
+
+TEST(StatsTest, MaxLogFrequencyRatioSeesLaplaceShift) {
+  // Lap(0,1) vs Lap(1,1) have log-density ratio up to 1; the empirical
+  // probe should land near 1 and never wildly above.
+  BitGen ga(2), gb(3);
+  const double ratio = MaxLogFrequencyRatio(
+      [&] { return ga.Laplace(0.0, 1.0); },
+      [&] { return gb.Laplace(1.0, 1.0); }, 400'000, -4, 5, 30, 200);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 1.35);
+}
+
+TEST(StatsTest, MaxLogFrequencyRatioNearZeroForIdenticalMechanisms) {
+  BitGen ga(4), gb(5);
+  const double ratio = MaxLogFrequencyRatio(
+      [&] { return ga.Laplace(0.0, 1.0); },
+      [&] { return gb.Laplace(0.0, 1.0); }, 200'000, -4, 4, 20, 200);
+  EXPECT_LT(ratio, 0.2);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,30 @@
+#include "eval/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ireduct {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"method", "error"});
+  t.AddRow({"Dwork", "0.5"});
+  t.AddRow({"iReduct", "0.01"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("iReduct"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Every line of the body starts at column 0 with the first cell.
+  EXPECT_EQ(out.find("Dwork"), out.find('\n', out.find("---")) + 1);
+}
+
+TEST(TablePrinterTest, CellFormatsDoubles) {
+  EXPECT_EQ(TablePrinter::Cell(0.123456, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Cell(2.0, 4), "2");
+}
+
+}  // namespace
+}  // namespace ireduct

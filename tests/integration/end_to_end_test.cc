@@ -1,0 +1,177 @@
+// Integration tests: the full pipeline from synthetic census data through
+// marginal workloads to each publication mechanism, checking the orderings
+// the paper's evaluation reports.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algorithms/dwork.h"
+#include "algorithms/ireduct.h"
+#include "algorithms/iresamp.h"
+#include "algorithms/oracle.h"
+#include "algorithms/two_phase.h"
+#include "classifier/cross_validation.h"
+#include "data/census_generator.h"
+#include "eval/metrics.h"
+#include "marginals/marginal_set.h"
+#include "marginals/marginal_workload.h"
+
+namespace ireduct {
+namespace {
+
+class EndToEndTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CensusConfig config;
+    config.kind = CensusKind::kBrazil;
+    config.rows = 60'000;
+    config.seed = 11;
+    auto d = GenerateCensus(config);
+    ASSERT_TRUE(d.ok());
+    dataset_ = new Dataset(std::move(*d));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static MarginalWorkload OneWayWorkload() {
+    auto specs = AllKWaySpecs(dataset_->schema(), 1);
+    EXPECT_TRUE(specs.ok());
+    auto marginals = ComputeMarginals(*dataset_, *specs);
+    EXPECT_TRUE(marginals.ok());
+    auto mw = MarginalWorkload::Create(std::move(*marginals));
+    EXPECT_TRUE(mw.ok());
+    return std::move(mw).value();
+  }
+
+  static Dataset* dataset_;
+};
+
+Dataset* EndToEndTest::dataset_ = nullptr;
+
+TEST_F(EndToEndTest, OneWayMarginalTotalsEqualRowCount) {
+  const MarginalWorkload mw = OneWayWorkload();
+  EXPECT_EQ(mw.num_marginals(), 9u);
+  for (size_t i = 0; i < mw.num_marginals(); ++i) {
+    EXPECT_DOUBLE_EQ(mw.marginal(i).Total(), 60'000.0);
+  }
+}
+
+TEST_F(EndToEndTest, MechanismOrderingMatchesFigureSix) {
+  // Figure 6: Oracle <= iReduct < TwoPhase < {iResamp, Dwork} on 1D
+  // marginals. We assert the robust parts of the ordering on trial means.
+  const MarginalWorkload mw = OneWayWorkload();
+  const Workload& w = mw.workload();
+  const double n = 60'000;
+  const double epsilon = 0.01, delta = 1e-4 * n;
+  const int trials = 5;
+
+  double err_oracle = 0, err_ireduct = 0, err_two_phase = 0, err_iresamp = 0,
+         err_dwork = 0;
+  for (int t = 0; t < trials; ++t) {
+    BitGen gen(100 + t);
+    auto oracle = RunOracle(w, OracleParams{epsilon, delta}, gen);
+    ASSERT_TRUE(oracle.ok());
+    err_oracle += OverallError(w, oracle->answers, delta);
+
+    IReductParams irp;
+    irp.epsilon = epsilon;
+    irp.delta = delta;
+    irp.lambda_max = n / 10;
+    irp.lambda_delta = n / 2000;  // coarse steps keep the test fast
+    auto ir = RunIReduct(w, irp, gen);
+    ASSERT_TRUE(ir.ok()) << ir.status();
+    err_ireduct += OverallError(w, ir->answers, delta);
+
+    auto tp = RunTwoPhase(
+        w, TwoPhaseParams{0.07 * epsilon, 0.93 * epsilon, delta}, gen);
+    ASSERT_TRUE(tp.ok());
+    err_two_phase += OverallError(w, tp->answers, delta);
+
+    IResampParams rsp;
+    rsp.epsilon = epsilon;
+    rsp.delta = delta;
+    rsp.lambda_max = n / 10;
+    auto rs = RunIResamp(w, rsp, gen);
+    ASSERT_TRUE(rs.ok());
+    err_iresamp += OverallError(w, rs->answers, delta);
+
+    auto dw = RunDwork(w, DworkParams{epsilon}, gen);
+    ASSERT_TRUE(dw.ok());
+    err_dwork += OverallError(w, dw->answers, delta);
+  }
+
+  // Robust ordering claims from the paper.
+  EXPECT_LE(err_oracle, err_ireduct * 1.1);
+  EXPECT_LT(err_ireduct, err_two_phase);
+  EXPECT_LT(err_two_phase, err_dwork);
+  EXPECT_LT(err_ireduct, err_iresamp);
+}
+
+TEST_F(EndToEndTest, IReductBudgetInvariantHoldsOnRealWorkload) {
+  const MarginalWorkload mw = OneWayWorkload();
+  const Workload& w = mw.workload();
+  const double n = 60'000;
+  IReductParams p;
+  p.epsilon = 0.01;
+  p.delta = 1e-4 * n;
+  p.lambda_max = n / 10;
+  p.lambda_delta = n / 1000;
+  BitGen gen(9);
+  auto out = RunIReduct(w, p, gen);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(out->epsilon_spent, p.epsilon * (1 + 1e-9));
+  // The budget should be nearly exhausted (within one step per group).
+  EXPECT_GT(out->epsilon_spent, 0.9 * p.epsilon);
+}
+
+TEST_F(EndToEndTest, NoisyMarginalsRebuildAndClassify) {
+  // Smoke the classifier path end to end on a subsample.
+  std::vector<uint32_t> rows;
+  for (uint32_t r = 0; r < 20'000; ++r) rows.push_back(r);
+  const Dataset sample = dataset_->Select(rows);
+  BitGen gen(21);
+  BitGen noise_gen(22);
+  PublishFn publish = [&noise_gen](const MarginalWorkload& m) {
+    auto out = RunDwork(m.workload(), DworkParams{0.05}, noise_gen);
+    EXPECT_TRUE(out.ok());
+    return Result<std::vector<double>>(std::move(out->answers));
+  };
+  auto cv = CrossValidateClassifier(sample, kEducation, 5,
+                                    1e-4 * sample.num_rows(), publish, gen);
+  ASSERT_TRUE(cv.ok()) << cv.status();
+  EXPECT_GT(cv->mean_accuracy, 0.2);  // above 1/5 chance
+  EXPECT_LE(cv->mean_accuracy, 1.0);
+}
+
+TEST_F(EndToEndTest, NoiseFreeClassifierBeatsNoisyOne) {
+  std::vector<uint32_t> rows;
+  for (uint32_t r = 0; r < 20'000; ++r) rows.push_back(r);
+  const Dataset sample = dataset_->Select(rows);
+
+  PublishFn identity = [](const MarginalWorkload& m) {
+    const auto a = m.workload().true_answers();
+    return Result<std::vector<double>>(std::vector<double>(a.begin(),
+                                                           a.end()));
+  };
+  BitGen g1(31);
+  auto clean = CrossValidateClassifier(sample, kEducation, 5, 1.0, identity,
+                                       g1);
+  ASSERT_TRUE(clean.ok());
+
+  BitGen noise_gen(32);
+  PublishFn destroyed = [&noise_gen](const MarginalWorkload& m) {
+    auto out = RunDwork(m.workload(), DworkParams{1e-5}, noise_gen);
+    EXPECT_TRUE(out.ok());
+    return Result<std::vector<double>>(std::move(out->answers));
+  };
+  BitGen g2(31);
+  auto noisy = CrossValidateClassifier(sample, kEducation, 5, 1.0, destroyed,
+                                       g2);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_GT(clean->mean_accuracy, noisy->mean_accuracy);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,92 @@
+// Integration: PrivateQuerySession release -> CSV export pipeline, checked
+// against the on-disk artifacts a downstream consumer would read.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/census_generator.h"
+#include "eval/report.h"
+#include "marginals/marginal_set.h"
+#include "service/private_session.h"
+
+namespace ireduct {
+namespace {
+
+TEST(ExportPipelineTest, SessionReleaseExportsReadableCsv) {
+  CensusConfig config;
+  config.rows = 30'000;
+  config.seed = 4;
+  auto dataset = GenerateCensus(config);
+  ASSERT_TRUE(dataset.ok());
+
+  auto session = PrivateQuerySession::Create(&*dataset, 0.2, 11);
+  ASSERT_TRUE(session.ok());
+  auto specs = AllKWaySpecs(dataset->schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  auto release = session->PublishMarginals(*specs, 0.2,
+                                           1e-4 * dataset->num_rows(), 64);
+  ASSERT_TRUE(release.ok()) << release.status();
+
+  const std::string dir = testing::TempDir();
+  ASSERT_TRUE(WriteMarginalsCsv(release->marginals, dataset->schema(), dir,
+                                "export_pipeline")
+                  .ok());
+
+  // Every file exists, has the right header, and one line per cell.
+  for (size_t i = 0; i < release->marginals.size(); ++i) {
+    const std::string path =
+        dir + "/export_pipeline_" + std::to_string(i) + ".csv";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    const std::string attr =
+        dataset->schema()
+            .attribute(release->marginals[i].spec().attributes[0])
+            .name;
+    EXPECT_EQ(header, attr + ",count");
+    size_t lines = 0;
+    std::string line;
+    while (std::getline(in, line)) ++lines;
+    EXPECT_EQ(lines, release->marginals[i].num_cells());
+    std::remove(path.c_str());
+  }
+
+  // The ledger documents exactly what was released.
+  ASSERT_EQ(session->ledger().size(), 1u);
+  EXPECT_EQ(session->ledger()[0].label, "marginal release (iReduct)");
+  EXPECT_NEAR(session->spent(), release->epsilon_spent, 1e-9);
+}
+
+TEST(ExportPipelineTest, ComparisonCsvRoundTripsThroughParsing) {
+  std::vector<ComparisonRow> rows;
+  rows.push_back(ComparisonRow{"ireduct", 0.5, 2.0, 10.0, 0.01});
+  rows.push_back(ComparisonRow{"dwork", 1.5, 7.0, 30.0, 0.01});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteComparisonCsv(rows, out).ok());
+
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  int parsed = 0;
+  while (std::getline(in, line)) {
+    std::istringstream cells(line);
+    std::string name, field;
+    ASSERT_TRUE(std::getline(cells, name, ','));
+    int fields = 0;
+    while (std::getline(cells, field, ',')) {
+      EXPECT_NO_FATAL_FAILURE(std::stod(field));
+      ++fields;
+    }
+    EXPECT_EQ(fields, 4);
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 2);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,144 @@
+#include "marginals/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "marginals/marginal_set.h"
+#include "marginals/postprocess.h"
+
+namespace ireduct {
+namespace {
+
+Dataset TinyDataset() {
+  auto schema = Schema::Create({{"A", 3}, {"B", 2}, {"C", 2}});
+  EXPECT_TRUE(schema.ok());
+  Dataset d(std::move(schema).value());
+  BitGen gen(3);
+  for (int r = 0; r < 600; ++r) {
+    EXPECT_TRUE(
+        d.AppendRow(std::vector<uint16_t>{
+             static_cast<uint16_t>(gen.UniformInt(3)),
+             static_cast<uint16_t>(gen.Bernoulli(0.3) ? 1 : 0),
+             static_cast<uint16_t>(gen.Bernoulli(0.6) ? 1 : 0)})
+            .ok());
+  }
+  return d;
+}
+
+// All 1D marginals plus all 2D marginals of the tiny dataset.
+std::vector<Marginal> AllMarginals(const Dataset& d) {
+  std::vector<Marginal> all;
+  for (int k = 1; k <= 2; ++k) {
+    auto specs = AllKWaySpecs(d.schema(), k);
+    EXPECT_TRUE(specs.ok());
+    auto marginals = ComputeMarginals(d, *specs);
+    EXPECT_TRUE(marginals.ok());
+    for (Marginal& m : *marginals) all.push_back(std::move(m));
+  }
+  return all;
+}
+
+TEST(ConsistencyTest, ExactMarginalsHaveZeroDiscrepancy) {
+  const Dataset d = TinyDataset();
+  const std::vector<Marginal> marginals = AllMarginals(d);
+  EXPECT_DOUBLE_EQ(MaxProjectionDiscrepancy(marginals), 0.0);
+}
+
+TEST(ConsistencyTest, ExactSetIsAFixpoint) {
+  const Dataset d = TinyDataset();
+  std::vector<Marginal> marginals = AllMarginals(d);
+  ConsistencyOptions options;
+  options.target_total = static_cast<double>(d.num_rows());
+  auto repaired = MakeMutuallyConsistent(marginals, options);
+  ASSERT_TRUE(repaired.ok());
+  for (size_t m = 0; m < marginals.size(); ++m) {
+    for (size_t c = 0; c < marginals[m].num_cells(); ++c) {
+      EXPECT_NEAR((*repaired)[m].count(c), marginals[m].count(c), 1e-6);
+    }
+  }
+}
+
+TEST(ConsistencyTest, NoisyMarginalsBecomeConsistent) {
+  const Dataset d = TinyDataset();
+  std::vector<Marginal> noisy;
+  BitGen gen(9);
+  for (const Marginal& m : AllMarginals(d)) {
+    std::vector<double> counts(m.counts().begin(), m.counts().end());
+    for (double& c : counts) c += gen.Laplace(8.0);
+    auto rebuilt =
+        Marginal::FromCounts(m.spec(), m.domain_sizes(), std::move(counts));
+    ASSERT_TRUE(rebuilt.ok());
+    noisy.push_back(std::move(*rebuilt));
+  }
+  const double before = MaxProjectionDiscrepancy(noisy);
+  EXPECT_GT(before, 1.0);  // the noise breaks consistency
+
+  ConsistencyOptions options;
+  options.target_total = static_cast<double>(d.num_rows());
+  options.tolerance = 1e-6;
+  auto repaired = MakeMutuallyConsistent(std::move(noisy), options);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_LT(MaxProjectionDiscrepancy(*repaired), 1e-4);
+  // Totals align with |T|.
+  for (const Marginal& m : *repaired) {
+    EXPECT_NEAR(m.Total(), 600.0, 1e-6);
+  }
+}
+
+TEST(ConsistencyTest, RepairStaysNearTheNoisyInput) {
+  // Consistency is a repair, not a rewrite: cells move by amounts
+  // comparable to the injected noise, not by the count magnitudes.
+  const Dataset d = TinyDataset();
+  std::vector<Marginal> noisy;
+  BitGen gen(10);
+  for (const Marginal& m : AllMarginals(d)) {
+    std::vector<double> counts(m.counts().begin(), m.counts().end());
+    for (double& c : counts) c += gen.Laplace(3.0);
+    auto rebuilt =
+        Marginal::FromCounts(m.spec(), m.domain_sizes(), std::move(counts));
+    ASSERT_TRUE(rebuilt.ok());
+    noisy.push_back(std::move(*rebuilt));
+  }
+  ConsistencyOptions options;
+  options.target_total = 600;
+  auto repaired = MakeMutuallyConsistent(noisy, options);
+  ASSERT_TRUE(repaired.ok());
+  for (size_t m = 0; m < noisy.size(); ++m) {
+    for (size_t c = 0; c < noisy[m].num_cells(); ++c) {
+      EXPECT_LT(std::fabs((*repaired)[m].count(c) - noisy[m].count(c)),
+                60.0)
+          << "marginal " << m << " cell " << c;
+    }
+  }
+}
+
+TEST(ConsistencyTest, SetsWithoutSubsetPairsOnlyGetTotalAlignment) {
+  const Dataset d = TinyDataset();
+  auto specs = AllKWaySpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  auto marginals = ComputeMarginals(d, *specs);
+  ASSERT_TRUE(marginals.ok());
+  EXPECT_DOUBLE_EQ(MaxProjectionDiscrepancy(*marginals), 0.0);
+  ConsistencyOptions options;
+  options.target_total = 900;  // deliberately different from |T|
+  auto repaired = MakeMutuallyConsistent(*marginals, options);
+  ASSERT_TRUE(repaired.ok());
+  for (const Marginal& m : *repaired) {
+    EXPECT_NEAR(m.Total(), 900.0, 1e-9);
+  }
+}
+
+TEST(ConsistencyTest, ValidatesOptions) {
+  EXPECT_FALSE(MakeMutuallyConsistent({}, ConsistencyOptions{}).ok());
+  const Dataset d = TinyDataset();
+  ConsistencyOptions bad;
+  bad.max_rounds = 0;
+  EXPECT_FALSE(MakeMutuallyConsistent(AllMarginals(d), bad).ok());
+}
+
+}  // namespace
+}  // namespace ireduct

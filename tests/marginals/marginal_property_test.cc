@@ -1,0 +1,165 @@
+// Property suite over randomly generated datasets and marginal specs:
+// marginal computation must agree with a brute-force row scan, totals are
+// invariant, projections of finer marginals reproduce coarser ones, and
+// the workload round trip is lossless.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "marginals/marginal.h"
+#include "marginals/marginal_set.h"
+#include "marginals/marginal_workload.h"
+#include "marginals/postprocess.h"
+
+namespace ireduct {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  int rows;
+};
+
+class MarginalPropertyTest : public testing::TestWithParam<FuzzCase> {
+ protected:
+  // Random schema of 3-5 attributes with domains 2..9 and random rows.
+  Dataset RandomDataset() {
+    BitGen gen(GetParam().seed);
+    const size_t attrs = 3 + gen.UniformInt(3);
+    std::vector<Attribute> schema_attrs;
+    for (size_t a = 0; a < attrs; ++a) {
+      schema_attrs.push_back(
+          {"A" + std::to_string(a),
+           static_cast<uint32_t>(2 + gen.UniformInt(8))});
+    }
+    auto schema = Schema::Create(std::move(schema_attrs));
+    EXPECT_TRUE(schema.ok());
+    Dataset d(std::move(schema).value());
+    std::vector<uint16_t> row(attrs);
+    for (int r = 0; r < GetParam().rows; ++r) {
+      for (size_t a = 0; a < attrs; ++a) {
+        row[a] = static_cast<uint16_t>(
+            gen.UniformInt(d.schema().attribute(a).domain_size));
+      }
+      EXPECT_TRUE(d.AppendRow(row).ok());
+    }
+    return d;
+  }
+};
+
+TEST_P(MarginalPropertyTest, CountsMatchBruteForce) {
+  const Dataset d = RandomDataset();
+  BitGen gen(GetParam().seed + 1);
+  // Random 2-attribute spec.
+  const uint32_t a = static_cast<uint32_t>(
+      gen.UniformInt(d.schema().num_attributes()));
+  uint32_t b = static_cast<uint32_t>(
+      gen.UniformInt(d.schema().num_attributes()));
+  if (b == a) b = (b + 1) % d.schema().num_attributes();
+  auto m = Marginal::Compute(d, MarginalSpec{{a, b}});
+  ASSERT_TRUE(m.ok());
+
+  std::map<std::pair<uint16_t, uint16_t>, double> brute;
+  for (size_t r = 0; r < d.num_rows(); ++r) {
+    brute[{d.value(r, a), d.value(r, b)}] += 1;
+  }
+  for (size_t cell = 0; cell < m->num_cells(); ++cell) {
+    const std::vector<uint16_t> coords = m->CellCoordinates(cell);
+    const auto it = brute.find({coords[0], coords[1]});
+    const double expected = it == brute.end() ? 0.0 : it->second;
+    ASSERT_DOUBLE_EQ(m->count(cell), expected) << "cell " << cell;
+  }
+}
+
+TEST_P(MarginalPropertyTest, EveryMarginalSumsToRowCount) {
+  const Dataset d = RandomDataset();
+  for (int k = 1; k <= 2; ++k) {
+    auto specs = AllKWaySpecs(d.schema(), k);
+    ASSERT_TRUE(specs.ok());
+    auto marginals = ComputeMarginals(d, *specs);
+    ASSERT_TRUE(marginals.ok());
+    for (const Marginal& m : *marginals) {
+      ASSERT_DOUBLE_EQ(m.Total(), static_cast<double>(d.num_rows()));
+    }
+  }
+}
+
+TEST_P(MarginalPropertyTest, ProjectionOfFineEqualsDirectCoarse) {
+  // ProjectMarginal(Compute({a, b}), {a}) == Compute({a}) — ties the
+  // marginal engine and the post-processing module together.
+  const Dataset d = RandomDataset();
+  const uint32_t attrs =
+      static_cast<uint32_t>(d.schema().num_attributes());
+  for (uint32_t a = 0; a + 1 < attrs; ++a) {
+    auto fine = Marginal::Compute(d, MarginalSpec{{a, a + 1}});
+    ASSERT_TRUE(fine.ok());
+    for (uint32_t keep : {a, a + 1}) {
+      auto projected = ProjectMarginal(*fine, std::array<uint32_t, 1>{keep});
+      ASSERT_TRUE(projected.ok());
+      auto direct = Marginal::Compute(d, MarginalSpec{{keep}});
+      ASSERT_TRUE(direct.ok());
+      for (size_t c = 0; c < direct->num_cells(); ++c) {
+        ASSERT_DOUBLE_EQ(projected->count(c), direct->count(c))
+            << "attr " << keep << " cell " << c;
+      }
+    }
+  }
+}
+
+TEST_P(MarginalPropertyTest, WorkloadRoundTripIsLossless) {
+  const Dataset d = RandomDataset();
+  auto specs = AllKWaySpecs(d.schema(), 2);
+  ASSERT_TRUE(specs.ok());
+  auto marginals = ComputeMarginals(d, *specs);
+  ASSERT_TRUE(marginals.ok());
+  const std::vector<Marginal> original = *marginals;
+  auto mw = MarginalWorkload::Create(std::move(*marginals));
+  ASSERT_TRUE(mw.ok());
+  const auto answers = mw->workload().true_answers();
+  auto rebuilt =
+      mw->ToMarginals(std::vector<double>(answers.begin(), answers.end()));
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_EQ(rebuilt->size(), original.size());
+  for (size_t m = 0; m < original.size(); ++m) {
+    for (size_t c = 0; c < original[m].num_cells(); ++c) {
+      ASSERT_DOUBLE_EQ((*rebuilt)[m].count(c), original[m].count(c));
+    }
+  }
+}
+
+TEST_P(MarginalPropertyTest, FitProjectionIsExactAndMinimal) {
+  const Dataset d = RandomDataset();
+  auto fine = Marginal::Compute(d, MarginalSpec{{0, 1}});
+  ASSERT_TRUE(fine.ok());
+  // Fabricate a coarse target: the true attribute-0 marginal shifted.
+  auto coarse = Marginal::Compute(d, MarginalSpec{{0}});
+  ASSERT_TRUE(coarse.ok());
+  std::vector<double> target(coarse->counts().begin(),
+                             coarse->counts().end());
+  for (size_t i = 0; i < target.size(); ++i) target[i] += 3.0 * (i + 1);
+  auto coarse_shifted =
+      Marginal::FromCounts(coarse->spec(), coarse->domain_sizes(), target);
+  ASSERT_TRUE(coarse_shifted.ok());
+
+  auto fitted = FitProjection(*fine, *coarse_shifted);
+  ASSERT_TRUE(fitted.ok());
+  auto projected = ProjectMarginal(*fitted, std::array<uint32_t, 1>{0});
+  ASSERT_TRUE(projected.ok());
+  for (size_t c = 0; c < projected->num_cells(); ++c) {
+    ASSERT_NEAR(projected->count(c), target[c], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatasets, MarginalPropertyTest,
+    testing::Values(FuzzCase{11, 200}, FuzzCase{22, 777}, FuzzCase{33, 64},
+                    FuzzCase{44, 1500}, FuzzCase{55, 9}),
+    [](const testing::TestParamInfo<FuzzCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_rows" +
+             std::to_string(info.param.rows);
+    });
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,84 @@
+#include "marginals/marginal_set.h"
+
+#include <gtest/gtest.h>
+
+namespace ireduct {
+namespace {
+
+Schema NineAttributeSchema() {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < 9; ++i) {
+    attrs.push_back({"A" + std::to_string(i), static_cast<uint32_t>(i + 2)});
+  }
+  auto s = Schema::Create(std::move(attrs));
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+TEST(MarginalSetTest, AllOneWayCount) {
+  const Schema s = NineAttributeSchema();
+  auto specs = AllKWaySpecs(s, 1);
+  ASSERT_TRUE(specs.ok());
+  EXPECT_EQ(specs->size(), 9u);  // the paper's 1D task: 9 marginals
+  for (size_t i = 0; i < specs->size(); ++i) {
+    EXPECT_EQ((*specs)[i].attributes,
+              std::vector<uint32_t>{static_cast<uint32_t>(i)});
+  }
+}
+
+TEST(MarginalSetTest, AllTwoWayCount) {
+  const Schema s = NineAttributeSchema();
+  auto specs = AllKWaySpecs(s, 2);
+  ASSERT_TRUE(specs.ok());
+  EXPECT_EQ(specs->size(), 36u);  // C(9,2), the paper's 2D task
+  // Lexicographic order, distinct sorted attributes.
+  EXPECT_EQ((*specs)[0].attributes, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ((*specs)[35].attributes, (std::vector<uint32_t>{7, 8}));
+}
+
+TEST(MarginalSetTest, AllNineWayIsTheFullContingencyTable) {
+  const Schema s = NineAttributeSchema();
+  auto specs = AllKWaySpecs(s, 9);
+  ASSERT_TRUE(specs.ok());
+  EXPECT_EQ(specs->size(), 1u);
+  EXPECT_EQ((*specs)[0].attributes.size(), 9u);
+}
+
+TEST(MarginalSetTest, KValidation) {
+  const Schema s = NineAttributeSchema();
+  EXPECT_FALSE(AllKWaySpecs(s, 0).ok());
+  EXPECT_FALSE(AllKWaySpecs(s, 10).ok());
+}
+
+TEST(MarginalSetTest, ClassifierSpecsLayout) {
+  // Section 6.5: 1 one-dimensional marginal on the class plus 8
+  // two-dimensional {feature, class} marginals.
+  const Schema s = NineAttributeSchema();
+  auto specs = ClassifierSpecs(s, 6);
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs->size(), 9u);
+  EXPECT_EQ((*specs)[0].attributes, std::vector<uint32_t>{6});
+  EXPECT_EQ((*specs)[1].attributes, (std::vector<uint32_t>{0, 6}));
+  EXPECT_EQ((*specs)[6].attributes, (std::vector<uint32_t>{5, 6}));
+  EXPECT_EQ((*specs)[7].attributes, (std::vector<uint32_t>{7, 6}));
+  EXPECT_EQ((*specs)[8].attributes, (std::vector<uint32_t>{8, 6}));
+  EXPECT_FALSE(ClassifierSpecs(s, 9).ok());
+}
+
+TEST(MarginalSetTest, ComputeMarginalsProducesOnePerSpec) {
+  auto schema = Schema::Create({{"A", 2}, {"B", 3}});
+  ASSERT_TRUE(schema.ok());
+  Dataset d(std::move(schema).value());
+  ASSERT_TRUE(d.AppendRow(std::vector<uint16_t>{0, 2}).ok());
+  ASSERT_TRUE(d.AppendRow(std::vector<uint16_t>{1, 1}).ok());
+  auto specs = AllKWaySpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  auto marginals = ComputeMarginals(d, *specs);
+  ASSERT_TRUE(marginals.ok());
+  ASSERT_EQ(marginals->size(), 2u);
+  EXPECT_EQ((*marginals)[0].count(0), 1);
+  EXPECT_EQ((*marginals)[1].count(2), 1);
+}
+
+}  // namespace
+}  // namespace ireduct

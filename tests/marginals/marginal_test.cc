@@ -1,0 +1,115 @@
+#include "marginals/marginal.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace ireduct {
+namespace {
+
+// The paper's running example (Tables 2 and 3): five people with Age,
+// (Marital) Status and Gender; the {Status, Gender} marginal.
+Dataset PaperDataset() {
+  auto schema =
+      Schema::Create({{"Age", 101}, {"Status", 4}, {"Gender", 2}});
+  EXPECT_TRUE(schema.ok());
+  Dataset d(std::move(schema).value());
+  // Status coding: 0=Single, 1=Married, 2=Divorced, 3=Widowed.
+  // Gender coding: 0=M, 1=F.
+  const std::array<std::array<uint16_t, 3>, 5> rows{{
+      {23, 0, 0},  // 23, Single, M
+      {25, 0, 1},  // 25, Single, F
+      {35, 1, 1},  // 35, Married, F
+      {37, 1, 1},  // 37, Married, F
+      {85, 3, 1},  // 85, Widowed, F
+  }};
+  for (const auto& row : rows) EXPECT_TRUE(d.AppendRow(row).ok());
+  return d;
+}
+
+TEST(MarginalTest, MatchesPaperTableThree) {
+  const Dataset d = PaperDataset();
+  auto m = Marginal::Compute(d, MarginalSpec{{1, 2}});  // Status x Gender
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_cells(), 8u);
+  auto cell = [&](uint16_t status, uint16_t gender) {
+    return m->count(m->CellIndex(std::array<uint16_t, 2>{status, gender}));
+  };
+  EXPECT_EQ(cell(0, 0), 1);  // Single M
+  EXPECT_EQ(cell(0, 1), 1);  // Single F
+  EXPECT_EQ(cell(1, 0), 0);  // Married M
+  EXPECT_EQ(cell(1, 1), 2);  // Married F
+  EXPECT_EQ(cell(2, 0), 0);  // Divorced M
+  EXPECT_EQ(cell(2, 1), 0);  // Divorced F
+  EXPECT_EQ(cell(3, 0), 0);  // Widowed M
+  EXPECT_EQ(cell(3, 1), 1);  // Widowed F
+  EXPECT_DOUBLE_EQ(m->Total(), 5.0);
+}
+
+TEST(MarginalTest, OneDimensionalCounts) {
+  const Dataset d = PaperDataset();
+  auto m = Marginal::Compute(d, MarginalSpec{{1}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->count(0), 2);
+  EXPECT_EQ(m->count(1), 2);
+  EXPECT_EQ(m->count(2), 0);
+  EXPECT_EQ(m->count(3), 1);
+}
+
+TEST(MarginalTest, RowSubsetRestrictsCounts) {
+  const Dataset d = PaperDataset();
+  const std::vector<uint32_t> rows{0, 4};
+  auto m = Marginal::Compute(d, MarginalSpec{{2}}, rows);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->count(0), 1);  // one male in the subset
+  EXPECT_EQ(m->count(1), 1);
+}
+
+TEST(MarginalTest, ComputeValidatesSpec) {
+  const Dataset d = PaperDataset();
+  EXPECT_FALSE(Marginal::Compute(d, MarginalSpec{{}}).ok());
+  EXPECT_FALSE(Marginal::Compute(d, MarginalSpec{{7}}).ok());
+  EXPECT_FALSE(Marginal::Compute(d, MarginalSpec{{1, 1}}).ok());
+  const std::vector<uint32_t> bad_rows{99};
+  EXPECT_FALSE(Marginal::Compute(d, MarginalSpec{{1}}, bad_rows).ok());
+}
+
+TEST(MarginalTest, CellIndexRoundTripsCoordinates) {
+  const Dataset d = PaperDataset();
+  auto m = Marginal::Compute(d, MarginalSpec{{1, 2}});
+  ASSERT_TRUE(m.ok());
+  for (size_t cell = 0; cell < m->num_cells(); ++cell) {
+    const std::vector<uint16_t> coords = m->CellCoordinates(cell);
+    EXPECT_EQ(m->CellIndex(coords), cell);
+  }
+}
+
+TEST(MarginalTest, TotalInvariantAcrossSpecs) {
+  // Every marginal of the same dataset sums to |T|.
+  const Dataset d = PaperDataset();
+  for (const MarginalSpec& spec :
+       {MarginalSpec{{0}}, MarginalSpec{{1, 2}}, MarginalSpec{{0, 1, 2}}}) {
+    auto m = Marginal::Compute(d, spec);
+    ASSERT_TRUE(m.ok());
+    EXPECT_DOUBLE_EQ(m->Total(), 5.0);
+  }
+}
+
+TEST(MarginalTest, FromCountsValidates) {
+  EXPECT_FALSE(
+      Marginal::FromCounts(MarginalSpec{{0}}, {2, 3}, {1, 2}).ok());
+  EXPECT_FALSE(Marginal::FromCounts(MarginalSpec{{0}}, {3}, {1, 2}).ok());
+  auto m = Marginal::FromCounts(MarginalSpec{{0, 1}}, {2, 2}, {1, 2, 3, 4});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->count(m->CellIndex(std::array<uint16_t, 2>{1, 0})), 3);
+}
+
+TEST(MarginalTest, SpecNameUsesSchema) {
+  const Dataset d = PaperDataset();
+  const MarginalSpec spec{{1, 2}};
+  EXPECT_EQ(spec.Name(d.schema()), "Status x Gender");
+}
+
+}  // namespace
+}  // namespace ireduct

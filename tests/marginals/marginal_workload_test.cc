@@ -1,0 +1,91 @@
+#include "marginals/marginal_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "marginals/marginal_set.h"
+
+namespace ireduct {
+namespace {
+
+Dataset TinyDataset() {
+  auto schema = Schema::Create({{"A", 2}, {"B", 3}});
+  EXPECT_TRUE(schema.ok());
+  Dataset d(std::move(schema).value());
+  EXPECT_TRUE(d.AppendRow(std::vector<uint16_t>{0, 0}).ok());
+  EXPECT_TRUE(d.AppendRow(std::vector<uint16_t>{0, 2}).ok());
+  EXPECT_TRUE(d.AppendRow(std::vector<uint16_t>{1, 2}).ok());
+  return d;
+}
+
+MarginalWorkload MakeWorkload() {
+  const Dataset d = TinyDataset();
+  auto specs = AllKWaySpecs(d.schema(), 1);
+  EXPECT_TRUE(specs.ok());
+  auto marginals = ComputeMarginals(d, *specs);
+  EXPECT_TRUE(marginals.ok());
+  auto mw = MarginalWorkload::Create(std::move(*marginals));
+  EXPECT_TRUE(mw.ok());
+  return std::move(mw).value();
+}
+
+TEST(MarginalWorkloadTest, FlattensCellsInOrder) {
+  const MarginalWorkload mw = MakeWorkload();
+  const Workload& w = mw.workload();
+  EXPECT_EQ(w.num_queries(), 5u);  // |A| + |B| = 2 + 3
+  EXPECT_EQ(w.num_groups(), 2u);
+  // A-marginal counts: {2, 1}; B-marginal counts: {1, 0, 2}.
+  EXPECT_DOUBLE_EQ(w.true_answer(0), 2);
+  EXPECT_DOUBLE_EQ(w.true_answer(1), 1);
+  EXPECT_DOUBLE_EQ(w.true_answer(2), 1);
+  EXPECT_DOUBLE_EQ(w.true_answer(3), 0);
+  EXPECT_DOUBLE_EQ(w.true_answer(4), 2);
+}
+
+TEST(MarginalWorkloadTest, SensitivityIsTwoPerMarginal) {
+  const MarginalWorkload mw = MakeWorkload();
+  // S(Q) = 2·|M| (Section 5.1).
+  EXPECT_DOUBLE_EQ(mw.workload().Sensitivity(), 4.0);
+  // GS with uniform λ: 2·|M|/λ.
+  const std::vector<double> scales{10, 10};
+  EXPECT_DOUBLE_EQ(mw.workload().GeneralizedSensitivity(scales), 0.4);
+}
+
+TEST(MarginalWorkloadTest, ToMarginalsRoundTrips) {
+  const MarginalWorkload mw = MakeWorkload();
+  const std::vector<double> answers{2.5, 0.5, 1.5, -0.5, 2.0};
+  auto noisy = mw.ToMarginals(answers);
+  ASSERT_TRUE(noisy.ok());
+  ASSERT_EQ(noisy->size(), 2u);
+  EXPECT_DOUBLE_EQ((*noisy)[0].count(0), 2.5);
+  EXPECT_DOUBLE_EQ((*noisy)[1].count(1), -0.5);
+  EXPECT_EQ((*noisy)[0].spec().attributes, std::vector<uint32_t>{0});
+}
+
+TEST(MarginalWorkloadTest, ToMarginalsValidatesSize) {
+  const MarginalWorkload mw = MakeWorkload();
+  const std::vector<double> wrong{1, 2, 3};
+  EXPECT_FALSE(mw.ToMarginals(wrong).ok());
+}
+
+TEST(MarginalWorkloadTest, CreateRejectsEmpty) {
+  EXPECT_FALSE(MarginalWorkload::Create({}).ok());
+}
+
+TEST(MarginalWorkloadTest, TwoWayMarginalFlattening) {
+  const Dataset d = TinyDataset();
+  auto marginals = ComputeMarginals(
+      d, std::vector<MarginalSpec>{MarginalSpec{{0, 1}}});
+  ASSERT_TRUE(marginals.ok());
+  auto mw = MarginalWorkload::Create(std::move(*marginals));
+  ASSERT_TRUE(mw.ok());
+  EXPECT_EQ(mw->workload().num_queries(), 6u);
+  // Row-major: (0,0)=1 (0,1)=0 (0,2)=1 (1,0)=0 (1,1)=0 (1,2)=1.
+  EXPECT_DOUBLE_EQ(mw->workload().true_answer(0), 1);
+  EXPECT_DOUBLE_EQ(mw->workload().true_answer(2), 1);
+  EXPECT_DOUBLE_EQ(mw->workload().true_answer(5), 1);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,152 @@
+#include "marginals/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "marginals/marginal_set.h"
+
+namespace ireduct {
+namespace {
+
+Schema SmallSchema() {
+  auto s = Schema::Create({{"F1", 3}, {"C", 2}, {"F2", 4}});
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+// A dependent population: F1 tracks the class, F2 is uniform.
+Dataset SourceData(int rows, uint64_t seed) {
+  Dataset d(SmallSchema());
+  BitGen gen(seed);
+  for (int r = 0; r < rows; ++r) {
+    const uint16_t cls = gen.Bernoulli(0.3) ? 1 : 0;
+    const uint16_t f1 =
+        gen.Bernoulli(0.9) ? (cls == 0 ? 0 : 2) : 1;  // strongly class-linked
+    const uint16_t f2 = static_cast<uint16_t>(gen.UniformInt(4));
+    EXPECT_TRUE(
+        d.AppendRow(std::vector<uint16_t>{f1, cls, f2}).ok());
+  }
+  return d;
+}
+
+std::vector<Marginal> TrueMarginals(const Dataset& d) {
+  auto specs = ClassifierSpecs(d.schema(), 1);
+  EXPECT_TRUE(specs.ok());
+  auto marginals = ComputeMarginals(d, *specs);
+  EXPECT_TRUE(marginals.ok());
+  return std::move(marginals).value();
+}
+
+TEST(SyntheticTest, ValidatesInputs) {
+  const Dataset d = SourceData(100, 1);
+  const std::vector<Marginal> marginals = TrueMarginals(d);
+  BitGen gen(2);
+  EXPECT_FALSE(SynthesizeFromClassifierMarginals(d.schema(), 9, marginals,
+                                                 10, gen)
+                   .ok());
+  EXPECT_FALSE(SynthesizeFromClassifierMarginals(d.schema(), 1, marginals,
+                                                 0, gen)
+                   .ok());
+  std::vector<Marginal> truncated(marginals.begin(), marginals.end() - 1);
+  EXPECT_FALSE(SynthesizeFromClassifierMarginals(d.schema(), 1, truncated,
+                                                 10, gen)
+                   .ok());
+}
+
+TEST(SyntheticTest, ProducesRequestedRowsInSchema) {
+  const Dataset d = SourceData(5000, 3);
+  BitGen gen(4);
+  auto synth = SynthesizeFromClassifierMarginals(d.schema(), 1,
+                                                 TrueMarginals(d), 1234, gen);
+  ASSERT_TRUE(synth.ok()) << synth.status();
+  EXPECT_EQ(synth->num_rows(), 1234u);
+  for (size_t r = 0; r < synth->num_rows(); ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      ASSERT_LT(synth->value(r, c), d.schema().attribute(c).domain_size);
+    }
+  }
+}
+
+TEST(SyntheticTest, PreservesClassDistributionAndDependence) {
+  const Dataset d = SourceData(20'000, 5);
+  BitGen gen(6);
+  auto synth = SynthesizeFromClassifierMarginals(
+      d.schema(), 1, TrueMarginals(d), 20'000, gen);
+  ASSERT_TRUE(synth.ok());
+
+  // Class fraction ≈ 0.3.
+  size_t ones = 0;
+  for (size_t r = 0; r < synth->num_rows(); ++r) {
+    ones += synth->value(r, 1);
+  }
+  EXPECT_NEAR(ones / 20'000.0, 0.3, 0.02);
+
+  // Dependence survives: class 0 rows mostly have F1 = 0.
+  size_t class0 = 0, class0_f1_0 = 0;
+  for (size_t r = 0; r < synth->num_rows(); ++r) {
+    if (synth->value(r, 1) == 0) {
+      ++class0;
+      class0_f1_0 += synth->value(r, 0) == 0;
+    }
+  }
+  EXPECT_GT(class0_f1_0 / static_cast<double>(class0), 0.8);
+}
+
+TEST(SyntheticTest, HandlesNegativeNoisyCounts) {
+  const Dataset d = SourceData(500, 7);
+  std::vector<Marginal> marginals = TrueMarginals(d);
+  // Corrupt every count with a large negative offset.
+  std::vector<Marginal> noisy;
+  for (const Marginal& m : marginals) {
+    std::vector<double> counts(m.counts().begin(), m.counts().end());
+    for (double& c : counts) c -= 1000;
+    auto rebuilt = Marginal::FromCounts(m.spec(), m.domain_sizes(),
+                                        std::move(counts));
+    ASSERT_TRUE(rebuilt.ok());
+    noisy.push_back(std::move(*rebuilt));
+  }
+  BitGen gen(8);
+  auto synth = SynthesizeFromClassifierMarginals(d.schema(), 1, noisy, 100,
+                                                 gen);
+  ASSERT_TRUE(synth.ok());  // degraded to near-uniform, but valid
+  EXPECT_EQ(synth->num_rows(), 100u);
+}
+
+TEST(SyntheticTest, MarginalErrorSmallForNoiseFreeInputs) {
+  const Dataset d = SourceData(30'000, 9);
+  BitGen gen(10);
+  auto synth = SynthesizeFromClassifierMarginals(
+      d.schema(), 1, TrueMarginals(d), 30'000, gen);
+  ASSERT_TRUE(synth.ok());
+  auto specs = ClassifierSpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  auto err = SyntheticMarginalError(d, *synth, *specs, 30.0);
+  ASSERT_TRUE(err.ok());
+  // Only sampling noise remains.
+  EXPECT_LT(*err, 0.1);
+}
+
+TEST(SyntheticTest, MarginalErrorDetectsMismatch) {
+  const Dataset d = SourceData(20'000, 11);
+  // A synthetic table from an *independent* (class-free) model must show a
+  // larger marginal error on the class-linked F1 x C marginal.
+  Dataset independent(SmallSchema());
+  BitGen gen(12);
+  for (int r = 0; r < 20'000; ++r) {
+    ASSERT_TRUE(independent
+                    .AppendRow(std::vector<uint16_t>{
+                        static_cast<uint16_t>(gen.UniformInt(3)),
+                        static_cast<uint16_t>(gen.UniformInt(2)),
+                        static_cast<uint16_t>(gen.UniformInt(4))})
+                    .ok());
+  }
+  auto specs = ClassifierSpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  auto err = SyntheticMarginalError(d, independent, *specs, 30.0);
+  ASSERT_TRUE(err.ok());
+  EXPECT_GT(*err, 0.3);
+}
+
+}  // namespace
+}  // namespace ireduct

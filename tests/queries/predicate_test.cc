@@ -1,0 +1,83 @@
+#include "queries/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ireduct {
+namespace {
+
+Dataset MakeDataset() {
+  auto schema = Schema::Create({{"Age", 100}, {"Gender", 2}});
+  EXPECT_TRUE(schema.ok());
+  Dataset d(std::move(schema).value());
+  for (uint16_t age : {20, 20, 30, 30, 30, 40}) {
+    EXPECT_TRUE(d.AppendRow(std::vector<uint16_t>{
+                    age, static_cast<uint16_t>(age == 30 ? 1 : 0)})
+                    .ok());
+  }
+  return d;
+}
+
+TEST(PredicateTest, EvaluateSinglePredicate) {
+  const Dataset d = MakeDataset();
+  auto count = EvaluateQuery(d, ConjunctiveQuery{{{0, 30}}});
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 3);
+}
+
+TEST(PredicateTest, EvaluateConjunction) {
+  const Dataset d = MakeDataset();
+  auto count = EvaluateQuery(d, ConjunctiveQuery{{{0, 30}, {1, 1}}});
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 3);
+  auto none = EvaluateQuery(d, ConjunctiveQuery{{{0, 20}, {1, 1}}});
+  ASSERT_TRUE(none.ok());
+  EXPECT_DOUBLE_EQ(*none, 0);
+}
+
+TEST(PredicateTest, EmptyQueryCountsAllRows) {
+  const Dataset d = MakeDataset();
+  auto count = EvaluateQuery(d, ConjunctiveQuery{});
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 6);
+}
+
+TEST(PredicateTest, ContradictionCountsZero) {
+  const Dataset d = MakeDataset();
+  auto count = EvaluateQuery(d, ConjunctiveQuery{{{0, 20}, {0, 30}}});
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 0);
+}
+
+TEST(PredicateTest, ValidatesAttributeAndValue) {
+  const Dataset d = MakeDataset();
+  EXPECT_FALSE(EvaluateQuery(d, ConjunctiveQuery{{{5, 0}}}).ok());
+  EXPECT_FALSE(EvaluateQuery(d, ConjunctiveQuery{{{1, 2}}}).ok());
+}
+
+TEST(PredicateTest, ToStringFormats) {
+  const Dataset d = MakeDataset();
+  EXPECT_EQ(ConjunctiveQuery{}.ToString(d.schema()), "TRUE");
+  const ConjunctiveQuery q{{{0, 30}, {1, 1}}};
+  EXPECT_EQ(q.ToString(d.schema()), "Age=30 AND Gender=1");
+}
+
+TEST(PredicateTest, BuildsWorkload) {
+  const Dataset d = MakeDataset();
+  const std::vector<ConjunctiveQuery> queries{
+      ConjunctiveQuery{{{0, 20}}},
+      ConjunctiveQuery{{{0, 30}}},
+      ConjunctiveQuery{{{1, 0}}},
+  };
+  auto w = BuildPredicateWorkload(d, queries);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->num_queries(), 3u);
+  EXPECT_DOUBLE_EQ(w->true_answer(0), 2);
+  EXPECT_DOUBLE_EQ(w->true_answer(1), 3);
+  EXPECT_DOUBLE_EQ(w->true_answer(2), 3);
+  EXPECT_FALSE(BuildPredicateWorkload(d, {}).ok());
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,74 @@
+#include "queries/range_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ireduct {
+namespace {
+
+const std::vector<double> kHistogram{10, 20, 30, 40, 50};
+
+TEST(RangeWorkloadTest, RangeCountAnswerBasics) {
+  auto full = RangeCountAnswer(kHistogram, BinRange{0, 4});
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ(*full, 150);
+  auto point = RangeCountAnswer(kHistogram, BinRange{2, 2});
+  ASSERT_TRUE(point.ok());
+  EXPECT_DOUBLE_EQ(*point, 30);
+  auto mid = RangeCountAnswer(kHistogram, BinRange{1, 3});
+  ASSERT_TRUE(mid.ok());
+  EXPECT_DOUBLE_EQ(*mid, 90);
+}
+
+TEST(RangeWorkloadTest, RangeCountAnswerValidates) {
+  EXPECT_FALSE(RangeCountAnswer(kHistogram, BinRange{3, 2}).ok());
+  EXPECT_FALSE(RangeCountAnswer(kHistogram, BinRange{0, 5}).ok());
+}
+
+TEST(RangeWorkloadTest, BuildsPerQueryWorkload) {
+  const std::vector<BinRange> ranges{{0, 1}, {2, 4}, {0, 4}};
+  auto w = BuildRangeWorkload(kHistogram, ranges);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->num_queries(), 3u);
+  EXPECT_EQ(w->num_groups(), 3u);
+  EXPECT_DOUBLE_EQ(w->true_answer(0), 30);
+  EXPECT_DOUBLE_EQ(w->true_answer(1), 120);
+  EXPECT_DOUBLE_EQ(w->true_answer(2), 150);
+  // Singleton coefficient 1: GS with uniform λ is m/λ.
+  const std::vector<double> scales{10, 10, 10};
+  EXPECT_DOUBLE_EQ(w->GeneralizedSensitivity(scales), 0.3);
+}
+
+TEST(RangeWorkloadTest, BuildRejectsEmptyAndInvalid) {
+  EXPECT_FALSE(BuildRangeWorkload(kHistogram, {}).ok());
+  const std::vector<BinRange> bad{{0, 9}};
+  EXPECT_FALSE(BuildRangeWorkload(kHistogram, bad).ok());
+}
+
+TEST(RangeWorkloadTest, PrefixRangesCoverAllPrefixes) {
+  const std::vector<BinRange> prefixes = PrefixRanges(4);
+  ASSERT_EQ(prefixes.size(), 4u);
+  for (uint32_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(prefixes[b].lo, 0u);
+    EXPECT_EQ(prefixes[b].hi, b);
+  }
+}
+
+TEST(RangeWorkloadTest, RandomRangesAreValidAndDiverse) {
+  BitGen gen(1);
+  const std::vector<BinRange> ranges = RandomRanges(128, 200, gen);
+  ASSERT_EQ(ranges.size(), 200u);
+  size_t narrow = 0, wide = 0;
+  for (const BinRange& r : ranges) {
+    ASSERT_LE(r.lo, r.hi);
+    ASSERT_LT(r.hi, 128u);
+    narrow += (r.hi - r.lo) < 4;
+    wide += (r.hi - r.lo) > 32;
+  }
+  EXPECT_GT(narrow, 20u);
+  EXPECT_GT(wide, 20u);
+}
+
+}  // namespace
+}  // namespace ireduct

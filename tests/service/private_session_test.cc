@@ -1,0 +1,137 @@
+#include "service/private_session.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "marginals/marginal_set.h"
+
+namespace ireduct {
+namespace {
+
+Dataset MakeDataset() {
+  auto schema = Schema::Create({{"A", 4}, {"B", 2}});
+  EXPECT_TRUE(schema.ok());
+  Dataset d(std::move(schema).value());
+  BitGen gen(1);
+  for (int r = 0; r < 5000; ++r) {
+    const uint16_t a = static_cast<uint16_t>(gen.UniformInt(4));
+    const uint16_t b = gen.Bernoulli(0.25) ? 1 : 0;
+    EXPECT_TRUE(d.AppendRow(std::vector<uint16_t>{a, b}).ok());
+  }
+  return d;
+}
+
+TEST(PrivateSessionTest, CreateValidates) {
+  EXPECT_FALSE(PrivateQuerySession::Create(nullptr, 1.0, 1).ok());
+  const Dataset d = MakeDataset();
+  EXPECT_FALSE(PrivateQuerySession::Create(&d, 0.0, 1).ok());
+  EXPECT_TRUE(PrivateQuerySession::Create(&d, 1.0, 1).ok());
+}
+
+TEST(PrivateSessionTest, CountQueryChargesAndAnswers) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 1.0, 2);
+  ASSERT_TRUE(session.ok());
+  auto count = session->CountQuery(ConjunctiveQuery{{{1, 1}}}, 0.4);
+  ASSERT_TRUE(count.ok());
+  // True count ~1250; Laplace(1/0.4) noise keeps it within ~±40.
+  EXPECT_NEAR(*count, 1250, 150);
+  EXPECT_NEAR(session->spent(), 0.4, 1e-12);
+  EXPECT_EQ(session->ledger().size(), 1u);
+}
+
+TEST(PrivateSessionTest, GeometricCountIsInteger) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 1.0, 3);
+  ASSERT_TRUE(session.ok());
+  auto count = session->CountQuery(ConjunctiveQuery{{{0, 2}}}, 0.3,
+                                   CountNoise::kGeometric);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, std::round(*count));
+}
+
+TEST(PrivateSessionTest, BudgetExhaustionRefusesFurtherQueries) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 0.5, 4);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->CountQuery(ConjunctiveQuery{}, 0.5).ok());
+  auto refused = session->CountQuery(ConjunctiveQuery{}, 0.1);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kPrivacyBudgetExceeded);
+  EXPECT_NEAR(session->spent(), 0.5, 1e-12);
+}
+
+TEST(PrivateSessionTest, InvalidQueryChargesNothing) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 1.0, 5);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(session->CountQuery(ConjunctiveQuery{{{9, 0}}}, 0.2).ok());
+  EXPECT_DOUBLE_EQ(session->spent(), 0.0);
+  EXPECT_FALSE(session->CountQuery(ConjunctiveQuery{}, -1.0).ok());
+  EXPECT_DOUBLE_EQ(session->spent(), 0.0);
+}
+
+TEST(PrivateSessionTest, PublishMarginalsChargesActualSpend) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 1.0, 6);
+  ASSERT_TRUE(session.ok());
+  auto specs = AllKWaySpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  auto release = session->PublishMarginals(*specs, 0.6, 5.0, 64);
+  ASSERT_TRUE(release.ok()) << release.status();
+  EXPECT_EQ(release->marginals.size(), 2u);
+  EXPECT_LE(release->epsilon_spent, 0.6 * (1 + 1e-9));
+  EXPECT_NEAR(session->spent(), release->epsilon_spent, 1e-9);
+  // Published counts track the truth loosely.
+  EXPECT_NEAR(release->marginals[1].count(1), 1250, 400);
+}
+
+TEST(PrivateSessionTest, PublishMarginalsRefusedWhenOverBudget) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 0.1, 7);
+  ASSERT_TRUE(session.ok());
+  auto specs = AllKWaySpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  auto release = session->PublishMarginals(*specs, 0.5, 5.0, 16);
+  ASSERT_FALSE(release.ok());
+  EXPECT_EQ(release.status().code(), StatusCode::kPrivacyBudgetExceeded);
+  EXPECT_DOUBLE_EQ(session->spent(), 0.0);
+}
+
+TEST(PrivateSessionTest, RefinableCountDrawsFromSessionBudget) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 1.0, 8);
+  ASSERT_TRUE(session.ok());
+  auto chain = session->StartRefinableCount(ConjunctiveQuery{{{1, 1}}}, 100);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_NEAR(session->spent(), 1.0 / 100, 1e-12);
+  ASSERT_TRUE(chain->Reduce(10, session->rng()).ok());
+  EXPECT_NEAR(session->spent(), 1.0 / 10, 1e-12);
+  ASSERT_TRUE(chain->Reduce(2, session->rng()).ok());
+  EXPECT_NEAR(session->spent(), 1.0 / 2, 1e-12);
+  EXPECT_NEAR(chain->answer(), 1250, 40);  // scale-2 noise
+  // Refining to scale 1 would need 1.0 total; only 0.5 remains... exactly
+  // 0.5 more is needed for scale 1, which fits the 1.0 budget exactly.
+  ASSERT_TRUE(chain->Reduce(1, session->rng()).ok());
+  EXPECT_NEAR(session->spent(), 1.0, 1e-9);
+  // Nothing further fits.
+  EXPECT_FALSE(chain->Reduce(0.5, session->rng()).ok());
+}
+
+TEST(PrivateSessionTest, MixedWorkflowComposes) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 1.0, 9);
+  ASSERT_TRUE(session.ok());
+  auto specs = AllKWaySpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  ASSERT_TRUE(session->CountQuery(ConjunctiveQuery{}, 0.2).ok());
+  ASSERT_TRUE(session->PublishMarginals(*specs, 0.3, 5.0, 32).ok());
+  ASSERT_TRUE(session->StartRefinableCount(ConjunctiveQuery{}, 10).ok());
+  EXPECT_GE(session->ledger().size(), 3u);
+  EXPECT_LE(session->spent(), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace ireduct

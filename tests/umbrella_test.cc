@@ -1,0 +1,23 @@
+// Verifies the umbrella header is self-contained and that the major
+// subsystems interoperate when pulled in through it.
+#include "ireduct.h"
+
+#include <gtest/gtest.h>
+
+namespace ireduct {
+namespace {
+
+TEST(UmbrellaTest, HeaderIsSelfContainedAndUsable) {
+  auto workload = Workload::PerQuery({10, 1000});
+  ASSERT_TRUE(workload.ok());
+  BitGen gen(1);
+  auto out = RunDwork(*workload, DworkParams{1.0}, gen);
+  ASSERT_TRUE(out.ok());
+  auto intervals = ConfidenceIntervals(*workload, *out, 0.9);
+  ASSERT_TRUE(intervals.ok());
+  EXPECT_EQ(intervals->size(), 2u);
+  EXPECT_LT(OverallError(*workload, out->answers, 1.0), 10.0);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -1,0 +1,251 @@
+// ireduct_tool: command-line front end for the library.
+//
+//   ireduct_tool generate  --kind brazil|us --rows N --seed S --out FILE
+//       Writes a synthetic census as CSV.
+//
+//   ireduct_tool marginals --kind brazil|us --rows N --k 1|2
+//                          --epsilon E --mechanism ireduct|dwork|two_phase
+//                          --out-dir DIR [--steps N] [--seed S]
+//       Publishes all k-way marginals under ε-DP and writes one CSV per
+//       marginal plus answers.csv with confidence intervals.
+//
+//   ireduct_tool compare   --kind brazil|us --rows N --k 1|2 --epsilon E
+//                          [--trials T] [--seed S]
+//       Runs the full Section 6 mechanism suite and prints/exports a
+//       comparison table (comparison.csv in the working directory).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ireduct.h"
+
+namespace {
+
+using namespace ireduct;
+
+// --flag value parsing into a map; returns false on malformed input.
+bool ParseFlags(int argc, char** argv, int first,
+                std::map<std::string, std::string>* flags) {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) {
+      std::fprintf(stderr, "malformed flag: %s\n", arg.c_str());
+      return false;
+    }
+    (*flags)[arg.substr(2)] = argv[++i];
+  }
+  return true;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& name, const std::string& fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+Result<Dataset> MakeCensus(const std::map<std::string, std::string>& flags) {
+  CensusConfig config;
+  const std::string kind = FlagOr(flags, "kind", "brazil");
+  if (kind == "brazil") {
+    config.kind = CensusKind::kBrazil;
+  } else if (kind == "us") {
+    config.kind = CensusKind::kUs;
+  } else {
+    return Status::InvalidArgument("--kind must be brazil or us");
+  }
+  config.rows = std::strtoull(FlagOr(flags, "rows", "100000").c_str(),
+                              nullptr, 10);
+  config.seed =
+      std::strtoull(FlagOr(flags, "seed", "2011").c_str(), nullptr, 10);
+  return GenerateCensus(config);
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  auto dataset = MakeCensus(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = FlagOr(flags, "out", "census.csv");
+  if (Status s = WriteCsv(*dataset, out); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu rows to %s\n", dataset->num_rows(), out.c_str());
+  return 0;
+}
+
+Result<MechanismOutput> RunNamedMechanism(
+    const std::string& name, const Workload& workload, double epsilon,
+    double delta, double lambda_max, int steps, BitGen& gen) {
+  if (name == "dwork") return RunDwork(workload, DworkParams{epsilon}, gen);
+  if (name == "two_phase") {
+    return RunTwoPhase(
+        workload, TwoPhaseParams{0.07 * epsilon, 0.93 * epsilon, delta},
+        gen);
+  }
+  if (name == "iresamp") {
+    IResampParams p;
+    p.epsilon = epsilon;
+    p.delta = delta;
+    p.lambda_max = lambda_max;
+    return RunIResamp(workload, p, gen);
+  }
+  if (name == "oracle") {
+    return RunOracle(workload, OracleParams{epsilon, delta}, gen);
+  }
+  if (name == "ireduct") {
+    IReductParams p;
+    p.epsilon = epsilon;
+    p.delta = delta;
+    p.lambda_max = lambda_max;
+    p.lambda_delta = lambda_max / steps;
+    return RunIReduct(workload, p, gen);
+  }
+  return Status::InvalidArgument("unknown mechanism '" + name + "'");
+}
+
+int CmdMarginals(const std::map<std::string, std::string>& flags) {
+  auto dataset = MakeCensus(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const int k = std::atoi(FlagOr(flags, "k", "1").c_str());
+  auto specs = AllKWaySpecs(dataset->schema(), k);
+  if (!specs.ok()) {
+    std::fprintf(stderr, "%s\n", specs.status().ToString().c_str());
+    return 1;
+  }
+  auto marginals = ComputeMarginals(*dataset, *specs);
+  auto mw = MarginalWorkload::Create(std::move(*marginals));
+  if (!mw.ok()) {
+    std::fprintf(stderr, "%s\n", mw.status().ToString().c_str());
+    return 1;
+  }
+
+  const double epsilon =
+      std::strtod(FlagOr(flags, "epsilon", "0.01").c_str(), nullptr);
+  const double n = static_cast<double>(dataset->num_rows());
+  const double delta = 1e-4 * n;
+  const int steps = std::atoi(FlagOr(flags, "steps", "200").c_str());
+  BitGen gen(std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10));
+  auto out = RunNamedMechanism(FlagOr(flags, "mechanism", "ireduct"),
+                               mw->workload(), epsilon, delta, n / 10,
+                               steps, gen);
+  if (!out.ok()) {
+    std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string dir = FlagOr(flags, "out-dir", ".");
+  auto noisy = mw->ToMarginals(out->answers);
+  if (!noisy.ok()) {
+    std::fprintf(stderr, "%s\n", noisy.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = WriteMarginalsCsv(*noisy, dataset->schema(), dir,
+                                   "marginal");
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::ofstream answers(dir + "/answers.csv");
+  if (Status s = WriteAnswersCsv(mw->workload(), *out, 0.95, answers);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "published %zu marginals (epsilon %.5f, overall error %.4f) to %s\n",
+      noisy->size(), out->epsilon_spent,
+      OverallError(mw->workload(), out->answers, delta), dir.c_str());
+  return 0;
+}
+
+int CmdCompare(const std::map<std::string, std::string>& flags) {
+  auto dataset = MakeCensus(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const int k = std::atoi(FlagOr(flags, "k", "1").c_str());
+  auto specs = AllKWaySpecs(dataset->schema(), k);
+  auto marginals = ComputeMarginals(*dataset, *specs);
+  auto mw = MarginalWorkload::Create(std::move(*marginals));
+  if (!mw.ok()) {
+    std::fprintf(stderr, "%s\n", mw.status().ToString().c_str());
+    return 1;
+  }
+  const double epsilon =
+      std::strtod(FlagOr(flags, "epsilon", "0.01").c_str(), nullptr);
+  const double n = static_cast<double>(dataset->num_rows());
+  const double delta = 1e-4 * n;
+  const int trials = std::atoi(FlagOr(flags, "trials", "3").c_str());
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+
+  std::vector<ComparisonRow> rows;
+  TablePrinter table({"mechanism", "overall_error", "max_rel_error",
+                      "mean_abs_error", "epsilon"});
+  for (const std::string name :
+       {"oracle", "ireduct", "two_phase", "iresamp", "dwork"}) {
+    ComparisonRow mean_row;
+    mean_row.mechanism = name;
+    for (int t = 0; t < trials; ++t) {
+      BitGen gen(seed + 31 * t);
+      auto out = RunNamedMechanism(name, mw->workload(), epsilon, delta,
+                                   n / 10, 200, gen);
+      if (!out.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     out.status().ToString().c_str());
+        return 1;
+      }
+      const ComparisonRow row = Evaluate(name, mw->workload(), *out, delta);
+      mean_row.overall_error += row.overall_error / trials;
+      mean_row.max_relative_error += row.max_relative_error / trials;
+      mean_row.mean_absolute_error += row.mean_absolute_error / trials;
+      mean_row.epsilon_spent = row.epsilon_spent;
+    }
+    rows.push_back(mean_row);
+    table.AddRow({mean_row.mechanism,
+                  TablePrinter::Cell(mean_row.overall_error, 5),
+                  TablePrinter::Cell(mean_row.max_relative_error, 5),
+                  TablePrinter::Cell(mean_row.mean_absolute_error, 5),
+                  TablePrinter::Cell(mean_row.epsilon_spent, 4)});
+  }
+  table.Print(std::cout);
+  std::ofstream csv("comparison.csv");
+  if (Status s = WriteComparisonCsv(rows, csv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote comparison.csv\n");
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ireduct_tool generate|marginals|compare [--flag "
+               "value ...]\n(see the header comment of "
+               "tools/ireduct_tool.cc for details)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::map<std::string, std::string> flags;
+  if (!ParseFlags(argc, argv, 2, &flags)) return 2;
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "marginals") return CmdMarginals(flags);
+  if (command == "compare") return CmdCompare(flags);
+  return Usage();
+}
