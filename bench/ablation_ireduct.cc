@@ -148,5 +148,6 @@ int main() {
     std::cout << "Part B: PickQueries policies (1D Brazil, eps=0.01)\n\n";
     table.Print(std::cout);
   }
+  bench::EmitMetricsSnapshot("ablation_ireduct");
   return 0;
 }

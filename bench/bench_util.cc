@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 
 #include "algorithms/dwork.h"
@@ -11,6 +12,9 @@
 #include "algorithms/two_phase.h"
 #include "eval/metrics.h"
 #include "marginals/marginal_set.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace ireduct {
 namespace bench {
@@ -45,8 +49,8 @@ const Dataset& GetCensus(CensusKind kind) {
                KindName(kind).c_str());
   auto dataset = GenerateCensus(config);
   if (!dataset.ok()) {
-    std::fprintf(stderr, "census generation failed: %s\n",
-                 dataset.status().ToString().c_str());
+    IREDUCT_LOG(kError) << "census generation failed: "
+                        << dataset.status().ToString();
     std::abort();
   }
   return cache->emplace(kind, std::move(*dataset)).first->second;
@@ -119,14 +123,64 @@ TrialAggregate MeasureOverallError(const Workload& workload,
                                    uint64_t base_seed) {
   return RunTrials(Trials(), base_seed, [&](uint64_t seed) {
     BitGen gen(seed);
+    IREDUCT_METRIC_COUNT("bench.mechanism_runs", 1);
     auto answers = mechanism(workload, gen);
     if (!answers.ok()) {
-      std::fprintf(stderr, "mechanism failed: %s\n",
-                   answers.status().ToString().c_str());
+      IREDUCT_LOG(kError) << "mechanism failed: "
+                          << answers.status().ToString();
       std::abort();
     }
     return OverallError(workload, *answers, delta);
   });
+}
+
+void RegisterStandardMetrics() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.counter("bench.mechanism_runs");
+  registry.counter("ireduct.iterations");
+  registry.counter("ireduct.group_retirements");
+  registry.counter("ireduct.resample_draws");
+  registry.counter("noise_down.samples");
+  registry.counter("noise_down.rejection_rounds");
+  registry.counter("noise_down.envelope_draws");
+  registry.counter("privacy.charges");
+  registry.gauge("privacy.epsilon_spent");
+  registry.histogram("ireduct.run_seconds");
+}
+
+void EmitMetricsSnapshot(const std::string& bench_name) {
+  RegisterStandardMetrics();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const char* out_path = std::getenv("BENCH_METRICS_OUT");
+  if (out_path == nullptr || out_path[0] == '\0') {
+    std::fprintf(
+        stderr,
+        "[bench] %s mechanism work: %llu runs, %llu iReduct iterations, "
+        "%llu resample draws (set BENCH_METRICS_OUT=FILE for the full "
+        "snapshot)\n",
+        bench_name.c_str(),
+        static_cast<unsigned long long>(
+            registry.counter("bench.mechanism_runs").value()),
+        static_cast<unsigned long long>(
+            registry.counter("ireduct.iterations").value()),
+        static_cast<unsigned long long>(
+            registry.counter("ireduct.resample_draws").value()));
+    return;
+  }
+  std::string blob;
+  obs::JsonWriter json(&blob);
+  json.BeginObject();
+  json.KV("bench", bench_name);
+  json.Key("metrics");
+  json.RawValue(registry.SnapshotJson());
+  json.EndObject();
+  std::ofstream file(out_path, std::ios::binary | std::ios::trunc);
+  file << blob << '\n';
+  if (!file.flush()) {
+    IREDUCT_LOG(kError) << "failed writing metrics snapshot to " << out_path;
+    return;
+  }
+  std::fprintf(stderr, "[bench] wrote metrics snapshot to %s\n", out_path);
 }
 
 }  // namespace bench

@@ -63,6 +63,19 @@ int Trials();
 /// IREDUCT_STEPS environment knob.
 int IReductSteps();
 
+/// Pre-registers the standard mechanism-work metrics (iReduct iterations,
+/// NoiseDown resample draws, privacy budget spent, bench runs) so every
+/// snapshot carries them even when a bench exercised none — a BENCH_*.json
+/// consumer can rely on the keys existing.
+void RegisterStandardMetrics();
+
+/// Emits the process metrics snapshot for `bench_name`: written as a JSON
+/// blob {"bench":...,"metrics":{...}} to the path in the BENCH_METRICS_OUT
+/// environment variable, or summarized to stderr when the knob is unset.
+/// Call once at the end of a bench main so the recorded counters cover the
+/// whole run.
+void EmitMetricsSnapshot(const std::string& bench_name);
+
 }  // namespace bench
 }  // namespace ireduct
 

@@ -109,5 +109,6 @@ int main() {
                 << (out.ok() ? "" : " (failed)") << '\n';
     }
   }
+  bench::EmitMetricsSnapshot("fig06_07_marginals_1d");
   return 0;
 }

@@ -96,5 +96,6 @@ int main() {
                 << (out.ok() ? "" : " (failed)") << '\n';
     }
   }
+  bench::EmitMetricsSnapshot("fig08_09_marginals_2d");
   return 0;
 }

@@ -7,6 +7,9 @@
 #include "dp/laplace_coupling.h"
 #include "dp/laplace_mechanism.h"
 #include "dp/noise_down.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ireduct {
 
@@ -58,8 +61,12 @@ Result<MechanismOutput> RunIReduct(const Workload& workload,
                            LaplaceNoise(workload, out.group_scales, gen));
 
   // Lines 5-16: iterative noise reduction over the working set.
+  IREDUCT_SCOPED_TIMER(run_timer, "ireduct.run_seconds");
+  obs::TraceRecorder* const recorder = obs::TraceRecorder::Get();
   std::vector<uint8_t> active(workload.num_groups(), 1);
   for (;;) {
+    const uint64_t iter_start_us =
+        recorder != nullptr ? recorder->NowMicros() : 0;
     const size_t g = pick_group(workload, out.answers, out.group_scales,
                                 active, params.delta, params.lambda_delta);
     if (g == kNoGroup) break;
@@ -68,13 +75,18 @@ Result<MechanismOutput> RunIReduct(const Workload& workload,
 
     // Lines 8-10: trial reduction, admitted only if GS stays within ε.
     out.group_scales[g] = new_scale;
-    const bool fits = new_scale > 0 &&
-                      workload.GeneralizedSensitivity(out.group_scales) <=
-                          params.epsilon;
+    const double gs = workload.GeneralizedSensitivity(out.group_scales);
+    const bool fits = new_scale > 0 && gs <= params.epsilon;
     if (!fits) {
       // Lines 13-16: revert and retire the group.
       out.group_scales[g] = old_scale;
       active[g] = false;
+      IREDUCT_METRIC_COUNT("ireduct.group_retirements", 1);
+      if (recorder != nullptr) {
+        recorder->AddInstantEvent(
+            "ireduct.retire",
+            {{"group", static_cast<double>(g)}, {"lambda", old_scale}});
+      }
       continue;
     }
 
@@ -96,9 +108,30 @@ Result<MechanismOutput> RunIReduct(const Workload& workload,
     }
     out.resample_calls += group.size();
     ++out.iterations;
+    IREDUCT_METRIC_COUNT("ireduct.iterations", 1);
+    IREDUCT_METRIC_COUNT("ireduct.resample_draws", group.size());
+    if (recorder != nullptr) {
+      // One span per admitted iteration: which group was refined, the λ
+      // move, the post-resample estimated relative error of the group, and
+      // how much ε headroom the new allocation leaves.
+      recorder->AddCompleteEvent(
+          "ireduct.iteration", iter_start_us,
+          recorder->NowMicros() - iter_start_us,
+          {{"group", static_cast<double>(g)},
+           {"old_lambda", old_scale},
+           {"new_lambda", new_scale},
+           {"est_rel_error",
+            EstimatedGroupError(workload, g, out.answers, new_scale,
+                                params.delta)},
+           {"gs_headroom", params.epsilon - gs}});
+    }
   }
 
   out.epsilon_spent = workload.GeneralizedSensitivity(out.group_scales);
+  IREDUCT_LOG(kDebug) << "iReduct finished: " << out.iterations
+                      << " iterations, " << out.resample_calls
+                      << " resample draws, epsilon spent "
+                      << out.epsilon_spent << " of " << params.epsilon;
   return out;
 }
 

@@ -15,6 +15,18 @@
     }                                                                     \
   } while (false)
 
+// Debug-only invariant check: active in debug builds, compiled out (with
+// the condition left unevaluated but still parsed) under NDEBUG, so
+// release/bench binaries don't pay for invariants on hot paths.
+#ifdef NDEBUG
+#define IREDUCT_DCHECK(cond)                  \
+  do {                                        \
+    if (false) {                              \
+      static_cast<void>(cond);                \
+    }                                         \
+  } while (false)
+#else
 #define IREDUCT_DCHECK(cond) IREDUCT_CHECK(cond)
+#endif
 
 #endif  // IREDUCT_COMMON_LOGGING_H_

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/numeric.h"
+#include "obs/metrics.h"
 
 namespace ireduct {
 
@@ -159,6 +160,7 @@ double NoiseDownDistribution::Pdf(double y_prime) const {
 }
 
 double NoiseDownDistribution::Sample(BitGen& gen) const {
+  IREDUCT_METRIC_COUNT("noise_down.samples", 1);
   const double a = 1.0 / lambda_;
   const double ap = 1.0 / lambda_prime_;
   // Branch thresholds are the exact normalized segment masses.
@@ -189,6 +191,12 @@ double NoiseDownDistribution::Sample(BitGen& gen) const {
       if (std::log(gen.UniformPositive()) <= log_accept) break;
       IREDUCT_CHECK(++rounds < kMaxRejectionRounds);
     }
+    // `rounds` counts only the rejected proposals; the accepted draw makes
+    // it rounds + 1 envelope evaluations for this sample.
+    IREDUCT_METRIC_COUNT("noise_down.rejection_rounds",
+                         static_cast<uint64_t>(rounds));
+    IREDUCT_METRIC_COUNT("noise_down.envelope_draws",
+                         static_cast<uint64_t>(rounds) + 1);
   }
   return inverted_ ? -yp : yp;
 }

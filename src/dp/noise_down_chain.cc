@@ -4,6 +4,8 @@
 
 #include "dp/laplace_coupling.h"
 #include "dp/noise_down.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace ireduct {
 
@@ -30,6 +32,7 @@ Result<NoiseDownChain> NoiseDownChain::Start(
   chain.spent_ = charge;
   chain.scale_ = initial_scale;
   chain.answer_ = true_answer + gen.Laplace(initial_scale);
+  IREDUCT_METRIC_COUNT("noise_down_chain.starts", 1);
   return chain;
 }
 
@@ -53,9 +56,14 @@ Status NoiseDownChain::Reduce(double new_scale, BitGen& gen) {
           : CoupledNoiseDown(true_answer_, answer_, scale_, new_scale, gen);
   if (!refined.ok()) return refined.status();
   answer_ = *refined;
+  const double old_scale = scale_;
   scale_ = new_scale;
   spent_ += increment;
   ++reductions_;
+  IREDUCT_METRIC_COUNT("noise_down_chain.reductions", 1);
+  IREDUCT_LOG(kDebug) << "noise-down chain reduced " << old_scale << " -> "
+                      << new_scale << " (+" << increment
+                      << " epsilon, total " << spent_ << ")";
   return Status::OK();
 }
 

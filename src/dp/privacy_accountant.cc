@@ -1,6 +1,11 @@
 #include "dp/privacy_accountant.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace ireduct {
 
@@ -27,13 +32,39 @@ Status PrivacyAccountant::Charge(std::string label, double epsilon) {
     return Status::InvalidArgument("privacy charge must be positive finite");
   }
   if (!CanAfford(epsilon)) {
+    IREDUCT_LOG(kWarn) << "privacy charge '" << label << "' of " << epsilon
+                       << " refused; remaining budget " << remaining();
     return Status::PrivacyBudgetExceeded(
         "charge '" + label + "' of " + std::to_string(epsilon) +
         " exceeds remaining budget " + std::to_string(remaining()));
   }
   spent_ += epsilon;
   ledger_.push_back(PrivacyCharge{std::move(label), epsilon});
+  // Gauge semantics: reflects the most recently charged accountant, which
+  // in a serving process is the session accountant that owns the budget.
+  IREDUCT_METRIC_GAUGE_SET("privacy.epsilon_spent", spent_);
+  IREDUCT_METRIC_COUNT("privacy.charges", 1);
   return Status::OK();
+}
+
+std::string PrivacyAccountant::ExportLedgerJson() const {
+  std::string out;
+  obs::JsonWriter json(&out);
+  json.BeginObject();
+  json.KV("budget", budget_);
+  json.KV("spent", spent_);
+  json.KV("remaining", std::max(0.0, remaining()));
+  json.Key("charges");
+  json.BeginArray();
+  for (const PrivacyCharge& charge : ledger_) {
+    json.BeginObject();
+    json.KV("label", charge.label);
+    json.KV("epsilon", charge.epsilon);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return out;
 }
 
 }  // namespace ireduct

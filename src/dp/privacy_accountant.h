@@ -40,6 +40,17 @@ class PrivacyAccountant {
   double remaining() const { return budget_ - spent_; }
   const std::vector<PrivacyCharge>& ledger() const { return ledger_; }
 
+  /// Deterministic JSON export of the ledger for audit pipelines and trace
+  /// attachments: fixed field order
+  ///   {"budget":B,"spent":S,"remaining":R,"charges":[
+  ///     {"label":L,"epsilon":E}, ...]}
+  /// with charges in the order they were admitted and doubles rendered via
+  /// shortest round-trip, so equal ledgers export byte-identical JSON.
+  /// `remaining` is clamped at 0: the boundary-slack admission rule can
+  /// push spent a hair past budget, and the export must never advertise a
+  /// negative balance.
+  std::string ExportLedgerJson() const;
+
  private:
   explicit PrivacyAccountant(double budget) : budget_(budget) {}
 

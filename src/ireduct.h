@@ -46,6 +46,10 @@
 #include "marginals/marginal_workload.h"   // IWYU pragma: export
 #include "marginals/postprocess.h"         // IWYU pragma: export
 #include "marginals/synthetic.h"           // IWYU pragma: export
+#include "obs/json.h"                      // IWYU pragma: export
+#include "obs/log.h"                       // IWYU pragma: export
+#include "obs/metrics.h"                   // IWYU pragma: export
+#include "obs/trace.h"                     // IWYU pragma: export
 #include "queries/predicate.h"             // IWYU pragma: export
 #include "queries/range_workload.h"        // IWYU pragma: export
 #include "service/private_session.h"       // IWYU pragma: export

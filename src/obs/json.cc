@@ -1,0 +1,129 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ireduct {
+namespace obs {
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // key already wrote the ':' separator context
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_->push_back(',');
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_->push_back('{');
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  has_element_.pop_back();
+  out_->push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_->push_back('[');
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  has_element_.pop_back();
+  out_->push_back(']');
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Separate();
+  out_->push_back('"');
+  *out_ += EscapeJson(key);
+  *out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Separate();
+  out_->push_back('"');
+  *out_ += EscapeJson(value);
+  out_->push_back('"');
+}
+
+void JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) {
+    String(FormatDouble(value));
+    return;
+  }
+  Separate();
+  *out_ += FormatDouble(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  Separate();
+  *out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  Separate();
+  *out_ += std::to_string(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  *out_ += value ? "true" : "false";
+}
+
+void JsonWriter::RawValue(std::string_view json) {
+  Separate();
+  *out_ += json;
+}
+
+}  // namespace obs
+}  // namespace ireduct

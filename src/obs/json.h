@@ -1,0 +1,81 @@
+// Minimal streaming JSON writer for the observability layer.
+//
+// Emits compact JSON with deterministic formatting: keys appear exactly in
+// the order the caller writes them, and doubles render via shortest
+// round-trip (std::to_chars), so identical inputs serialize to identical
+// bytes across runs. JSON has no encoding for non-finite numbers, so
+// infinities and NaN are emitted as the strings "inf"/"-inf"/"nan" to keep
+// every document parseable.
+//
+// The writer does not validate nesting beyond what its own bookkeeping
+// needs; callers are expected to produce well-formed sequences (this is an
+// internal serialization aid, not a general-purpose JSON library).
+#ifndef IREDUCT_OBS_JSON_H_
+#define IREDUCT_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ireduct {
+namespace obs {
+
+/// Shortest round-trip decimal rendering of `v` ("inf"/"-inf"/"nan" for
+/// non-finite values, without quotes — used inside JsonWriter and for
+/// human-readable log output).
+std::string FormatDouble(double v);
+
+/// JSON string escaping of `s` (quotes not included).
+std::string EscapeJson(std::string_view s);
+
+/// Streaming writer appending to a caller-owned buffer.
+class JsonWriter {
+ public:
+  /// Appends to `*out` (borrowed; must outlive the writer).
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes an object key; the next value call provides its value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Double(double value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Bool(bool value);
+  /// Splices a pre-serialized JSON value verbatim.
+  void RawValue(std::string_view json);
+
+  /// Convenience: Key + value in one call.
+  void KV(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void KV(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+  void KV(std::string_view key, uint64_t value) {
+    Key(key);
+    UInt(value);
+  }
+
+ private:
+  // Called before any value or key to insert the separating comma.
+  void Separate();
+
+  std::string* out_;
+  // One flag per open container: has it emitted an element yet?
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace ireduct
+
+#endif  // IREDUCT_OBS_JSON_H_

@@ -1,0 +1,113 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ireduct {
+namespace obs {
+
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("IREDUCT_LOG_LEVEL");
+  if (env != nullptr) {
+    if (auto parsed = ParseLogLevel(env); parsed.ok()) return *parsed;
+    std::fprintf(stderr,
+                 "[ireduct:warn] ignoring invalid IREDUCT_LOG_LEVEL=%s\n",
+                 env);
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& ThresholdStorage() {
+  static std::atomic<int> threshold{static_cast<int>(LevelFromEnv())};
+  return threshold;
+}
+
+std::atomic<LogSink>& SinkStorage() {
+  static std::atomic<LogSink> sink{nullptr};
+  return sink;
+}
+
+// Serializes stderr writes so concurrent messages stay line-atomic.
+std::mutex& StderrMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Basename of a path, for compact source locations.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+Result<LogLevel> ParseLogLevel(std::string_view name) {
+  for (const LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError,
+        LogLevel::kOff}) {
+    if (name == LogLevelName(level)) return level;
+  }
+  return Status::InvalidArgument("unknown log level '" + std::string(name) +
+                                 "' (want debug|info|warn|error|off)");
+}
+
+void SetLogLevel(LogLevel level) {
+  ThresholdStorage().store(static_cast<int>(level),
+                           std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      ThresholdStorage().load(std::memory_order_relaxed));
+}
+
+bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+             ThresholdStorage().load(std::memory_order_relaxed) &&
+         level != LogLevel::kOff;
+}
+
+void SetLogSink(LogSink sink) {
+  SinkStorage().store(sink, std::memory_order_release);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[ireduct:" << LogLevelName(level) << "] " << Basename(file)
+          << ':' << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const std::string message = stream_.str();
+  if (const LogSink sink = SinkStorage().load(std::memory_order_acquire)) {
+    sink(level_, message);
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(StderrMutex());
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace obs
+}  // namespace ireduct

@@ -1,0 +1,171 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace ireduct {
+namespace obs {
+
+namespace {
+// Default histogram buckets: log decades covering microseconds to tens of
+// seconds, the range of everything the library times.
+constexpr double kDefaultSecondsBounds[] = {1e-6, 1e-5, 1e-4, 1e-3,
+                                            1e-2, 0.1,  1.0,  10.0};
+}  // namespace
+
+std::atomic<bool> MetricsRegistry::enabled_{true};
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  IREDUCT_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ =
+      std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  // lower_bound keeps the edges inclusive: v == bounds_[i] belongs in the
+  // bucket labelled "le": bounds_[i].
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  IREDUCT_CHECK(gauges_.find(name) == gauges_.end() &&
+                histograms_.find(name) == histograms_.end());
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  IREDUCT_CHECK(counters_.find(name) == counters_.end() &&
+                histograms_.find(name) == histograms_.end());
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  IREDUCT_CHECK(counters_.find(name) == counters_.end() &&
+                gauges_.find(name) == gauges_.end());
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    std::vector<double> bounds(upper_bounds.begin(), upper_bounds.end());
+    if (bounds.empty()) {
+      bounds.assign(std::begin(kDefaultSecondsBounds),
+                    std::end(kDefaultSecondsBounds));
+    }
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  JsonWriter json(&out);
+  json.BeginObject();
+
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.KV(name, counter->value());
+  }
+  json.EndObject();
+
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.KV(name, gauge->value());
+  }
+  json.EndObject();
+
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json.Key(name);
+    json.BeginObject();
+    json.KV("count", histogram->count());
+    json.KV("sum", histogram->sum());
+    json.Key("buckets");
+    json.BeginArray();
+    const std::vector<uint64_t> counts = histogram->bucket_counts();
+    const std::vector<double>& bounds = histogram->bounds();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      json.BeginObject();
+      json.Key("le");
+      if (i < bounds.size()) {
+        json.Double(bounds[i]);
+      } else {
+        json.String("inf");
+      }
+      json.KV("count", counts[i]);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+
+  json.EndObject();
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace ireduct

@@ -1,0 +1,212 @@
+// Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+//
+// Instrumented code records through the IREDUCT_METRIC_* macros below, which
+// cache a pointer to the metric on first use (one mutex-guarded lookup per
+// call site per process) and then cost a single atomic operation per event —
+// cheap enough for the NoiseDown rejection loop. When the library is built
+// with IREDUCT_ENABLE_TRACING=OFF the macros expand to nothing.
+//
+// Naming convention: lowercase dotted `subsystem.metric`, with a unit
+// suffix where one applies (`_seconds`). Counters only go up; gauges hold a
+// last-written value; histograms have fixed upper bucket bounds chosen at
+// first registration.
+//
+// MetricsRegistry::Global().SnapshotJson() serializes everything with
+// deterministic shape: kinds in the fixed order counters/gauges/histograms,
+// metric names sorted lexicographically within each kind.
+#ifndef IREDUCT_OBS_METRICS_H_
+#define IREDUCT_OBS_METRICS_H_
+
+// Normally injected by the build (PUBLIC on the ireduct target); default to
+// enabled for out-of-tree includes.
+#ifndef IREDUCT_ENABLE_TRACING
+#define IREDUCT_ENABLE_TRACING 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ireduct {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written double value (set semantics; Add is a convenience on top).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
+/// an implicit final +inf bucket. Also tracks count and sum for mean
+/// recovery.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and finite; the +inf
+  /// overflow bucket is implicit.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last is overflow).
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Owner of every metric in the process. Metrics are created on first
+/// lookup and never destroyed or relocated, so references stay valid for
+/// the process lifetime (Reset zeroes values without removing entries).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Runtime master switch consulted by the IREDUCT_METRIC_* macros
+  /// (default on). Direct method calls are not gated.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Finds or creates the named metric. A name identifies one kind only;
+  /// asking for an existing name under a different kind dies (programmer
+  /// error).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` applies on first registration only; pass empty to use
+  /// the default log-decade seconds buckets (1e-6 .. 10).
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_bounds = {});
+
+  /// Deterministic JSON snapshot:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string SnapshotJson() const;
+
+  /// Zeroes every registered metric (entries and references survive).
+  void ResetAll();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// RAII wall-clock timer recording elapsed seconds into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(&histogram),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    histogram_->Observe(elapsed.count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace ireduct
+
+// Instrumentation macros. `name` must be a string literal (it names a
+// process-lifetime metric cached in a function-local static).
+#if IREDUCT_ENABLE_TRACING
+
+#define IREDUCT_METRIC_COUNT(name, n)                                      \
+  do {                                                                     \
+    if (::ireduct::obs::MetricsRegistry::enabled()) {                      \
+      static ::ireduct::obs::Counter& ireduct_metric_counter =             \
+          ::ireduct::obs::MetricsRegistry::Global().counter(name);         \
+      ireduct_metric_counter.Increment(n);                                 \
+    }                                                                      \
+  } while (false)
+
+#define IREDUCT_METRIC_GAUGE_SET(name, v)                                  \
+  do {                                                                     \
+    if (::ireduct::obs::MetricsRegistry::enabled()) {                      \
+      static ::ireduct::obs::Gauge& ireduct_metric_gauge =                 \
+          ::ireduct::obs::MetricsRegistry::Global().gauge(name);           \
+      ireduct_metric_gauge.Set(v);                                         \
+    }                                                                      \
+  } while (false)
+
+#define IREDUCT_METRIC_OBSERVE(name, v)                                    \
+  do {                                                                     \
+    if (::ireduct::obs::MetricsRegistry::enabled()) {                      \
+      static ::ireduct::obs::Histogram& ireduct_metric_histogram =         \
+          ::ireduct::obs::MetricsRegistry::Global().histogram(name);       \
+      ireduct_metric_histogram.Observe(v);                                 \
+    }                                                                      \
+  } while (false)
+
+// Times the enclosing scope into histogram `name` (seconds).
+#define IREDUCT_SCOPED_TIMER(var, name)                                    \
+  ::ireduct::obs::ScopedTimer var(                                         \
+      ::ireduct::obs::MetricsRegistry::Global().histogram(name))
+
+#else  // !IREDUCT_ENABLE_TRACING
+
+#define IREDUCT_METRIC_COUNT(name, n) \
+  do {                                \
+  } while (false)
+#define IREDUCT_METRIC_GAUGE_SET(name, v) \
+  do {                                    \
+  } while (false)
+#define IREDUCT_METRIC_OBSERVE(name, v) \
+  do {                                  \
+  } while (false)
+#define IREDUCT_SCOPED_TIMER(var, name) \
+  do {                                  \
+  } while (false)
+
+#endif  // IREDUCT_ENABLE_TRACING
+
+#endif  // IREDUCT_OBS_METRICS_H_

@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#if IREDUCT_ENABLE_TRACING
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace ireduct {
+namespace obs {
+
+std::atomic<TraceRecorder*> TraceRecorder::installed_{nullptr};
+
+TraceRecorder::TraceRecorder()
+    : origin_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder* TraceRecorder::Get() {
+  return installed_.load(std::memory_order_acquire);
+}
+
+void TraceRecorder::Install(TraceRecorder* recorder) {
+  installed_.store(recorder, std::memory_order_release);
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+void TraceRecorder::AddCompleteEvent(std::string name, uint64_t start_us,
+                                     uint64_t duration_us,
+                                     std::vector<TraceArg> args) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      Event{std::move(name), 'X', start_us, duration_us, std::move(args)});
+}
+
+void TraceRecorder::AddInstantEvent(std::string name,
+                                    std::vector<TraceArg> args) {
+  const uint64_t now = NowMicros();
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::move(name), 'i', now, 0, std::move(args)});
+}
+
+void TraceRecorder::SetOtherData(std::string key, std::string json_value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  other_data_[std::move(key)] = std::move(json_value);
+}
+
+size_t TraceRecorder::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+size_t TraceRecorder::CountEventsNamed(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Event& event : events_) {
+    if (event.name == name) ++n;
+  }
+  return n;
+}
+
+std::string TraceRecorder::ToJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const Event& event : events_) {
+    json.BeginObject();
+    json.KV("name", event.name);
+    json.KV("ph", std::string_view(&event.phase, 1));
+    // Single-process, single-track model: everything the library records
+    // belongs to one timeline.
+    json.Key("pid");
+    json.Int(1);
+    json.Key("tid");
+    json.Int(1);
+    json.KV("ts", event.start_us);
+    if (event.phase == 'X') json.KV("dur", event.duration_us);
+    if (event.phase == 'i') json.KV("s", "t");  // instant scope: thread
+    if (!event.args.empty()) {
+      json.Key("args");
+      json.BeginObject();
+      for (const TraceArg& arg : event.args) {
+        json.Key(arg.key);
+        if (arg.is_number) {
+          json.Double(arg.number);
+        } else {
+          json.String(arg.text);
+        }
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.KV("displayTimeUnit", "ms");
+  if (!other_data_.empty()) {
+    json.Key("otherData");
+    json.BeginObject();
+    for (const auto& [key, value] : other_data_) {
+      json.Key(key);
+      json.RawValue(value);
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+  return out;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::IoError("cannot open trace output '" + path + "'");
+  }
+  const std::string json = ToJson();
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  file.put('\n');
+  if (!file.flush()) {
+    return Status::IoError("failed writing trace output '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace ireduct
+
+#endif  // IREDUCT_ENABLE_TRACING

@@ -1,0 +1,200 @@
+// Chrome trace_event recording: spans and instants that load directly into
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// A TraceRecorder is installed process-wide (TraceRecorder::Install) by the
+// edge that wants a trace — the CLI behind --trace-out, a bench, a test.
+// While none is installed, TraceSpan construction is a single atomic load
+// and records nothing; with IREDUCT_ENABLE_TRACING=OFF the whole facility
+// compiles to empty inline stubs, so instrumented call sites cost nothing.
+//
+// Recorded output is the JSON object format:
+//   {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,...}, ...],
+//    "displayTimeUnit":"ms",
+//    "otherData":{...}}
+// Timestamps are steady-clock microseconds since the recorder was created.
+// Structured side data (e.g. the privacy accountant's ledger) rides along
+// under otherData.
+#ifndef IREDUCT_OBS_TRACE_H_
+#define IREDUCT_OBS_TRACE_H_
+
+// Normally injected by the build (PUBLIC on the ireduct target); default to
+// enabled for out-of-tree includes.
+#ifndef IREDUCT_ENABLE_TRACING
+#define IREDUCT_ENABLE_TRACING 1
+#endif
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+#if IREDUCT_ENABLE_TRACING
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+namespace ireduct {
+namespace obs {
+
+/// One "key": value annotation on a trace event. Only numeric and string
+/// values — everything the instrumented call sites need.
+struct TraceArg {
+  TraceArg(std::string k, double v)
+      : key(std::move(k)), number(v), is_number(true) {}
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), text(std::move(v)), is_number(false) {}
+
+  std::string key;
+  double number = 0;
+  std::string text;
+  bool is_number;
+};
+
+/// Collects trace events; thread-safe. Install one globally to turn
+/// instrumentation on.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  /// The installed recorder, or nullptr when tracing is off.
+  static TraceRecorder* Get();
+  /// Installs `recorder` (borrowed; caller keeps ownership and must
+  /// uninstall with nullptr before destroying it).
+  static void Install(TraceRecorder* recorder);
+  static bool active() { return Get() != nullptr; }
+
+  /// Microseconds since this recorder was created.
+  uint64_t NowMicros() const;
+
+  /// Complete event ("ph":"X"): a span with explicit start and duration.
+  void AddCompleteEvent(std::string name, uint64_t start_us,
+                        uint64_t duration_us, std::vector<TraceArg> args);
+  /// Instant event ("ph":"i") at the current time.
+  void AddInstantEvent(std::string name, std::vector<TraceArg> args);
+  /// Attaches a pre-serialized JSON value under otherData.`key`.
+  void SetOtherData(std::string key, std::string json_value);
+
+  size_t event_count() const;
+  /// Number of recorded events with the given name (test hook).
+  size_t CountEventsNamed(std::string_view name) const;
+
+  /// Serializes the Chrome trace object.
+  std::string ToJson() const;
+  /// Writes ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  struct Event {
+    std::string name;
+    char phase;  // 'X' or 'i'
+    uint64_t start_us;
+    uint64_t duration_us;  // complete events only
+    std::vector<TraceArg> args;
+  };
+
+  static std::atomic<TraceRecorder*> installed_;
+
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::string, std::string> other_data_;
+};
+
+/// RAII span: records a complete event from construction to destruction on
+/// the recorder installed at construction time (if any).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name)
+      : recorder_(TraceRecorder::Get()), name_(name) {
+    if (recorder_ != nullptr) start_us_ = recorder_->NowMicros();
+  }
+  ~TraceSpan() {
+    if (recorder_ != nullptr && !cancelled_) {
+      recorder_->AddCompleteEvent(std::move(name_), start_us_,
+                                  recorder_->NowMicros() - start_us_,
+                                  std::move(args_));
+    }
+  }
+
+  /// Annotates the span; no-op when not recording.
+  void Arg(std::string_view key, double value) {
+    if (recorder_ != nullptr) args_.emplace_back(std::string(key), value);
+  }
+  void Arg(std::string_view key, std::string_view value) {
+    if (recorder_ != nullptr) {
+      args_.emplace_back(std::string(key), std::string(value));
+    }
+  }
+
+  /// Drops the span: nothing is recorded at destruction.
+  void Cancel() { cancelled_ = true; }
+
+  bool recording() const { return recorder_ != nullptr; }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  uint64_t start_us_ = 0;
+  std::vector<TraceArg> args_;
+  bool cancelled_ = false;
+};
+
+}  // namespace obs
+}  // namespace ireduct
+
+#else  // !IREDUCT_ENABLE_TRACING
+
+namespace ireduct {
+namespace obs {
+
+// Compile-time-disabled stubs: every member is an inline no-op and
+// TraceRecorder::active() is a constant false, so guarded instrumentation
+// blocks fold away entirely.
+struct TraceArg {
+  TraceArg(std::string, double) {}
+  TraceArg(std::string, std::string) {}
+};
+
+class TraceRecorder {
+ public:
+  static constexpr TraceRecorder* Get() { return nullptr; }
+  static void Install(TraceRecorder*) {}
+  static constexpr bool active() { return false; }
+
+  uint64_t NowMicros() const { return 0; }
+  void AddCompleteEvent(std::string, uint64_t, uint64_t,
+                        std::vector<TraceArg>) {}
+  void AddInstantEvent(std::string, std::vector<TraceArg>) {}
+  void SetOtherData(std::string, std::string) {}
+  size_t event_count() const { return 0; }
+  size_t CountEventsNamed(std::string_view) const { return 0; }
+  std::string ToJson() const { return "{\"traceEvents\":[]}"; }
+  Status WriteFile(const std::string&) const { return Status::OK(); }
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view) {}
+  void Arg(std::string_view, double) {}
+  void Arg(std::string_view, std::string_view) {}
+  void Cancel() {}
+  bool recording() const { return false; }
+};
+
+}  // namespace obs
+}  // namespace ireduct
+
+#endif  // IREDUCT_ENABLE_TRACING
+
+#endif  // IREDUCT_OBS_TRACE_H_

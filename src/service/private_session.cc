@@ -5,6 +5,9 @@
 #include "algorithms/geometric.h"
 #include "marginals/marginal_set.h"
 #include "marginals/marginal_workload.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ireduct {
 
@@ -23,6 +26,9 @@ Result<PrivateQuerySession> PrivateQuerySession::Create(
 Result<double> PrivateQuerySession::CountQuery(const ConjunctiveQuery& query,
                                                double epsilon,
                                                CountNoise noise) {
+  obs::TraceSpan span("session.count_query");
+  span.Arg("epsilon", epsilon);
+  IREDUCT_METRIC_COUNT("session.count_queries", 1);
   if (!(epsilon > 0) || !std::isfinite(epsilon)) {
     return Status::InvalidArgument("epsilon must be positive finite");
   }
@@ -43,6 +49,10 @@ Result<double> PrivateQuerySession::CountQuery(const ConjunctiveQuery& query,
 Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
     std::span<const MarginalSpec> specs, double epsilon, double delta,
     int lambda_steps) {
+  obs::TraceSpan span("session.publish_marginals");
+  span.Arg("epsilon", epsilon);
+  span.Arg("marginals", static_cast<double>(specs.size()));
+  IREDUCT_METRIC_COUNT("session.marginal_releases", 1);
   if (!(epsilon > 0) || !std::isfinite(epsilon)) {
     return Status::InvalidArgument("epsilon must be positive finite");
   }
@@ -70,6 +80,12 @@ Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
                            RunIReduct(workload.workload(), params, gen_));
   IREDUCT_RETURN_NOT_OK(
       accountant_->Charge("marginal release (iReduct)", out.epsilon_spent));
+  span.Arg("epsilon_spent", out.epsilon_spent);
+  span.Arg("iterations", static_cast<double>(out.iterations));
+  IREDUCT_LOG(kInfo) << "published " << specs.size() << " marginals in "
+                     << out.iterations << " iterations for epsilon "
+                     << out.epsilon_spent << " (remaining "
+                     << accountant_->remaining() << ")";
   MarginalRelease release;
   release.epsilon_spent = out.epsilon_spent;
   IREDUCT_ASSIGN_OR_RETURN(release.marginals,
@@ -79,6 +95,12 @@ Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
 
 Result<NoiseDownChain> PrivateQuerySession::StartRefinableCount(
     const ConjunctiveQuery& query, double initial_scale) {
+  obs::TraceSpan span("session.start_refinable_count");
+  span.Arg("initial_scale", initial_scale);
+  // The up-front charge is sensitivity/scale (chain start at exact
+  // coupling slack 1).
+  span.Arg("epsilon", initial_scale > 0 ? 1.0 / initial_scale : 0.0);
+  IREDUCT_METRIC_COUNT("session.refinable_counts", 1);
   IREDUCT_ASSIGN_OR_RETURN(const double truth,
                            EvaluateQuery(*dataset_, query));
   NoiseDownChainOptions options;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "../obs/minijson.h"
+
 namespace ireduct {
 namespace {
 
@@ -54,6 +58,63 @@ TEST(PrivacyAccountantTest, CanAffordPredictsCharge) {
   ASSERT_TRUE(acct.ok());
   EXPECT_TRUE(acct->CanAfford(0.5));
   EXPECT_FALSE(acct->CanAfford(0.51));
+}
+
+TEST(PrivacyAccountantTest, ExportLedgerJsonIsByteExact) {
+  auto acct = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(acct.ok());
+  ASSERT_TRUE(acct->Charge("count (a)", 0.25).ok());
+  ASSERT_TRUE(acct->Charge("marginals", 0.5).ok());
+  // Fixed field order, charges in admission order, shortest round-trip
+  // doubles — the whole export is deterministic down to the byte.
+  EXPECT_EQ(acct->ExportLedgerJson(),
+            "{\"budget\":1,\"spent\":0.75,\"remaining\":0.25,\"charges\":"
+            "[{\"label\":\"count (a)\",\"epsilon\":0.25},"
+            "{\"label\":\"marginals\",\"epsilon\":0.5}]}");
+  EXPECT_EQ(acct->ExportLedgerJson(), acct->ExportLedgerJson());
+}
+
+TEST(PrivacyAccountantTest, ExportClampsRemainingAtZero) {
+  // The boundary-slack admission rule can push spent a hair past budget;
+  // the export must never advertise a negative balance.
+  auto acct = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(acct.ok());
+  ASSERT_TRUE(acct->Charge("all plus slack", 1.0 + 1e-10).ok());
+  EXPECT_LT(acct->remaining(), 0.0);
+
+  auto parsed = minijson::Parse(acct->ExportLedgerJson());
+  ASSERT_TRUE(parsed.has_value()) << acct->ExportLedgerJson();
+  EXPECT_DOUBLE_EQ(parsed->Find("remaining")->number, 0.0);
+  EXPECT_GT(parsed->Find("spent")->number, 1.0);
+}
+
+TEST(PrivacyAccountantTest, ExportRoundTripsThroughParser) {
+  auto acct = PrivacyAccountant::Create(2.0);
+  ASSERT_TRUE(acct.ok());
+  ASSERT_TRUE(acct->Charge("phase \"one\"", 0.125).ok());
+  ASSERT_TRUE(acct->Charge("phase\ntwo", 0.375).ok());
+
+  auto parsed = minijson::Parse(acct->ExportLedgerJson());
+  ASSERT_TRUE(parsed.has_value()) << acct->ExportLedgerJson();
+  ASSERT_EQ(parsed->kind, minijson::Value::kObject);
+  // Field order is part of the contract.
+  ASSERT_EQ(parsed->object.size(), 4u);
+  EXPECT_EQ(parsed->object[0].first, "budget");
+  EXPECT_EQ(parsed->object[1].first, "spent");
+  EXPECT_EQ(parsed->object[2].first, "remaining");
+  EXPECT_EQ(parsed->object[3].first, "charges");
+
+  // Replaying the parsed charges into a fresh accountant reproduces the
+  // export byte for byte.
+  auto replay = PrivacyAccountant::Create(parsed->Find("budget")->number);
+  ASSERT_TRUE(replay.ok());
+  for (const minijson::Value& charge : parsed->Find("charges")->array) {
+    ASSERT_TRUE(replay
+                    ->Charge(charge.Find("label")->text,
+                             charge.Find("epsilon")->number)
+                    .ok());
+  }
+  EXPECT_EQ(replay->ExportLedgerJson(), acct->ExportLedgerJson());
 }
 
 }  // namespace

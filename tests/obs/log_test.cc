@@ -1,0 +1,99 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ireduct {
+namespace obs {
+namespace {
+
+// Captures sink output into a process-global buffer (the sink is a plain
+// function pointer, so no lambdas with state).
+std::vector<std::string>* g_captured = nullptr;
+
+void CaptureSink(LogLevel /*level*/, std::string_view message) {
+  g_captured->emplace_back(message);
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_captured = &captured_;
+    SetLogSink(&CaptureSink);
+    previous_level_ = GetLogLevel();
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(previous_level_);
+    g_captured = nullptr;
+  }
+
+  std::vector<std::string> captured_;
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, ParseLogLevelRoundTrips) {
+  for (const LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError,
+        LogLevel::kOff}) {
+    auto parsed = ParseLogLevel(LogLevelName(level));
+    ASSERT_TRUE(parsed.ok()) << LogLevelName(level);
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(ParseLogLevel("verbose").ok());
+  EXPECT_FALSE(ParseLogLevel("INFO").ok());
+  EXPECT_FALSE(ParseLogLevel("").ok());
+}
+
+TEST_F(LogTest, ThresholdFilters) {
+  SetLogLevel(LogLevel::kWarn);
+  IREDUCT_LOG(kDebug) << "dropped";
+  IREDUCT_LOG(kInfo) << "dropped";
+  IREDUCT_LOG(kWarn) << "kept-warn";
+  IREDUCT_LOG(kError) << "kept-error";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_NE(captured_[0].find("kept-warn"), std::string::npos);
+  EXPECT_NE(captured_[1].find("kept-error"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  IREDUCT_LOG(kError) << "dropped";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, MessageCarriesLevelAndLocation) {
+  SetLogLevel(LogLevel::kInfo);
+  IREDUCT_LOG(kInfo) << "the payload " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_NE(captured_[0].find("[ireduct:info]"), std::string::npos);
+  EXPECT_NE(captured_[0].find("log_test.cc"), std::string::npos);
+  EXPECT_NE(captured_[0].find("the payload 42"), std::string::npos);
+}
+
+TEST_F(LogTest, FilteredStatementsDoNotEvaluateOperands) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "value";
+  };
+  IREDUCT_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  IREDUCT_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, LogLevelEnabledMatchesThreshold) {
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_FALSE(LogLevelEnabled(LogLevel::kDebug));
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kError));
+  EXPECT_FALSE(LogLevelEnabled(LogLevel::kOff));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ireduct

@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "minijson.h"
+
+namespace ireduct {
+namespace obs {
+namespace {
+
+// Each test registers under its own prefix: the global registry is
+// process-lifetime and shared across the whole test binary.
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketsObservationsByUpperBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1
+  h.Observe(1.0);    // <= 1 (bounds are inclusive upper edges)
+  h.Observe(5.0);    // <= 10
+  h.Observe(100.5);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  const std::vector<uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("reg.same");
+  Counter& b = registry.counter("reg.same");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Lookup raced from every thread on purpose.
+      Counter& c = registry.counter("reg.concurrent");
+      Histogram& h = registry.histogram("reg.concurrent_hist");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Observe(1e-5);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter("reg.concurrent").value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.histogram("reg.concurrent_hist").count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonShape) {
+  MetricsRegistry registry;
+  registry.counter("snap.b_counter").Increment(7);
+  registry.counter("snap.a_counter").Increment(1);
+  registry.gauge("snap.gauge").Set(0.25);
+  const std::vector<double> bounds = {1.0, 2.0};
+  registry.histogram("snap.hist", bounds).Observe(1.5);
+
+  const std::string json = registry.SnapshotJson();
+  auto parsed = minijson::Parse(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  ASSERT_EQ(parsed->kind, minijson::Value::kObject);
+
+  // Top-level kinds in fixed order.
+  ASSERT_EQ(parsed->object.size(), 3u);
+  EXPECT_EQ(parsed->object[0].first, "counters");
+  EXPECT_EQ(parsed->object[1].first, "gauges");
+  EXPECT_EQ(parsed->object[2].first, "histograms");
+
+  const minijson::Value& counters = parsed->object[0].second;
+  ASSERT_EQ(counters.object.size(), 2u);
+  // Names sorted lexicographically.
+  EXPECT_EQ(counters.object[0].first, "snap.a_counter");
+  EXPECT_EQ(counters.object[1].first, "snap.b_counter");
+  EXPECT_DOUBLE_EQ(counters.object[1].second.number, 7.0);
+
+  const minijson::Value* gauge =
+      parsed->object[1].second.Find("snap.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->number, 0.25);
+
+  const minijson::Value* hist =
+      parsed->object[2].second.Find("snap.hist");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->object.size(), 3u);
+  EXPECT_EQ(hist->object[0].first, "count");
+  EXPECT_DOUBLE_EQ(hist->object[0].second.number, 1.0);
+  EXPECT_EQ(hist->object[1].first, "sum");
+  EXPECT_DOUBLE_EQ(hist->object[1].second.number, 1.5);
+  const minijson::Value& buckets = hist->object[2].second;
+  ASSERT_EQ(buckets.array.size(), 3u);  // two bounds + overflow
+  EXPECT_DOUBLE_EQ(buckets.array[0].Find("count")->number, 0.0);
+  EXPECT_DOUBLE_EQ(buckets.array[1].Find("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(buckets.array[1].Find("le")->number, 2.0);
+  EXPECT_EQ(buckets.array[2].Find("le")->text, "inf");
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesWithoutInvalidating) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("reset.counter");
+  c.Increment(5);
+  registry.gauge("reset.gauge").Set(1.0);
+  registry.ResetAll();
+  EXPECT_EQ(c.value(), 0u);  // same object, zeroed
+  EXPECT_DOUBLE_EQ(registry.gauge("reset.gauge").value(), 0.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("det.one").Increment();
+  registry.gauge("det.two").Set(0.5);
+  EXPECT_EQ(registry.SnapshotJson(), registry.SnapshotJson());
+}
+
+#if IREDUCT_ENABLE_TRACING
+TEST(MetricsMacroTest, CountsIntoGlobalRegistry) {
+  const uint64_t before =
+      MetricsRegistry::Global().counter("macro.count").value();
+  IREDUCT_METRIC_COUNT("macro.count", 3);
+  EXPECT_EQ(MetricsRegistry::Global().counter("macro.count").value(),
+            before + 3);
+}
+
+TEST(MetricsMacroTest, RuntimeDisableSkipsRecording) {
+  IREDUCT_METRIC_COUNT("macro.disabled", 1);  // registers the metric
+  const uint64_t before =
+      MetricsRegistry::Global().counter("macro.disabled").value();
+  MetricsRegistry::set_enabled(false);
+  IREDUCT_METRIC_COUNT("macro.disabled", 1);
+  MetricsRegistry::set_enabled(true);
+  EXPECT_EQ(MetricsRegistry::Global().counter("macro.disabled").value(),
+            before);
+}
+#endif  // IREDUCT_ENABLE_TRACING
+
+}  // namespace
+}  // namespace obs
+}  // namespace ireduct

@@ -1,0 +1,200 @@
+// Test-only minimal JSON parser: just enough to round-trip what the
+// observability layer emits (objects, arrays, strings with basic escapes,
+// numbers, booleans, null) and assert on its structure. Strict: rejects
+// trailing garbage, unterminated containers, and bad escapes, so tests
+// using it double as well-formedness checks on the writers.
+#ifndef IREDUCT_TESTS_OBS_MINIJSON_H_
+#define IREDUCT_TESTS_OBS_MINIJSON_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace minijson {
+
+struct Value {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::vector<Value> array;
+  // Insertion-ordered, so tests can assert field order.
+  std::vector<std::pair<std::string, Value>> object;
+
+  const Value* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  std::optional<Value> Parse() {
+    std::optional<Value> value = ParseValue();
+    SkipSpace();
+    if (!value.has_value() || pos_ != input_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (input_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= input_.size()) return std::nullopt;
+      const char esc = input_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > input_.size()) return std::nullopt;
+          const std::string hex(input_.substr(pos_, 4));
+          pos_ += 4;
+          // Sufficient for the control characters the writer escapes.
+          out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> ParseValue() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return std::nullopt;
+    const char c = input_[pos_];
+    Value value;
+    if (c == '{') {
+      ++pos_;
+      value.kind = Value::kObject;
+      SkipSpace();
+      if (Consume('}')) return value;
+      for (;;) {
+        std::optional<std::string> key = ParseString();
+        if (!key.has_value() || !Consume(':')) return std::nullopt;
+        std::optional<Value> member = ParseValue();
+        if (!member.has_value()) return std::nullopt;
+        value.object.emplace_back(std::move(*key), std::move(*member));
+        if (Consume(',')) continue;
+        if (Consume('}')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.kind = Value::kArray;
+      SkipSpace();
+      if (Consume(']')) return value;
+      for (;;) {
+        std::optional<Value> element = ParseValue();
+        if (!element.has_value()) return std::nullopt;
+        value.array.push_back(std::move(*element));
+        if (Consume(',')) continue;
+        if (Consume(']')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      std::optional<std::string> text = ParseString();
+      if (!text.has_value()) return std::nullopt;
+      value.kind = Value::kString;
+      value.text = std::move(*text);
+      return value;
+    }
+    if (ConsumeLiteral("true")) {
+      value.kind = Value::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (ConsumeLiteral("false")) {
+      value.kind = Value::kBool;
+      return value;
+    }
+    if (ConsumeLiteral("null")) return value;
+    // Number.
+    const size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '-' || input_[pos_] == '+' ||
+            input_[pos_] == '.' || input_[pos_] == 'e' ||
+            input_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token(input_.substr(start, pos_ - start));
+    char* end = nullptr;
+    value.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    value.kind = Value::kNumber;
+    return value;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+inline std::optional<Value> Parse(std::string_view input) {
+  return Parser(input).Parse();
+}
+
+}  // namespace minijson
+
+#endif  // IREDUCT_TESTS_OBS_MINIJSON_H_

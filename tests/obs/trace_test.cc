@@ -1,0 +1,163 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "minijson.h"
+
+namespace ireduct {
+namespace obs {
+namespace {
+
+#if IREDUCT_ENABLE_TRACING
+
+// Installs a fresh recorder for the test and uninstalls on exit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TraceRecorder::Install(&recorder_); }
+  void TearDown() override { TraceRecorder::Install(nullptr); }
+
+  std::optional<minijson::Value> ParsedTrace() const {
+    return minijson::Parse(recorder_.ToJson());
+  }
+
+  TraceRecorder recorder_;
+};
+
+TEST_F(TraceTest, SpanRecordsCompleteEvent) {
+  {
+    TraceSpan span("unit.work");
+    span.Arg("items", 3.0);
+    span.Arg("mode", "fast");
+  }
+  EXPECT_EQ(recorder_.event_count(), 1u);
+  EXPECT_EQ(recorder_.CountEventsNamed("unit.work"), 1u);
+
+  auto parsed = ParsedTrace();
+  ASSERT_TRUE(parsed.has_value()) << recorder_.ToJson();
+  const minijson::Value* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  const minijson::Value& event = events->array[0];
+  EXPECT_EQ(event.Find("name")->text, "unit.work");
+  EXPECT_EQ(event.Find("ph")->text, "X");
+  ASSERT_NE(event.Find("ts"), nullptr);
+  ASSERT_NE(event.Find("dur"), nullptr);
+  const minijson::Value* args = event.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->Find("items")->number, 3.0);
+  EXPECT_EQ(args->Find("mode")->text, "fast");
+}
+
+TEST_F(TraceTest, NestedSpansNestInTime) {
+  {
+    TraceSpan outer("unit.outer");
+    {
+      TraceSpan inner("unit.inner");
+    }
+  }
+  auto parsed = ParsedTrace();
+  ASSERT_TRUE(parsed.has_value());
+  const minijson::Value* events = parsed->Find("traceEvents");
+  ASSERT_EQ(events->array.size(), 2u);
+  // Inner destructs first, so it is recorded first.
+  const minijson::Value& inner = events->array[0];
+  const minijson::Value& outer = events->array[1];
+  EXPECT_EQ(inner.Find("name")->text, "unit.inner");
+  EXPECT_EQ(outer.Find("name")->text, "unit.outer");
+  // Containment: outer starts no later and ends no earlier than inner.
+  const double outer_start = outer.Find("ts")->number;
+  const double outer_end = outer_start + outer.Find("dur")->number;
+  const double inner_start = inner.Find("ts")->number;
+  const double inner_end = inner_start + inner.Find("dur")->number;
+  EXPECT_LE(outer_start, inner_start);
+  EXPECT_GE(outer_end, inner_end);
+}
+
+TEST_F(TraceTest, CancelledSpanRecordsNothing) {
+  {
+    TraceSpan span("unit.cancelled");
+    span.Cancel();
+  }
+  EXPECT_EQ(recorder_.event_count(), 0u);
+}
+
+TEST_F(TraceTest, InstantEventsAndOtherData) {
+  recorder_.AddInstantEvent("unit.instant", {{"k", 1.0}});
+  recorder_.SetOtherData("ledger", "{\"spent\":0.5}");
+  auto parsed = ParsedTrace();
+  ASSERT_TRUE(parsed.has_value()) << recorder_.ToJson();
+  const minijson::Value* events = parsed->Find("traceEvents");
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].Find("ph")->text, "i");
+  const minijson::Value* other = parsed->Find("otherData");
+  ASSERT_NE(other, nullptr);
+  const minijson::Value* ledger = other->Find("ledger");
+  ASSERT_NE(ledger, nullptr);
+  EXPECT_DOUBLE_EQ(ledger->Find("spent")->number, 0.5);
+}
+
+TEST_F(TraceTest, EscapesSpecialCharacters) {
+  {
+    TraceSpan span("quote\"back\\slash\nnewline");
+  }
+  auto parsed = ParsedTrace();
+  ASSERT_TRUE(parsed.has_value()) << recorder_.ToJson();
+  EXPECT_EQ(parsed->Find("traceEvents")->array[0].Find("name")->text,
+            "quote\"back\\slash\nnewline");
+}
+
+TEST(TraceDisabledTest, NoRecorderMeansNoRecording) {
+  TraceRecorder::Install(nullptr);
+  TraceRecorder bystander;
+  {
+    TraceSpan span("unit.unrecorded");
+    span.Arg("ignored", 1.0);
+    EXPECT_FALSE(span.recording());
+  }
+  EXPECT_EQ(bystander.event_count(), 0u);
+  EXPECT_FALSE(TraceRecorder::active());
+}
+
+TEST(TraceDisabledTest, SpanBindsRecorderAtConstruction) {
+  TraceRecorder recorder;
+  TraceRecorder::Install(&recorder);
+  {
+    TraceSpan span("unit.bound");
+    // Uninstalling mid-span must not lose the event (nor crash): the span
+    // holds the recorder it started on.
+    TraceRecorder::Install(nullptr);
+  }
+  EXPECT_EQ(recorder.CountEventsNamed("unit.bound"), 1u);
+}
+
+TEST(TraceJsonTest, EmptyRecorderIsValidChromeTrace) {
+  TraceRecorder recorder;
+  auto parsed = minijson::Parse(recorder.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  const minijson::Value* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->kind, minijson::Value::kArray);
+  EXPECT_TRUE(events->array.empty());
+  EXPECT_EQ(parsed->Find("displayTimeUnit")->text, "ms");
+}
+
+#else  // !IREDUCT_ENABLE_TRACING
+
+TEST(TraceDisabledBuildTest, StubsCompileAndDoNothing) {
+  TraceRecorder::Install(nullptr);
+  EXPECT_FALSE(TraceRecorder::active());
+  EXPECT_EQ(TraceRecorder::Get(), nullptr);
+  TraceSpan span("unit.stub");
+  span.Arg("k", 1.0);
+  span.Cancel();
+  EXPECT_FALSE(span.recording());
+}
+
+#endif  // IREDUCT_ENABLE_TRACING
+
+}  // namespace
+}  // namespace obs
+}  // namespace ireduct

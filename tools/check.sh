@@ -1,0 +1,27 @@
+#!/bin/sh
+# Build-and-test driver. Usage:
+#
+#   tools/check.sh            # Release build + full test suite
+#   tools/check.sh san        # ASan+UBSan build + full test suite
+#   tools/check.sh no-tracing # IREDUCT_ENABLE_TRACING=OFF build + tests
+#
+# Each mode maps to the CMakePresets.json preset of the same name, so the
+# builds land in separate directories and never fight over a cache.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-default}"
+case "$mode" in
+  default|san|no-tracing) ;;
+  *)
+    echo "usage: tools/check.sh [san|no-tracing]" >&2
+    exit 2
+    ;;
+esac
+preset="$mode"
+[ "$mode" = san ] && preset=asan-ubsan
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" -j "$(nproc)"

@@ -13,6 +13,19 @@
 //                          [--trials T] [--seed S]
 //       Runs the full Section 6 mechanism suite and prints/exports a
 //       comparison table (comparison.csv in the working directory).
+//
+// Observability flags (valid for every command, `--flag value` or
+// `--flag=value`):
+//   --log-level LEVEL   debug|info|warn|error|off (default warn, or the
+//                       IREDUCT_LOG_LEVEL environment variable)
+//   --trace-out FILE    write a Chrome trace_event JSON (open it in
+//                       chrome://tracing or ui.perfetto.dev) with one span
+//                       per iReduct iteration and the privacy ledger
+//                       attached under otherData.privacy_ledger
+//   --metrics-out FILE  write the process metrics snapshot JSON (counters,
+//                       gauges — including privacy.epsilon_spent —, and
+//                       histograms)
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,13 +41,22 @@ namespace {
 
 using namespace ireduct;
 
-// --flag value parsing into a map; returns false on malformed input.
+// --flag value / --flag=value parsing into a map; returns false on
+// malformed input.
 bool ParseFlags(int argc, char** argv, int first,
                 std::map<std::string, std::string>* flags) {
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) {
+    if (arg.rfind("--", 0) != 0) {
       std::fprintf(stderr, "malformed flag: %s\n", arg.c_str());
+      return false;
+    }
+    if (const size_t eq = arg.find('='); eq != std::string::npos) {
+      (*flags)[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s is missing a value\n", arg.c_str());
       return false;
     }
     (*flags)[arg.substr(2)] = argv[++i];
@@ -135,12 +157,32 @@ int CmdMarginals(const std::map<std::string, std::string>& flags) {
   const double delta = 1e-4 * n;
   const int steps = std::atoi(FlagOr(flags, "steps", "200").c_str());
   BitGen gen(std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10));
-  auto out = RunNamedMechanism(FlagOr(flags, "mechanism", "ireduct"),
-                               mw->workload(), epsilon, delta, n / 10,
-                               steps, gen);
+  const std::string mechanism = FlagOr(flags, "mechanism", "ireduct");
+  auto out = RunNamedMechanism(mechanism, mw->workload(), epsilon, delta,
+                               n / 10, steps, gen);
   if (!out.ok()) {
     std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
     return 1;
+  }
+
+  // Mirror the release through an accountant so the run carries a ledger:
+  // the privacy.epsilon_spent gauge tracks the charge, and the ledger JSON
+  // rides into the trace under otherData.privacy_ledger. The non-private
+  // oracle (epsilon_spent = inf) stays unaccounted.
+  if (std::isfinite(out->epsilon_spent) && out->epsilon_spent > 0) {
+    auto accountant = PrivacyAccountant::Create(epsilon);
+    if (accountant.ok()) {
+      if (Status s = accountant->Charge("marginals (" + mechanism + ")",
+                                        out->epsilon_spent);
+          !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (auto* recorder = obs::TraceRecorder::Get()) {
+        recorder->SetOtherData("privacy_ledger",
+                               accountant->ExportLedgerJson());
+      }
+    }
   }
 
   const std::string dir = FlagOr(flags, "out-dir", ".");
@@ -232,9 +274,20 @@ int CmdCompare(const std::map<std::string, std::string>& flags) {
 int Usage() {
   std::fprintf(stderr,
                "usage: ireduct_tool generate|marginals|compare [--flag "
-               "value ...]\n(see the header comment of "
+               "value ...]\n[--log-level L] [--trace-out F] [--metrics-out "
+               "F] work with every command.\n(see the header comment of "
                "tools/ireduct_tool.cc for details)\n");
   return 2;
+}
+
+// Pops `name` from `flags`, returning its value or "".
+std::string TakeFlag(std::map<std::string, std::string>* flags,
+                     const std::string& name) {
+  const auto it = flags->find(name);
+  if (it == flags->end()) return "";
+  std::string value = it->second;
+  flags->erase(it);
+  return value;
 }
 
 }  // namespace
@@ -244,8 +297,65 @@ int main(int argc, char** argv) {
   std::map<std::string, std::string> flags;
   if (!ParseFlags(argc, argv, 2, &flags)) return 2;
   const std::string command = argv[1];
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "marginals") return CmdMarginals(flags);
-  if (command == "compare") return CmdCompare(flags);
-  return Usage();
+
+  if (const std::string level = TakeFlag(&flags, "log-level");
+      !level.empty()) {
+    auto parsed = obs::ParseLogLevel(level);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    obs::SetLogLevel(*parsed);
+  }
+  const std::string trace_out = TakeFlag(&flags, "trace-out");
+  const std::string metrics_out = TakeFlag(&flags, "metrics-out");
+  // Static so instrumentation can reach it for the whole run; installed
+  // only when a trace was asked for, so tracing stays off otherwise.
+  static obs::TraceRecorder recorder;
+  if (!trace_out.empty()) {
+#if !IREDUCT_ENABLE_TRACING
+    std::fprintf(stderr,
+                 "note: built with IREDUCT_ENABLE_TRACING=OFF; the trace "
+                 "will be empty\n");
+#endif
+    obs::TraceRecorder::Install(&recorder);
+  }
+
+  int rc;
+  if (command == "generate") {
+    rc = CmdGenerate(flags);
+  } else if (command == "marginals") {
+    rc = CmdMarginals(flags);
+  } else if (command == "compare") {
+    rc = CmdCompare(flags);
+  } else {
+    return Usage();
+  }
+
+  // Emit observability artifacts even for failed runs — a trace of a
+  // failure is exactly when you want one.
+  auto write_json = [](const std::string& path, const std::string& body,
+                       const char* what) {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file << body << '\n';
+    if (!file.flush()) {
+      std::fprintf(stderr, "failed writing %s to %s\n", what, path.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!trace_out.empty()) {
+    if (!write_json(trace_out, recorder.ToJson(), "trace")) return 1;
+    std::printf("wrote trace (%zu events) to %s\n", recorder.event_count(),
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (!write_json(metrics_out,
+                    obs::MetricsRegistry::Global().SnapshotJson(),
+                    "metrics")) {
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
+  return rc;
 }
