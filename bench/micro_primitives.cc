@@ -5,9 +5,11 @@
 
 #include "algorithms/hierarchical.h"
 #include "algorithms/ireduct.h"
+#include "algorithms/selection.h"
 #include "algorithms/wavelet.h"
 #include "common/random.h"
 #include "data/census_generator.h"
+#include "dp/incremental_sensitivity.h"
 #include "dp/laplace_coupling.h"
 #include "dp/noise_down.h"
 #include "dp/workload.h"
@@ -101,6 +103,86 @@ void BM_GeneralizedSensitivity(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GeneralizedSensitivity)->Arg(9)->Arg(36)->Arg(256);
+
+// A per-query workload of `groups` single-query groups — the shape where
+// the incremental engine's advantage is largest.
+Workload PerQueryWorkload(size_t groups) {
+  std::vector<double> answers(groups);
+  std::vector<QueryGroup> gs;
+  gs.reserve(groups);
+  for (uint32_t g = 0; g < groups; ++g) {
+    answers[g] = 1.0 + static_cast<double>(g % 997);
+    gs.push_back(QueryGroup{"q", g, g + 1, 1.0});
+  }
+  return std::move(*Workload::Create(std::move(answers), std::move(gs)));
+}
+
+// The naive per-iteration GS cost: one full O(m) recompute.
+void BM_GsFullRecompute(benchmark::State& state) {
+  const size_t groups = static_cast<size_t>(state.range(0));
+  const Workload w = PerQueryWorkload(groups);
+  const std::vector<double> scales(groups, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.GeneralizedSensitivity(scales));
+  }
+  state.SetItemsProcessed(state.iterations() * groups);
+}
+BENCHMARK(BM_GsFullRecompute)->Arg(256)->Arg(4096)->Arg(65536);
+
+// The incremental per-iteration GS cost: one O(1) trial + commit pair
+// (amortizing the periodic full resync at the default interval).
+void BM_GsIncrementalTrialCommit(benchmark::State& state) {
+  const size_t groups = static_cast<size_t>(state.range(0));
+  const Workload w = PerQueryWorkload(groups);
+  std::vector<double> scales(groups, 1e9);
+  IncrementalSensitivity tracker(w, scales);
+  BitGen gen(9);
+  size_t g = 0;
+  for (auto _ : state) {
+    const double next = tracker.scales()[g] * 0.999999;
+    benchmark::DoNotOptimize(tracker.Trial(g, next));
+    tracker.Commit(g, next);
+    g = (g + 1) % groups;
+  }
+}
+BENCHMARK(BM_GsIncrementalTrialCommit)->Arg(256)->Arg(4096)->Arg(65536);
+
+// The naive per-iteration selection cost: one O(m + n) linear scan.
+void BM_PickGroupLinearScan(benchmark::State& state) {
+  const size_t groups = static_cast<size_t>(state.range(0));
+  const Workload w = PerQueryWorkload(groups);
+  BitGen gen(10);
+  std::vector<double> noisy(w.num_queries());
+  for (double& y : noisy) y = gen.Uniform(1.0, 1000.0);
+  const std::vector<double> scales(groups, 100.0);
+  const std::vector<uint8_t> active(groups, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PickGroupIReduct(w, noisy, scales, active, 1.0, 2.0));
+  }
+  state.SetItemsProcessed(state.iterations() * groups);
+}
+BENCHMARK(BM_PickGroupLinearScan)->Arg(256)->Arg(4096)->Arg(65536);
+
+// The incremental per-iteration selection cost: one heap pop + the
+// re-push of the consumed group after its (simulated) scale move.
+void BM_PickGroupHeapCycle(benchmark::State& state) {
+  const size_t groups = static_cast<size_t>(state.range(0));
+  const Workload w = PerQueryWorkload(groups);
+  BitGen gen(11);
+  std::vector<double> noisy(w.num_queries());
+  for (double& y : noisy) y = gen.Uniform(1.0, 1000.0);
+  std::vector<double> scales(groups, 1e9);
+  const std::vector<uint8_t> active(groups, 1);
+  GroupScoreHeap heap(w, SelectionRule::kIReductRatio, 1.0, 2.0);
+  heap.Build(noisy, scales, active);
+  for (auto _ : state) {
+    const size_t g = heap.PopBest();
+    scales[g] *= 0.999999;
+    heap.Update(g, noisy, scales);
+  }
+}
+BENCHMARK(BM_PickGroupHeapCycle)->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_HierarchicalPublish(benchmark::State& state) {
   const size_t bins = static_cast<size_t>(state.range(0));

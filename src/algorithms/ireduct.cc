@@ -1,9 +1,13 @@
 #include "algorithms/ireduct.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "algorithms/selection.h"
+#include "common/thread_pool.h"
+#include "dp/incremental_sensitivity.h"
 #include "dp/laplace_coupling.h"
 #include "dp/laplace_mechanism.h"
 #include "dp/noise_down.h"
@@ -14,6 +18,14 @@
 namespace ireduct {
 
 namespace {
+
+// When the O(1) incremental GS lands within this relative distance of ε,
+// the admit/retire decision is re-taken with a full recompute, so the
+// incremental engine's decisions are bit-identical to the naive engine's
+// even at the budget boundary. Incremental drift is bounded far below this
+// by the tracker's periodic resync, so the band is hit rarely and the
+// amortized cost stays O(1).
+constexpr double kAdmitGuardRel = 1e-9;
 
 Status ValidateIReductParams(const IReductParams& p) {
   if (!(p.epsilon > 0) || !std::isfinite(p.epsilon)) {
@@ -29,24 +41,49 @@ Status ValidateIReductParams(const IReductParams& p) {
     return Status::InvalidArgument(
         "lambda_delta must lie in (0, lambda_max)");
   }
+  if (p.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be at least 1");
+  }
+  if (p.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be at least 1");
+  }
   return Status::OK();
 }
 
-}  // namespace
-
-Result<MechanismOutput> RunIReduct(const Workload& workload,
-                                   const IReductParams& params, BitGen& gen,
-                                   PickGroupFn pick_group) {
-  IREDUCT_RETURN_NOT_OK(ValidateIReductParams(params));
-  if (!pick_group) {
-    pick_group = [](const Workload& w, std::span<const double> noisy,
-                    std::span<const double> scales,
-                    std::span<const uint8_t> act, double delta,
-                    double lambda_delta) {
-      return PickGroupIReduct(w, noisy, scales, act, delta, lambda_delta);
-    };
+// Lines 11-12 of Figure 4 for one group: correlated resample of each
+// answer down to the new scale (costs nothing beyond the new scale,
+// Theorem 1).
+Status ResampleGroup(const Workload& workload, const QueryGroup& group,
+                     NoiseReducer reducer, double old_scale, double new_scale,
+                     std::span<double> answers, BitGen& gen) {
+  for (uint32_t i = group.begin; i < group.end; ++i) {
+    Result<double> reduced =
+        reducer == NoiseReducer::kPaperNoiseDown
+            ? NoiseDown(workload.true_answer(i), answers[i], old_scale,
+                        new_scale, gen)
+            : CoupledNoiseDown(workload.true_answer(i), answers[i],
+                               old_scale, new_scale, gen);
+    if (!reduced.ok()) return reduced.status();
+    answers[i] = *reduced;
   }
+  return Status::OK();
+}
 
+void RecordRetirement(obs::TraceRecorder* recorder, size_t g, double scale) {
+  IREDUCT_METRIC_COUNT("ireduct.group_retirements", 1);
+  if (recorder != nullptr) {
+    recorder->AddInstantEvent(
+        "ireduct.retire",
+        {{"group", static_cast<double>(g)}, {"lambda", scale}});
+  }
+}
+
+// The seed implementation of Figure 4 — full GS recompute and an O(n)
+// PickQueries per iteration. Retained as the parity reference and as the
+// only loop able to drive arbitrary pick_group hooks.
+Result<MechanismOutput> RunIReductNaive(const Workload& workload,
+                                        const IReductParams& params,
+                                        BitGen& gen, PickGroupFn pick_group) {
   // Figure 4, lines 1-3: start every group at λmax; if even that violates
   // the budget, the workload cannot be released at acceptable noise.
   MechanismOutput out;
@@ -67,8 +104,12 @@ Result<MechanismOutput> RunIReduct(const Workload& workload,
   for (;;) {
     const uint64_t iter_start_us =
         recorder != nullptr ? recorder->NowMicros() : 0;
-    const size_t g = pick_group(workload, out.answers, out.group_scales,
-                                active, params.delta, params.lambda_delta);
+    size_t g;
+    {
+      IREDUCT_SCOPED_TIMER(pick_timer, "ireduct.pick_seconds");
+      g = pick_group(workload, out.answers, out.group_scales, active,
+                     params.delta, params.lambda_delta);
+    }
     if (g == kNoGroup) break;
     const double old_scale = out.group_scales[g];
     const double new_scale = old_scale - params.lambda_delta;
@@ -81,31 +122,14 @@ Result<MechanismOutput> RunIReduct(const Workload& workload,
       // Lines 13-16: revert and retire the group.
       out.group_scales[g] = old_scale;
       active[g] = false;
-      IREDUCT_METRIC_COUNT("ireduct.group_retirements", 1);
-      if (recorder != nullptr) {
-        recorder->AddInstantEvent(
-            "ireduct.retire",
-            {{"group", static_cast<double>(g)}, {"lambda", old_scale}});
-      }
+      RecordRetirement(recorder, g, old_scale);
       continue;
     }
 
-    // Lines 11-12: correlated resample of each answer in the group down to
-    // the new scale; costs nothing beyond the new scale (Theorem 1).
     const QueryGroup& group = workload.group(g);
-    for (uint32_t i = group.begin; i < group.end; ++i) {
-      if (params.reducer == NoiseReducer::kPaperNoiseDown) {
-        IREDUCT_ASSIGN_OR_RETURN(
-            out.answers[i], NoiseDown(workload.true_answer(i),
-                                      out.answers[i], old_scale, new_scale,
-                                      gen));
-      } else {
-        IREDUCT_ASSIGN_OR_RETURN(
-            out.answers[i],
-            CoupledNoiseDown(workload.true_answer(i), out.answers[i],
-                             old_scale, new_scale, gen));
-      }
-    }
+    IREDUCT_RETURN_NOT_OK(ResampleGroup(workload, group, params.reducer,
+                                        old_scale, new_scale, out.answers,
+                                        gen));
     out.resample_calls += group.size();
     ++out.iterations;
     IREDUCT_METRIC_COUNT("ireduct.iterations", 1);
@@ -133,6 +157,199 @@ Result<MechanismOutput> RunIReduct(const Workload& workload,
                       << " resample draws, epsilon spent "
                       << out.epsilon_spent << " of " << params.epsilon;
   return out;
+}
+
+// One admitted λ move awaiting its NoiseDown round.
+struct AdmittedMove {
+  size_t group;
+  double old_scale;
+  double new_scale;
+  double gs_after;  // GS once the move is committed
+};
+
+// The near-linear engine: per iteration, an O(1) incremental GS trial and
+// an O(log m) amortized lazy-heap pick, with the per-group answer scan paid
+// only when that group is re-scored after its own resample. With
+// batch_size = 1 and num_threads = 1 this consumes the caller's generator
+// in exactly the naive engine's order and reproduces its output bit for
+// bit; batched rounds instead give every admitted group a deterministic
+// RNG substream so thread count cannot change the result.
+Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
+                                              const IReductParams& params,
+                                              BitGen& gen) {
+  MechanismOutput out;
+  out.group_scales.assign(workload.num_groups(), params.lambda_max);
+  if (workload.GeneralizedSensitivity(out.group_scales) > params.epsilon) {
+    return Status::PrivacyBudgetExceeded(
+        "GS at lambda_max already exceeds epsilon; no release possible");
+  }
+  IREDUCT_ASSIGN_OR_RETURN(out.answers,
+                           LaplaceNoise(workload, out.group_scales, gen));
+
+  IREDUCT_SCOPED_TIMER(run_timer, "ireduct.run_seconds");
+  obs::TraceRecorder* const recorder = obs::TraceRecorder::Get();
+  std::vector<uint8_t> active(workload.num_groups(), 1);
+
+  IncrementalSensitivity gs_tracker(workload, out.group_scales);
+  const SelectionRule rule =
+      params.objective == IReductObjective::kMaxRelativeError
+          ? SelectionRule::kMaxRelativeError
+          : SelectionRule::kIReductRatio;
+  GroupScoreHeap heap(workload, rule, params.delta, params.lambda_delta);
+  {
+    IREDUCT_SCOPED_TIMER(build_timer, "ireduct.pick_seconds");
+    heap.Build(out.answers, out.group_scales, active);
+  }
+
+  const bool batched = params.batch_size > 1 || params.num_threads > 1;
+  std::unique_ptr<ThreadPool> pool;
+  if (batched && params.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(params.num_threads);
+  }
+
+  std::vector<AdmittedMove> round;
+  std::vector<uint64_t> substream_seeds;
+  std::vector<Status> round_status;
+  round.reserve(params.batch_size);
+  for (;;) {
+    const uint64_t round_start_us =
+        recorder != nullptr ? recorder->NowMicros() : 0;
+    round.clear();
+
+    // Selection: pop admissible groups in score order until the round is
+    // full. Rejected pops retire their group (Figure 4 lines 13-16); the
+    // rejection does not consume a batch slot.
+    {
+      IREDUCT_SCOPED_TIMER(pick_timer, "ireduct.pick_seconds");
+      while (round.size() < params.batch_size) {
+        const size_t g = heap.PopBest();
+        if (g == kNoGroup) break;
+        const double old_scale = out.group_scales[g];
+        const double new_scale = old_scale - params.lambda_delta;
+        double gs = gs_tracker.Trial(g, new_scale);
+        if (gs_tracker.incremental() &&
+            std::fabs(gs - params.epsilon) <=
+                kAdmitGuardRel * params.epsilon) {
+          // Boundary call: decide exactly as the naive engine would.
+          gs = gs_tracker.TrialExact(g, new_scale);
+        }
+        const bool fits = new_scale > 0 && gs <= params.epsilon;
+        if (!fits) {
+          active[g] = false;
+          heap.Retire(g);
+          RecordRetirement(recorder, g, old_scale);
+          continue;
+        }
+        gs_tracker.Commit(g, new_scale);
+        out.group_scales[g] = new_scale;
+        round.push_back(AdmittedMove{g, old_scale, new_scale, gs});
+      }
+    }
+    if (round.empty()) break;
+
+    if (!batched) {
+      // Sequential Figure 4: resample with the caller's generator directly,
+      // matching the naive engine's draw order exactly.
+      const AdmittedMove& mv = round.front();
+      IREDUCT_RETURN_NOT_OK(
+          ResampleGroup(workload, workload.group(mv.group), params.reducer,
+                        mv.old_scale, mv.new_scale, out.answers, gen));
+    } else {
+      // Batched round: derive one RNG substream per admitted group, in
+      // admission order, *before* any parallel work — the draws each group
+      // sees are then independent of thread count and scheduling.
+      substream_seeds.clear();
+      for (size_t i = 0; i < round.size(); ++i) {
+        substream_seeds.push_back(gen());
+      }
+      round_status.assign(round.size(), Status::OK());
+      auto resample_one = [&](size_t i) {
+        const AdmittedMove& mv = round[i];
+        BitGen sub_gen(substream_seeds[i]);
+        round_status[i] =
+            ResampleGroup(workload, workload.group(mv.group), params.reducer,
+                          mv.old_scale, mv.new_scale, out.answers, sub_gen);
+      };
+      if (pool != nullptr && round.size() > 1) {
+        for (size_t i = 0; i < round.size(); ++i) {
+          pool->Submit([&resample_one, i] { resample_one(i); });
+        }
+        pool->Wait();
+      } else {
+        for (size_t i = 0; i < round.size(); ++i) resample_one(i);
+      }
+      for (const Status& s : round_status) {
+        IREDUCT_RETURN_NOT_OK(s);
+      }
+      IREDUCT_METRIC_COUNT("ireduct.batch_rounds", 1);
+    }
+
+    // Re-score every refined group; bookkeeping and trace per move.
+    for (const AdmittedMove& mv : round) {
+      heap.Update(mv.group, out.answers, out.group_scales);
+      const QueryGroup& group = workload.group(mv.group);
+      out.resample_calls += group.size();
+      ++out.iterations;
+      IREDUCT_METRIC_COUNT("ireduct.iterations", 1);
+      IREDUCT_METRIC_COUNT("ireduct.resample_draws", group.size());
+      if (recorder != nullptr) {
+        recorder->AddCompleteEvent(
+            "ireduct.iteration", round_start_us,
+            recorder->NowMicros() - round_start_us,
+            {{"group", static_cast<double>(mv.group)},
+             {"old_lambda", mv.old_scale},
+             {"new_lambda", mv.new_scale},
+             {"est_rel_error",
+              EstimatedGroupError(workload, mv.group, out.answers,
+                                  mv.new_scale, params.delta)},
+             {"gs_headroom", params.epsilon - mv.gs_after}});
+      }
+    }
+  }
+
+  IREDUCT_METRIC_COUNT("ireduct.heap_repushes", heap.repush_count());
+  IREDUCT_METRIC_COUNT("ireduct.heap_stale_pops", heap.stale_pop_count());
+  // The tracker already maintains GS; one exact resync publishes the same
+  // value a from-scratch recompute would, without the naive engine's
+  // redundant per-iteration passes.
+  out.epsilon_spent = gs_tracker.Resync();
+  IREDUCT_LOG(kDebug) << "iReduct finished (incremental): "
+                      << out.iterations << " iterations, "
+                      << out.resample_calls << " resample draws, epsilon "
+                      << "spent " << out.epsilon_spent << " of "
+                      << params.epsilon;
+  return out;
+}
+
+}  // namespace
+
+Result<MechanismOutput> RunIReduct(const Workload& workload,
+                                   const IReductParams& params, BitGen& gen,
+                                   PickGroupFn pick_group) {
+  IREDUCT_RETURN_NOT_OK(ValidateIReductParams(params));
+  const bool custom_hook = static_cast<bool>(pick_group);
+  if (!custom_hook && params.engine != IReductEngine::kNaive) {
+    return RunIReductIncremental(workload, params, gen);
+  }
+  if (!pick_group) {
+    if (params.objective == IReductObjective::kMaxRelativeError) {
+      pick_group = [](const Workload& w, std::span<const double> noisy,
+                      std::span<const double> scales,
+                      std::span<const uint8_t> act, double delta,
+                      double lambda_delta) {
+        return PickGroupMaxRelativeError(w, noisy, scales, act, delta,
+                                         lambda_delta);
+      };
+    } else {
+      pick_group = [](const Workload& w, std::span<const double> noisy,
+                      std::span<const double> scales,
+                      std::span<const uint8_t> act, double delta,
+                      double lambda_delta) {
+        return PickGroupIReduct(w, noisy, scales, act, delta, lambda_delta);
+      };
+    }
+  }
+  return RunIReductNaive(workload, params, gen, std::move(pick_group));
 }
 
 }  // namespace ireduct

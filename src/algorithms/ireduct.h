@@ -32,6 +32,28 @@ enum class NoiseReducer {
   kExactCoupling,
 };
 
+/// Inner-loop engine. The incremental path (O(log m) amortized per
+/// iteration: incremental GS accounting + lazy-heap selection) produces the
+/// same group sequence, answers, scales and epsilon_spent as the naive
+/// reference (O(m + n) per iteration) at every seed; the naive engine is
+/// retained for parity checks and as the only engine able to run arbitrary
+/// PickGroupFn hooks.
+enum class IReductEngine {
+  /// Incremental unless a custom pick_group hook forces the reference loop.
+  kAuto,
+  /// Full-GS-recompute + linear-scan reference loop (the seed behavior).
+  kNaive,
+};
+
+/// Objective of the built-in PickQueries (ignored when a custom hook is
+/// given): minimize the overall (average) relative error via the
+/// benefit/cost greedy of Section 5.3, or the maximum relative error via
+/// the worst-cell rule of Section 4.3.
+enum class IReductObjective {
+  kOverallError,
+  kMaxRelativeError,
+};
+
 struct IReductParams {
   /// Total privacy budget ε.
   double epsilon = 1.0;
@@ -43,6 +65,21 @@ struct IReductParams {
   double lambda_delta = 1.0;
   /// Resampler used to walk answers down to the reduced scale.
   NoiseReducer reducer = NoiseReducer::kPaperNoiseDown;
+  /// Inner-loop engine (see IReductEngine).
+  IReductEngine engine = IReductEngine::kAuto;
+  /// Built-in PickQueries objective (see IReductObjective).
+  IReductObjective objective = IReductObjective::kOverallError;
+  /// Batched round mode (incremental engine only): admit up to batch_size
+  /// distinct groups per round — in heap order, each tested against the
+  /// running GS — then resample them all before re-scoring. 1 reproduces
+  /// Figure 4's strictly sequential refinement exactly; see
+  /// docs/PERFORMANCE.md for how k>1 relates to k sequential iterations.
+  size_t batch_size = 1;
+  /// Worker threads for the batched round's NoiseDown resampling. Results
+  /// are bit-identical for every thread count (deterministic per-group RNG
+  /// substreams, drawn in admission order from the caller's generator);
+  /// values > 1 only change wall-clock time.
+  int num_threads = 1;
 };
 
 /// Override hook for the PickQueries black box (Section 4.3): receives the
@@ -58,6 +95,10 @@ using PickGroupFn = std::function<size_t(
 /// Runs Figure 4. Returns kPrivacyBudgetExceeded when even the all-λmax
 /// allocation violates ε (the pseudo-code's "return ∅" on line 3).
 /// ε-differentially private.
+///
+/// Passing a custom `pick_group` selects the naive reference loop (an
+/// arbitrary hook cannot be heap-accelerated); with the default hook the
+/// incremental engine runs unless params.engine says otherwise.
 Result<MechanismOutput> RunIReduct(const Workload& workload,
                                    const IReductParams& params, BitGen& gen,
                                    PickGroupFn pick_group = nullptr);

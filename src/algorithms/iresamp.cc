@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "algorithms/selection.h"
+#include "dp/incremental_sensitivity.h"
 #include "dp/laplace_mechanism.h"
 
 namespace ireduct {
@@ -16,6 +17,11 @@ namespace {
 double EffectiveScale(double lambda, double lambda_max) {
   return 1.0 / (2.0 / lambda - 1.0 / lambda_max);
 }
+
+// See kAdmitGuardRel in algorithms/ireduct.cc: within this relative band of
+// ε the O(1) incremental GS defers to a full recompute so admit/retire
+// decisions match the full-recompute loop exactly.
+constexpr double kAdmitGuardRel = 1e-9;
 
 }  // namespace
 
@@ -55,23 +61,36 @@ Result<MechanismOutput> RunIResamp(const Workload& workload,
     out.answers[i] = samples[i];
   }
 
-  // Lines 6-21: iterative refinement with fresh independent samples.
+  // Lines 6-21: iterative refinement with fresh independent samples. The
+  // selection and budget test use the same O(log m) machinery as iReduct:
+  // a lazy score heap over the nominal scales (identical pick sequence to
+  // the PickGroupIResamp linear scan) and incremental GS accounting over
+  // the effective scales.
   std::vector<uint8_t> active(num_groups, 1);
+  IncrementalSensitivity gs_tracker(workload, effective);
+  GroupScoreHeap heap(workload, SelectionRule::kIResampRatio, params.delta,
+                      /*lambda_delta=*/0);
+  heap.Build(out.answers, nominal, active);
   for (;;) {
-    const size_t g =
-        PickGroupIResamp(workload, out.answers, nominal, active, params.delta);
+    const size_t g = heap.PopBest();
     if (g == kNoGroup) break;
 
     // Lines 8-11: halve the scale and test the *effective* budget.
     const double new_nominal = nominal[g] / 2.0;
-    const double old_effective = effective[g];
-    effective[g] = EffectiveScale(new_nominal, params.lambda_max);
-    if (!(effective[g] > 0) ||
-        workload.GeneralizedSensitivity(effective) > params.epsilon) {
-      effective[g] = old_effective;
+    const double new_effective =
+        EffectiveScale(new_nominal, params.lambda_max);
+    double gs = gs_tracker.Trial(g, new_effective);
+    if (gs_tracker.incremental() &&
+        std::fabs(gs - params.epsilon) <= kAdmitGuardRel * params.epsilon) {
+      gs = gs_tracker.TrialExact(g, new_effective);
+    }
+    if (!(new_effective > 0) || gs > params.epsilon) {
       active[g] = false;  // lines 18-21
+      heap.Retire(g);
       continue;
     }
+    gs_tracker.Commit(g, new_effective);
+    effective[g] = new_effective;
     nominal[g] = new_nominal;
 
     // Lines 12-17: fresh sample per query, folded into the running
@@ -85,12 +104,13 @@ Result<MechanismOutput> RunIResamp(const Workload& workload,
       weight[i] += w;
       out.answers[i] = weighted_sum[i] / weight[i];
     }
+    heap.Update(g, out.answers, nominal);
     out.resample_calls += group.size();
     ++out.iterations;
   }
 
   out.group_scales = std::move(effective);
-  out.epsilon_spent = workload.GeneralizedSensitivity(out.group_scales);
+  out.epsilon_spent = gs_tracker.Resync();
   return out;
 }
 

@@ -112,6 +112,47 @@ double EstimatedGroupError(const Workload& workload, size_t g,
          workload.group(g).size();
 }
 
+double SelectionScore(const Workload& workload, SelectionRule rule, size_t g,
+                      std::span<const double> noisy_answers, double scale,
+                      double delta, double lambda_delta) {
+  const QueryGroup& group = workload.group(g);
+  switch (rule) {
+    case SelectionRule::kIReductRatio: {
+      const double num_groups = static_cast<double>(workload.num_groups());
+      const double coeff = group.sensitivity_coeff;
+      // Equation 15 benefit over Equation 14 cost.
+      const double benefit =
+          lambda_delta *
+          InverseMagnitudeWeight(workload, g, noisy_answers, delta) /
+          (num_groups * group.size());
+      const double cost = coeff / (scale - lambda_delta) - coeff / scale;
+      return benefit / cost;
+    }
+    case SelectionRule::kIResampRatio: {
+      const double num_groups = static_cast<double>(workload.num_groups());
+      const double coeff = group.sensitivity_coeff;
+      // Halving the raw scale halves the estimated error contribution...
+      const double benefit =
+          (scale / 2.0) *
+          InverseMagnitudeWeight(workload, g, noisy_answers, delta) /
+          (num_groups * group.size());
+      // ...and raises the effective privacy cost from coeff·(2/λ - 1/λmax)
+      // to coeff·(4/λ - 1/λmax) (Appendix A geometric series).
+      const double cost = coeff * (2.0 / scale);
+      return benefit / cost;
+    }
+    case SelectionRule::kMaxRelativeError: {
+      double worst = -1;
+      for (uint32_t i = group.begin; i < group.end; ++i) {
+        const double err = scale / std::fmax(noisy_answers[i], delta);
+        if (err > worst) worst = err;
+      }
+      return worst;
+    }
+  }
+  return -1;  // unreachable
+}
+
 size_t PickGroupIReduct(const Workload& workload,
                         std::span<const double> noisy_answers,
                         std::span<const double> group_scales,
@@ -119,19 +160,13 @@ size_t PickGroupIReduct(const Workload& workload,
                         double lambda_delta) {
   size_t best = kNoGroup;
   double best_ratio = -1;
-  const double num_groups = static_cast<double>(workload.num_groups());
   for (size_t g = 0; g < workload.num_groups(); ++g) {
     if (!active[g]) continue;
     const double lambda = group_scales[g];
     if (!(lambda > lambda_delta)) continue;  // cannot reduce below zero
-    const double coeff = workload.group(g).sensitivity_coeff;
-    // Equation 15 benefit over Equation 14 cost.
-    const double benefit =
-        lambda_delta *
-        InverseMagnitudeWeight(workload, g, noisy_answers, delta) /
-        (num_groups * workload.group(g).size());
-    const double cost = coeff / (lambda - lambda_delta) - coeff / lambda;
-    const double ratio = benefit / cost;
+    const double ratio =
+        SelectionScore(workload, SelectionRule::kIReductRatio, g,
+                       noisy_answers, lambda, delta, lambda_delta);
     if (ratio > best_ratio) {
       best_ratio = ratio;
       best = g;
@@ -149,14 +184,12 @@ size_t PickGroupMaxRelativeError(const Workload& workload,
   double worst_error = -1;
   for (size_t g = 0; g < workload.num_groups(); ++g) {
     if (!active[g] || !(group_scales[g] > lambda_delta)) continue;
-    const QueryGroup& group = workload.group(g);
-    for (uint32_t i = group.begin; i < group.end; ++i) {
-      const double err =
-          group_scales[g] / std::fmax(noisy_answers[i], delta);
-      if (err > worst_error) {
-        worst_error = err;
-        best = g;
-      }
+    const double err =
+        SelectionScore(workload, SelectionRule::kMaxRelativeError, g,
+                       noisy_answers, group_scales[g], delta, lambda_delta);
+    if (err > worst_error) {
+      worst_error = err;
+      best = g;
     }
   }
   return best;
@@ -168,20 +201,12 @@ size_t PickGroupIResamp(const Workload& workload,
                         std::span<const uint8_t> active, double delta) {
   size_t best = kNoGroup;
   double best_ratio = -1;
-  const double num_groups = static_cast<double>(workload.num_groups());
   for (size_t g = 0; g < workload.num_groups(); ++g) {
     if (!active[g]) continue;
-    const double lambda = group_scales[g];
-    const double coeff = workload.group(g).sensitivity_coeff;
-    // Halving the raw scale halves the estimated error contribution...
-    const double benefit =
-        (lambda / 2.0) *
-        InverseMagnitudeWeight(workload, g, noisy_answers, delta) /
-        (num_groups * workload.group(g).size());
-    // ...and raises the effective privacy cost from coeff·(2/λ - 1/λmax) to
-    // coeff·(4/λ - 1/λmax) (Appendix A geometric series).
-    const double cost = coeff * (2.0 / lambda);
-    const double ratio = benefit / cost;
+    const double ratio =
+        SelectionScore(workload, SelectionRule::kIResampRatio, g,
+                       noisy_answers, group_scales[g], delta,
+                       /*lambda_delta=*/0);
     if (ratio > best_ratio) {
       best_ratio = ratio;
       best = g;
@@ -189,5 +214,64 @@ size_t PickGroupIResamp(const Workload& workload,
   }
   return best;
 }
+
+GroupScoreHeap::GroupScoreHeap(const Workload& workload, SelectionRule rule,
+                               double delta, double lambda_delta)
+    : workload_(&workload),
+      rule_(rule),
+      delta_(delta),
+      lambda_delta_(lambda_delta),
+      epoch_(workload.num_groups(), 0) {}
+
+bool GroupScoreHeap::Reducible(double scale) const {
+  // iResamp halves scales, which always stays positive; the λΔ-step rules
+  // need λ > λΔ headroom, matching the linear scans' skip condition.
+  return rule_ == SelectionRule::kIResampRatio || scale > lambda_delta_;
+}
+
+void GroupScoreHeap::Build(std::span<const double> noisy_answers,
+                           std::span<const double> scales,
+                           std::span<const uint8_t> active) {
+  std::vector<Entry> entries;
+  entries.reserve(workload_->num_groups());
+  for (size_t g = 0; g < workload_->num_groups(); ++g) {
+    ++epoch_[g];  // invalidate anything left from a previous Build
+    if (!active[g] || !Reducible(scales[g])) continue;
+    entries.push_back(Entry{
+        SelectionScore(*workload_, rule_, g, noisy_answers, scales[g],
+                       delta_, lambda_delta_),
+        g, epoch_[g]});
+  }
+  heap_ = std::priority_queue<Entry, std::vector<Entry>, EntryLess>(
+      EntryLess{}, std::move(entries));
+}
+
+size_t GroupScoreHeap::PopBest() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    if (top.epoch != epoch_[top.group]) {
+      ++stale_pop_count_;
+      continue;
+    }
+    // Consume the entry: the caller must Update() or Retire() the group
+    // before it can be popped again.
+    ++epoch_[top.group];
+    return top.group;
+  }
+  return kNoGroup;
+}
+
+void GroupScoreHeap::Update(size_t g, std::span<const double> noisy_answers,
+                            std::span<const double> scales) {
+  ++epoch_[g];
+  if (!Reducible(scales[g])) return;  // scales never grow: gone for good
+  heap_.push(Entry{SelectionScore(*workload_, rule_, g, noisy_answers,
+                                  scales[g], delta_, lambda_delta_),
+                   g, epoch_[g]});
+  ++repush_count_;
+}
+
+void GroupScoreHeap::Retire(size_t g) { ++epoch_[g]; }
 
 }  // namespace ireduct

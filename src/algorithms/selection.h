@@ -9,6 +9,8 @@
 #define IREDUCT_ALGORITHMS_SELECTION_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <queue>
 #include <span>
 #include <vector>
 
@@ -20,6 +22,96 @@ namespace ireduct {
 
 /// Sentinel returned by the Pick* functions when no group qualifies.
 inline constexpr size_t kNoGroup = static_cast<size_t>(-1);
+
+/// Which PickQueries objective a score ranks groups by. The scores are the
+/// exact quantities the linear-scan Pick* functions maximize, factored out
+/// so the O(log m) heap selector below and the O(n) scans compute
+/// bit-identical doubles (and therefore identical argmaxes).
+enum class SelectionRule {
+  /// iReduct's benefit/cost ratio (Equations 15/14) — see PickGroupIReduct.
+  kIReductRatio,
+  /// iResamp's benefit/cost ratio — see PickGroupIResamp.
+  kIResampRatio,
+  /// Worst-cell estimated relative error — see PickGroupMaxRelativeError.
+  kMaxRelativeError,
+};
+
+/// Score of group g under `rule` given its current noisy answers and scale.
+/// Depends only on group g's own answers span and scale (plus the constant
+/// workload shape), which is what makes caching sound: a group's score is
+/// stale only after that group itself was resampled or rescaled.
+double SelectionScore(const Workload& workload, SelectionRule rule, size_t g,
+                      std::span<const double> noisy_answers, double scale,
+                      double delta, double lambda_delta);
+
+/// Lazy max-heap group selector — the O(log m) replacement for the linear
+/// scans in the iReduct/iResamp inner loops.
+///
+/// Contract: Build() scores every admissible group once; PopBest() returns
+/// the current best group and *consumes* its entry, so the caller must
+/// follow up with either Update(g, ...) — after g's answers/scale changed —
+/// or Retire(g). Scores are cached and invalidated only when their group is
+/// touched (per-group epoch counters; stale heap entries are discarded on
+/// pop). Because scales only ever shrink, a group that stops being
+/// reducible (λ_g ≤ λΔ under kIReductRatio/kMaxRelativeError) is dropped
+/// for good, exactly as the linear scan would skip it forever.
+///
+/// Tie-break (deterministic): higher score wins; equal scores go to the
+/// lower group index — the same order the linear scans' strict `>`
+/// comparison yields. Combined with the shared SelectionScore this makes
+/// the heap's pick sequence identical to the scans', ties included.
+class GroupScoreHeap {
+ public:
+  /// `lambda_delta` is consulted only by the reducibility predicate of
+  /// kIReductRatio/kMaxRelativeError; pass 0 under kIResampRatio.
+  GroupScoreHeap(const Workload& workload, SelectionRule rule, double delta,
+                 double lambda_delta);
+
+  /// Scores every group with active[g] != 0 that passes the reducibility
+  /// predicate, and heapifies in O(m). Callable again to rebuild.
+  void Build(std::span<const double> noisy_answers,
+             std::span<const double> scales, std::span<const uint8_t> active);
+
+  /// Pops the best group, or kNoGroup when none remains admissible.
+  size_t PopBest();
+
+  /// Re-scores group g from its (changed) answers/scale and re-pushes it;
+  /// drops it silently when it is no longer reducible.
+  void Update(size_t g, std::span<const double> noisy_answers,
+              std::span<const double> scales);
+
+  /// Permanently removes group g (no-op on the heap itself; any stale
+  /// entries die lazily on pop).
+  void Retire(size_t g);
+
+  /// Observability: entries re-pushed by Update / discarded as stale.
+  size_t repush_count() const { return repush_count_; }
+  size_t stale_pop_count() const { return stale_pop_count_; }
+
+ private:
+  struct Entry {
+    double score;
+    size_t group;
+    uint32_t epoch;
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.score != b.score) return a.score < b.score;
+      return a.group > b.group;  // ties: lowest index on top
+    }
+  };
+
+  bool Reducible(double scale) const;
+
+  const Workload* workload_;
+  SelectionRule rule_;
+  double delta_;
+  double lambda_delta_;
+  std::vector<uint32_t> epoch_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLess> heap_;
+  size_t repush_count_ = 0;
+  size_t stale_pop_count_ = 0;
+};
 
 /// Error-optimal scale allocation (Section 5.2): group g gets
 ///   λ_g ∝ sqrt(|G_g| / Σ_{j∈g} 1/max{δ, v_j})
@@ -58,6 +150,10 @@ Result<std::vector<double>> ProportionalScales(const Workload& workload,
 /// descent provably converges to the Oracle allocation, matching the
 /// paper's Figure 6 observation that iReduct is near-optimal.)
 /// Returns kNoGroup when no active group is reducible.
+///
+/// This O(n) scan is the *reference* selector; the refinement loops use
+/// GroupScoreHeap, which returns the identical group sequence in O(log m)
+/// amortized (asserted by tests/algorithms/selection_heap_test.cc).
 size_t PickGroupIReduct(const Workload& workload,
                         std::span<const double> noisy_answers,
                         std::span<const double> group_scales,

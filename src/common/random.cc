@@ -97,6 +97,8 @@ double BitGen::TruncatedExponential(double mean, double lo, double hi) {
   return std::fmin(std::fmax(x, lo), hi);
 }
 
+BitGen BitGen::Fork() { return BitGen((*this)()); }
+
 bool BitGen::Bernoulli(double p) {
   if (p <= 0) return false;
   if (p >= 1) return true;

@@ -58,6 +58,15 @@ class BitGen {
   /// Bernoulli trial with success probability p (clamped to [0, 1]).
   bool Bernoulli(double p);
 
+  /// Derives a child generator (substream) by drawing one 64-bit value from
+  /// this stream and expanding it through the splitmix64 seeding path.
+  /// Forking seeds in a fixed order and handing each fork to one unit of
+  /// parallel work (e.g. one query group in a batched iReduct round) makes
+  /// the per-unit draws independent of thread count and scheduling, so
+  /// single- and multi-threaded runs are bit-identical. Advances this
+  /// stream by exactly one draw.
+  BitGen Fork();
+
  private:
   uint64_t s_[4];
 };

@@ -1,0 +1,58 @@
+// Fixed-size worker pool for the batched iReduct resampling rounds (and any
+// other embarrassingly parallel per-group work).
+//
+// Semantics are deliberately minimal: tasks are plain std::function<void()>
+// closures, Submit never blocks the caller (the queue is unbounded), Wait
+// blocks until every task submitted so far has finished, and the destructor
+// drains the queue before joining. Determinism is the caller's job: tasks
+// must write to disjoint state (e.g. disjoint answer ranges) and carry their
+// own RNG substreams (BitGen::Fork), so the observable result is independent
+// of scheduling and of the pool size.
+#ifndef IREDUCT_COMMON_THREAD_POOL_H_
+#define IREDUCT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ireduct {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks; tasks run in submission order per
+  /// worker pickup (no ordering guarantee across workers).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all tasks submitted before this call have completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_COMMON_THREAD_POOL_H_

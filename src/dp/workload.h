@@ -74,6 +74,14 @@ class Workload {
 
   size_t num_queries() const { return true_answers_.size(); }
   size_t num_groups() const { return groups_.size(); }
+
+  /// True when GS is computed by a caller-supplied SensitivityFn rather
+  /// than the additive Σ c_g/λ_g formula. Incremental GS accounting
+  /// (dp/incremental_sensitivity.h) must fall back to full recomputes for
+  /// such workloads because a custom GS need not decompose per group.
+  bool has_custom_sensitivity() const {
+    return static_cast<bool>(custom_sensitivity_);
+  }
   const QueryGroup& group(size_t g) const { return groups_[g]; }
   std::span<const QueryGroup> groups() const { return groups_; }
 

@@ -132,6 +132,41 @@ TEST(BitGenTest, TruncatedExponentialUnboundedMatchesShiftedExponential) {
   EXPECT_GE(s.min, 10.0);
 }
 
+TEST(BitGenTest, ForkIsDeterministic) {
+  // Same-seeded parents produce identical substreams, and forking costs
+  // the parent exactly one draw — the substream-determinism contract the
+  // batched iReduct round mode depends on.
+  BitGen a(55), b(55);
+  BitGen fa = a.Fork();
+  BitGen fb = b.Fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa(), fb());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(BitGenTest, ForkDivergesFromParentAndSiblings) {
+  BitGen parent(77);
+  BitGen child1 = parent.Fork();
+  BitGen child2 = parent.Fork();
+  int parent_eq = 0, sibling_eq = 0;
+  BitGen reference(77);
+  reference();  // skip the draw consumed by the first fork
+  reference();  // ... and the second
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t c1 = child1(), c2 = child2();
+    parent_eq += (c1 == reference());
+    sibling_eq += (c1 == c2);
+  }
+  EXPECT_LT(parent_eq, 3);
+  EXPECT_LT(sibling_eq, 3);
+}
+
+TEST(BitGenTest, ForkAdvancesParentByOneDraw) {
+  BitGen forked(91), plain(91);
+  forked.Fork();
+  plain();  // one manual draw
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(forked(), plain());
+}
+
 TEST(BitGenTest, BernoulliMatchesProbability) {
   BitGen gen(41);
   int hits = 0;

@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace ireduct {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 7; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 7);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, TasksWriteDisjointSlotsWithoutRaces) {
+  // Mirrors the batched-iReduct usage: tasks write disjoint ranges of one
+  // shared vector. ASan/UBSan builds watch for racy stores.
+  ThreadPool pool(4);
+  std::vector<double> values(400, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&values, i] {
+      for (int j = 0; j < 4; ++j) values[4 * i + j] = i + j * 0.25;
+    });
+  }
+  pool.Wait();
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(values[4 * i + j], i + j * 0.25);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+    // No Wait: the destructor must finish everything before joining.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, UsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  std::atomic<int> rendezvous{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] {
+      ++rendezvous;
+      // Hold every worker briefly so tasks cannot all run on one thread.
+      while (rendezvous.load() < 4) std::this_thread::yield();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ireduct

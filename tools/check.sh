@@ -4,24 +4,42 @@
 #   tools/check.sh            # Release build + full test suite
 #   tools/check.sh san        # ASan+UBSan build + full test suite
 #   tools/check.sh no-tracing # IREDUCT_ENABLE_TRACING=OFF build + tests
+#   tools/check.sh perf       # Release perf smoke: iReduct engine scaling
+#                             # bench at small m, asserting naive/incremental
+#                             # parity and that the incremental fast path
+#                             # actually engaged (see docs/PERFORMANCE.md)
 #
 # Each mode maps to the CMakePresets.json preset of the same name, so the
-# builds land in separate directories and never fight over a cache.
+# builds land in separate directories and never fight over a cache. The
+# san mode also covers the thread-pool and batched-iReduct tests under
+# ASan/UBSan, which is the race check for the parallel NoiseDown path.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 case "$mode" in
-  default|san|no-tracing) ;;
+  default|san|no-tracing|perf) ;;
   *)
-    echo "usage: tools/check.sh [san|no-tracing]" >&2
+    echo "usage: tools/check.sh [san|no-tracing|perf]" >&2
     exit 2
     ;;
 esac
 preset="$mode"
 [ "$mode" = san ] && preset=asan-ubsan
+[ "$mode" = perf ] && preset=default
 
 cmake --preset "$preset"
+
+if [ "$mode" = perf ]; then
+  cmake --build --preset "$preset" -j "$(nproc)" --target scaling_study
+  # Small-m sweep keeps the smoke under a few seconds; the bench itself
+  # exits nonzero on engine-parity or fast-path failures.
+  (cd build/bench &&
+   SCALING_IREDUCT_ONLY=1 SCALING_M=100,1000 NAIVE_MAX_M=1000 \
+     ./scaling_study)
+  exit 0
+fi
+
 cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$preset" -j "$(nproc)"
