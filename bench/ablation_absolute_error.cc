@@ -110,12 +110,11 @@ void PartAPrefixRanges(const Dataset& dataset) {
 }
 
 void PartBMarginalCells() {
-  const MarginalWorkload mw = BuildKWayWorkload(CensusKind::kBrazil, 1);
+  const CensusSetup setup = BuildCensusSetup(CensusKind::kBrazil, 1);
+  const MarginalWorkload& mw = setup.workload;
   const Workload& w = mw.workload();
-  const double n =
-      static_cast<double>(GetCensus(CensusKind::kBrazil).num_rows());
   const double epsilon = 0.01;
-  const double delta = 1e-4 * n;
+  const double delta = setup.delta;
   const int trials = Trials() * 2;
 
   double dwork_rel = 0, tree_rel = 0, ireduct_rel = 0, oracle_rel = 0;
@@ -141,8 +140,8 @@ void PartBMarginalCells() {
     IReductParams p;
     p.epsilon = epsilon;
     p.delta = delta;
-    p.lambda_max = n / 10;
-    p.lambda_delta = p.lambda_max / IReductSteps();
+    p.lambda_max = setup.lambda_max;
+    p.lambda_delta = setup.lambda_delta;
     auto ir = RunIReduct(w, p, gen);
     IREDUCT_CHECK(ir.ok());
     ireduct_rel += OverallError(w, ir->answers, delta) / trials;

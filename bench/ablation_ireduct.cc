@@ -80,13 +80,11 @@ size_t PickLargestScale(const Workload& w, std::span<const double>,
 int main() {
   using namespace ireduct::bench;
 
-  const MarginalWorkload mw = BuildKWayWorkload(CensusKind::kBrazil, 1);
-  const Workload& w = mw.workload();
-  const double n =
-      static_cast<double>(GetCensus(CensusKind::kBrazil).num_rows());
-  const double delta = 1e-4 * n;
+  const CensusSetup setup = BuildCensusSetup(CensusKind::kBrazil, 1);
+  const Workload& w = setup.workload.workload();
+  const double delta = setup.delta;
   const double epsilon = 0.01;
-  const double lambda_max = n / 10;
+  const double lambda_max = setup.lambda_max;
 
   auto run = [&](double steps, PickGroupFn pick) {
     MechanismFn fn = [&, steps, pick](const Workload& workload, BitGen& gen)

@@ -89,26 +89,21 @@ int main() {
             << "\n\n";
 
   // --- Part B: full iReduct with each resampler. ---
-  const MarginalWorkload mw = BuildKWayWorkload(CensusKind::kBrazil, 1);
-  const double n =
-      static_cast<double>(GetCensus(CensusKind::kBrazil).num_rows());
-  const double delta = 1e-4 * n;
+  const CensusSetup setup = BuildCensusSetup(CensusKind::kBrazil, 1);
+  const double delta = setup.delta;
   TablePrinter part_b({"reducer", "overall_error", "stddev"});
   for (auto reducer : {NoiseReducer::kPaperNoiseDown,
                        NoiseReducer::kExactCoupling}) {
-    MechanismFn fn = [&, reducer](const Workload& w, BitGen& g)
-        -> Result<std::vector<double>> {
-      IReductParams p;
-      p.epsilon = 0.01;
-      p.delta = delta;
-      p.lambda_max = n / 10;
-      p.lambda_delta = (n / 10) / IReductSteps();
-      p.reducer = reducer;
-      IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out, RunIReduct(w, p, g));
-      return std::move(out.answers);
-    };
-    const TrialAggregate agg =
-        MeasureOverallError(mw.workload(), fn, delta, 1100);
+    MechanismSpec spec("ireduct");
+    spec.Set("epsilon", 0.01);
+    spec.Set("delta", delta);
+    spec.Set("lambda_max", setup.lambda_max);
+    spec.Set("lambda_delta", setup.lambda_delta);
+    spec.Set("reducer", reducer == NoiseReducer::kPaperNoiseDown
+                            ? "noise_down"
+                            : "exact_coupling");
+    const TrialAggregate agg = MeasureOverallError(
+        setup.workload.workload(), SpecMechanism(spec), delta, 1100);
     part_b.AddRow({reducer == NoiseReducer::kPaperNoiseDown
                        ? "paper NoiseDown"
                        : "exact coupling",

@@ -5,11 +5,6 @@
 #include <fstream>
 #include <map>
 
-#include "algorithms/dwork.h"
-#include "algorithms/ireduct.h"
-#include "algorithms/iresamp.h"
-#include "algorithms/oracle.h"
-#include "algorithms/two_phase.h"
 #include "eval/metrics.h"
 #include "marginals/marginal_set.h"
 #include "obs/json.h"
@@ -67,54 +62,106 @@ MarginalWorkload BuildKWayWorkload(CensusKind kind, int k) {
   return std::move(mw).value();
 }
 
+CensusSetup BuildCensusSetup(CensusKind kind, int k) {
+  const double n = static_cast<double>(GetCensus(kind).num_rows());
+  return CensusSetup{kind, BuildKWayWorkload(kind, k), n, 1e-4 * n, n / 10,
+                     (n / 10) / IReductSteps()};
+}
+
+CensusSetup BuildCensusSetupForRows(CensusKind kind, uint64_t rows, int k) {
+  CensusConfig config;
+  config.kind = kind;
+  config.rows = rows;
+  config.seed = 2011;
+  auto dataset = GenerateCensus(config);
+  if (!dataset.ok()) std::abort();
+  auto specs = AllKWaySpecs(dataset->schema(), k);
+  if (!specs.ok()) std::abort();
+  auto marginals = ComputeMarginals(*dataset, *specs);
+  if (!marginals.ok()) std::abort();
+  auto mw = MarginalWorkload::Create(std::move(*marginals));
+  if (!mw.ok()) std::abort();
+  const double n = static_cast<double>(rows);
+  return CensusSetup{kind, std::move(mw).value(), n, 1e-4 * n, n / 10,
+                     (n / 10) / IReductSteps()};
+}
+
+MechanismFn SpecMechanism(const MechanismSpec& spec) {
+  // Resolve eagerly so a typo aborts at suite construction, not mid-sweep.
+  auto mechanism = MechanismRegistry::Global().Get(spec.name());
+  if (!mechanism.ok()) {
+    IREDUCT_LOG(kError) << mechanism.status().ToString();
+    std::abort();
+  }
+  if (Status s = (*mechanism)->ValidateSpec(spec); !s.ok()) {
+    IREDUCT_LOG(kError) << s.ToString();
+    std::abort();
+  }
+  return [spec](const Workload& w, BitGen& gen)
+             -> Result<std::vector<double>> {
+    IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out,
+                             MechanismRegistry::Global().Run(w, spec, gen));
+    return std::move(out.answers);
+  };
+}
+
 std::vector<std::pair<std::string, MechanismFn>> PaperMechanisms(
     double epsilon, double delta, double lambda_max, double lambda_delta,
     double epsilon1_fraction) {
+  // (user spec text, label override) pairs; "" means use the display name.
+  std::vector<MechanismSpec> specs;
+  const char* env = std::getenv("BENCH_MECHANISMS");
+  if (env != nullptr && *env != '\0') {
+    std::string list(env);
+    size_t start = 0;
+    while (start <= list.size()) {
+      const size_t semi = list.find(';', start);
+      const std::string item = list.substr(
+          start,
+          semi == std::string::npos ? std::string::npos : semi - start);
+      if (!item.empty()) {
+        auto spec = MechanismSpec::Parse(item);
+        if (!spec.ok()) {
+          IREDUCT_LOG(kError) << "BENCH_MECHANISMS: "
+                              << spec.status().ToString();
+          std::abort();
+        }
+        specs.push_back(std::move(*spec));
+      }
+      if (semi == std::string::npos) break;
+      start = semi + 1;
+    }
+  } else {
+    for (const char* name :
+         {"oracle", "ireduct", "two_phase", "iresamp", "dwork"}) {
+      specs.emplace_back(std::string(name));
+    }
+  }
+
   std::vector<std::pair<std::string, MechanismFn>> mechanisms;
-  mechanisms.emplace_back(
-      "Oracle", [=](const Workload& w, BitGen& gen)
-                    -> Result<std::vector<double>> {
-        IREDUCT_ASSIGN_OR_RETURN(
-            MechanismOutput out,
-            RunOracle(w, OracleParams{epsilon, delta}, gen));
-        return std::move(out.answers);
-      });
-  mechanisms.emplace_back(
-      "iReduct", [=](const Workload& w, BitGen& gen)
-                     -> Result<std::vector<double>> {
-        IReductParams p;
-        p.epsilon = epsilon;
-        p.delta = delta;
-        p.lambda_max = lambda_max;
-        p.lambda_delta = lambda_delta;
-        IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out, RunIReduct(w, p, gen));
-        return std::move(out.answers);
-      });
-  mechanisms.emplace_back(
-      "TwoPhase", [=](const Workload& w, BitGen& gen)
-                      -> Result<std::vector<double>> {
-        const TwoPhaseParams p{epsilon1_fraction * epsilon,
-                               (1 - epsilon1_fraction) * epsilon, delta};
-        IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out, RunTwoPhase(w, p, gen));
-        return std::move(out.answers);
-      });
-  mechanisms.emplace_back(
-      "iResamp", [=](const Workload& w, BitGen& gen)
-                     -> Result<std::vector<double>> {
-        IResampParams p;
-        p.epsilon = epsilon;
-        p.delta = delta;
-        p.lambda_max = lambda_max;
-        IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out, RunIResamp(w, p, gen));
-        return std::move(out.answers);
-      });
-  mechanisms.emplace_back(
-      "Dwork", [=](const Workload& w, BitGen& gen)
-                   -> Result<std::vector<double>> {
-        IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out,
-                                 RunDwork(w, DworkParams{epsilon}, gen));
-        return std::move(out.answers);
-      });
+  for (MechanismSpec& spec : specs) {
+    auto mechanism = MechanismRegistry::Global().Get(spec.name());
+    if (!mechanism.ok()) {
+      IREDUCT_LOG(kError) << mechanism.status().ToString();
+      std::abort();
+    }
+    // Custom params label the row with the full spec so two variants of
+    // one mechanism stay distinguishable in the tables.
+    const std::string label = spec.params().empty()
+                                  ? (*mechanism)->Describe().display_name
+                                  : spec.ToString();
+    (*mechanism)->SetSpecDefault(&spec, "epsilon", epsilon);
+    (*mechanism)->SetSpecDefault(&spec, "delta", delta);
+    (*mechanism)->SetSpecDefault(&spec, "lambda_max", lambda_max);
+    // iReduct resolves lambda_delta in preference to lambda_steps, so a
+    // default lambda_delta would shadow a spec-pinned lambda_steps.
+    if (!spec.Has("lambda_steps")) {
+      (*mechanism)->SetSpecDefault(&spec, "lambda_delta", lambda_delta);
+    }
+    (*mechanism)->SetSpecDefault(&spec, "epsilon1_fraction",
+                                 epsilon1_fraction);
+    mechanisms.emplace_back(label, SpecMechanism(spec));
+  }
   return mechanisms;
 }
 

@@ -12,6 +12,10 @@
 //                  The paper uses 10^5; default 150 (the ablation bench
 //                  shows the error curve is flat in this knob well below
 //                  the default).
+//   BENCH_MECHANISMS  semicolon-separated mechanism specs (see
+//                  algorithms/mechanism_registry.h) replacing the default
+//                  Section 6 suite in PaperMechanisms, e.g.
+//                  "ireduct;ireduct:reducer=exact_coupling;dwork".
 #ifndef IREDUCT_BENCH_BENCH_UTIL_H_
 #define IREDUCT_BENCH_BENCH_UTIL_H_
 
@@ -19,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "algorithms/mechanism_registry.h"
 #include "common/random.h"
 #include "data/census_generator.h"
 #include "eval/experiment.h"
@@ -40,13 +45,42 @@ MarginalWorkload BuildKWayWorkload(CensusKind kind, int k);
 /// Human name of the population ("Brazil" / "USA").
 std::string KindName(CensusKind kind);
 
+/// Everything the figure benches derive from one census task: the all-
+/// k-way marginal workload plus the paper's standard parameters for it
+/// (δ = 1e-4·|T|, λmax = |T|/10, λΔ = λmax/IREDUCT_STEPS). Replaces the
+/// per-bench copies of this boilerplate.
+struct CensusSetup {
+  CensusKind kind;
+  MarginalWorkload workload;
+  double n;
+  double delta;
+  double lambda_max;
+  double lambda_delta;
+};
+
+/// Builds the setup over the cached census (GetCensus).
+CensusSetup BuildCensusSetup(CensusKind kind, int k);
+
+/// Builds the setup over a freshly generated census of exactly `rows`
+/// rows (seed 2011, uncached) — for cardinality sweeps.
+CensusSetup BuildCensusSetupForRows(CensusKind kind, uint64_t rows, int k);
+
 /// One mechanism run on a workload: returns the published answers.
 using MechanismFn = std::function<Result<std::vector<double>>(
     const Workload&, BitGen&)>;
 
+/// MechanismFn dispatching `spec` through the global MechanismRegistry
+/// verbatim (no default filling). Aborts on an unknown mechanism or an
+/// invalid spec so bench call sites stay assert-free.
+MechanismFn SpecMechanism(const MechanismSpec& spec);
+
 /// The Section 6 competitor set, in the paper's reporting order:
-/// Oracle, iReduct, TwoPhase, iResamp, Dwork. `epsilon1_fraction` is
-/// TwoPhase's ε1/ε split (the paper tunes it per task; see Figure 5).
+/// Oracle, iReduct, TwoPhase, iResamp, Dwork — each dispatched through
+/// the global MechanismRegistry. `epsilon1_fraction` is TwoPhase's ε1/ε
+/// split (the paper tunes it per task; see Figure 5). The BENCH_MECHANISMS
+/// environment knob replaces the suite with arbitrary specs; the given
+/// epsilon/delta/λ parameters fill any declared parameter a spec leaves
+/// unset, so "ireduct:reducer=exact_coupling" inherits the sweep's ε.
 std::vector<std::pair<std::string, MechanismFn>> PaperMechanisms(
     double epsilon, double delta, double lambda_max, double lambda_delta,
     double epsilon1_fraction);

@@ -6,7 +6,6 @@
 // rises monotonically afterwards.
 #include <iostream>
 
-#include "algorithms/two_phase.h"
 #include "bench_util.h"
 #include "eval/metrics.h"
 #include "eval/table_printer.h"
@@ -18,19 +17,16 @@ int main() {
   const double epsilon = 0.01;
   TablePrinter table({"dataset", "eps1/eps", "overall_error", "stddev"});
   for (CensusKind kind : {CensusKind::kBrazil, CensusKind::kUs}) {
-    const MarginalWorkload mw = BuildKWayWorkload(kind, 1);
-    const double delta = 1e-4 * GetCensus(kind).num_rows();
+    const CensusSetup setup = BuildCensusSetup(kind, 1);
+    const double delta = setup.delta;
     for (double fraction :
          {0.02, 0.04, 0.06, 0.08, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6}) {
-      MechanismFn two_phase = [&, fraction](const Workload& w, BitGen& gen)
-          -> Result<std::vector<double>> {
-        const TwoPhaseParams p{fraction * epsilon, (1 - fraction) * epsilon,
-                               delta};
-        IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out, RunTwoPhase(w, p, gen));
-        return std::move(out.answers);
-      };
-      const TrialAggregate agg =
-          MeasureOverallError(mw.workload(), two_phase, delta, 5000);
+      MechanismSpec spec("two_phase");
+      spec.Set("epsilon", epsilon);
+      spec.Set("epsilon1_fraction", fraction);
+      spec.Set("delta", delta);
+      const TrialAggregate agg = MeasureOverallError(
+          setup.workload.workload(), SpecMechanism(spec), delta, 5000);
       table.AddRow({KindName(kind), TablePrinter::Cell(fraction, 3),
                     TablePrinter::Cell(agg.mean, 5),
                     TablePrinter::Cell(agg.stddev, 3)});

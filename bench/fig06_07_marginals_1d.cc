@@ -39,17 +39,13 @@ int main() {
     TablePrinter table({"dataset", "eps", "method", "overall_error",
                         "stddev"});
     for (CensusKind kind : {CensusKind::kBrazil, CensusKind::kUs}) {
-      const MarginalWorkload mw = BuildKWayWorkload(kind, 1);
-      const double n = static_cast<double>(GetCensus(kind).num_rows());
-      const double delta = 1e-4 * n;
+      const CensusSetup setup = BuildCensusSetup(kind, 1);
       for (double eps : {0.002, 0.004, 0.006, 0.008, 0.01}) {
-        const double lambda_max = n / 10;
-        const double lambda_delta = lambda_max / IReductSteps();
-        for (auto& [name, fn] : PaperMechanisms(eps, delta, lambda_max,
-                                                lambda_delta,
-                                                eps1_fraction)) {
-          const TrialAggregate agg =
-              MeasureOverallError(mw.workload(), fn, delta, 600);
+        for (auto& [name, fn] :
+             PaperMechanisms(eps, setup.delta, setup.lambda_max,
+                             setup.lambda_delta, eps1_fraction)) {
+          const TrialAggregate agg = MeasureOverallError(
+              setup.workload.workload(), fn, setup.delta, 600);
           table.AddRow({KindName(kind), TablePrinter::Cell(eps, 3), name,
                         TablePrinter::Cell(agg.mean, 5),
                         TablePrinter::Cell(agg.stddev, 3)});
@@ -67,17 +63,14 @@ int main() {
     TablePrinter table({"dataset", "delta/|T|", "method", "overall_error",
                         "stddev"});
     for (CensusKind kind : {CensusKind::kBrazil, CensusKind::kUs}) {
-      const MarginalWorkload mw = BuildKWayWorkload(kind, 1);
-      const double n = static_cast<double>(GetCensus(kind).num_rows());
+      const CensusSetup setup = BuildCensusSetup(kind, 1);
       for (double delta_frac : {0.2e-4, 0.4e-4, 0.6e-4, 0.8e-4, 1.0e-4}) {
-        const double delta = delta_frac * n;
-        const double lambda_max = n / 10;
-        const double lambda_delta = lambda_max / IReductSteps();
-        for (auto& [name, fn] : PaperMechanisms(0.01, delta, lambda_max,
-                                                lambda_delta,
-                                                eps1_fraction)) {
-          const TrialAggregate agg =
-              MeasureOverallError(mw.workload(), fn, delta, 700);
+        const double delta = delta_frac * setup.n;
+        for (auto& [name, fn] :
+             PaperMechanisms(0.01, delta, setup.lambda_max,
+                             setup.lambda_delta, eps1_fraction)) {
+          const TrialAggregate agg = MeasureOverallError(
+              setup.workload.workload(), fn, delta, 700);
           table.AddRow({KindName(kind), TablePrinter::Cell(delta_frac, 3),
                         name, TablePrinter::Cell(agg.mean, 5),
                         TablePrinter::Cell(agg.stddev, 3)});
@@ -92,16 +85,14 @@ int main() {
 
   // Section 6.3 runtime remark: one iReduct run vs one Dwork run.
   {
-    const MarginalWorkload mw = BuildKWayWorkload(CensusKind::kBrazil, 1);
-    const double n =
-        static_cast<double>(GetCensus(CensusKind::kBrazil).num_rows());
-    const double delta = 1e-4 * n;
-    auto mechanisms = PaperMechanisms(0.01, delta, n / 10,
-                                      (n / 10) / IReductSteps(), 0.07);
+    const CensusSetup setup = BuildCensusSetup(CensusKind::kBrazil, 1);
+    auto mechanisms =
+        PaperMechanisms(0.01, setup.delta, setup.lambda_max,
+                        setup.lambda_delta, 0.07);
     for (auto& [name, fn] : mechanisms) {
       BitGen gen(1);
       const auto start = std::chrono::steady_clock::now();
-      auto out = fn(mw.workload(), gen);
+      auto out = fn(setup.workload.workload(), gen);
       const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                           std::chrono::steady_clock::now() - start)
                           .count();

@@ -36,6 +36,7 @@
 
 #include "algorithms/dwork.h"
 #include "algorithms/ireduct.h"
+#include "bench_util.h"
 #include "common/logging.h"
 #include "data/census_generator.h"
 #include "eval/experiment.h"
@@ -228,36 +229,26 @@ void RunCardinalitySection() {
   TablePrinter table({"rows", "method", "overall_error", "err x rows/1e5"});
   for (uint64_t rows : {50'000ull, 100'000ull, 200'000ull, 400'000ull,
                         800'000ull}) {
-    CensusConfig config;
-    config.kind = CensusKind::kBrazil;
-    config.rows = rows;
-    config.seed = 2011;
-    auto dataset = GenerateCensus(config);
-    IREDUCT_CHECK(dataset.ok());
-    auto specs = AllKWaySpecs(dataset->schema(), 1);
-    IREDUCT_CHECK(specs.ok());
-    auto marginals = ComputeMarginals(*dataset, *specs);
-    IREDUCT_CHECK(marginals.ok());
-    auto mw = MarginalWorkload::Create(std::move(*marginals));
-    IREDUCT_CHECK(mw.ok());
-    const double n = static_cast<double>(rows);
-    const double delta = 1e-4 * n;
+    const bench::CensusSetup setup =
+        bench::BuildCensusSetupForRows(CensusKind::kBrazil, rows, 1);
+    const Workload& w = setup.workload.workload();
+    const double n = setup.n;
+    const double delta = setup.delta;
 
     double dwork_err = 0, ireduct_err = 0;
     for (int t = 0; t < trials; ++t) {
       BitGen gen(7000 + t);
-      auto dw = RunDwork(mw->workload(), DworkParams{epsilon}, gen);
+      auto dw = RunDwork(w, DworkParams{epsilon}, gen);
       IREDUCT_CHECK(dw.ok());
-      dwork_err += OverallError(mw->workload(), dw->answers, delta) / trials;
+      dwork_err += OverallError(w, dw->answers, delta) / trials;
       IReductParams p;
       p.epsilon = epsilon;
       p.delta = delta;
-      p.lambda_max = n / 10;
-      p.lambda_delta = p.lambda_max / 150;
-      auto ir = RunIReduct(mw->workload(), p, gen);
+      p.lambda_max = setup.lambda_max;
+      p.lambda_delta = setup.lambda_delta;
+      auto ir = RunIReduct(w, p, gen);
       IREDUCT_CHECK(ir.ok());
-      ireduct_err +=
-          OverallError(mw->workload(), ir->answers, delta) / trials;
+      ireduct_err += OverallError(w, ir->answers, delta) / trials;
     }
     table.AddRow({std::to_string(rows), "Dwork",
                   TablePrinter::Cell(dwork_err, 5),

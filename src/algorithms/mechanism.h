@@ -4,6 +4,7 @@
 #ifndef IREDUCT_ALGORITHMS_MECHANISM_H_
 #define IREDUCT_ALGORITHMS_MECHANISM_H_
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -26,6 +27,13 @@ struct MechanismOutput {
   /// Number of NoiseDown resampling draws (iReduct) or fresh Laplace
   /// resamples (iResamp).
   size_t resample_calls = 0;
+
+  /// True when the release actually carries a differential-privacy
+  /// guarantee. The non-private baselines mark themselves with
+  /// `epsilon_spent = ∞` (see above); every consumer deciding whether to
+  /// account, publish or report a run must use this helper rather than
+  /// comparing `epsilon_spent` against 0 or ∞ by hand.
+  bool is_private() const { return std::isfinite(epsilon_spent); }
 };
 
 }  // namespace ireduct

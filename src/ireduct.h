@@ -12,6 +12,7 @@
 #include "algorithms/ireduct.h"            // IWYU pragma: export
 #include "algorithms/iresamp.h"            // IWYU pragma: export
 #include "algorithms/mechanism.h"          // IWYU pragma: export
+#include "algorithms/mechanism_registry.h" // IWYU pragma: export
 #include "algorithms/oracle.h"             // IWYU pragma: export
 #include "algorithms/proportional.h"       // IWYU pragma: export
 #include "algorithms/selection.h"          // IWYU pragma: export

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ireduct {
 namespace obs {
@@ -123,6 +124,175 @@ void JsonWriter::Bool(bool value) {
 void JsonWriter::RawValue(std::string_view json) {
   Separate();
   *out_ += json;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view; every failure carries the
+// byte offset it happened at.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view input) : input_(input) {}
+
+  Result<JsonValue> Parse() {
+    IREDUCT_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipSpace();
+    if (pos_ != input_.size()) return Error("trailing characters");
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           (input_[pos_] == ' ' || input_[pos_] == '\t' ||
+            input_[pos_] == '\n' || input_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (input_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected string");
+    std::string out;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= input_.size()) return Error("dangling escape");
+      const char esc = input_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > input_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          const auto res = std::from_chars(
+              input_.data() + pos_, input_.data() + pos_ + 4, code, 16);
+          if (res.ec != std::errc() || res.ptr != input_.data() + pos_ + 4) {
+            return Error("bad \\u escape");
+          }
+          pos_ += 4;
+          // Sufficient for the control characters the writer escapes.
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return Error("unexpected end of input");
+    const char c = input_[pos_];
+    JsonValue value;
+    if (c == '{') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kObject;
+      if (Consume('}')) return value;
+      for (;;) {
+        SkipSpace();
+        IREDUCT_ASSIGN_OR_RETURN(std::string key, ParseString());
+        if (!Consume(':')) return Error("expected ':' after object key");
+        IREDUCT_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
+        value.object.emplace_back(std::move(key), std::move(member));
+        if (Consume(',')) continue;
+        if (Consume('}')) return value;
+        return Error("expected ',' or '}' in object");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kArray;
+      if (Consume(']')) return value;
+      for (;;) {
+        IREDUCT_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
+        value.array.push_back(std::move(element));
+        if (Consume(',')) continue;
+        if (Consume(']')) return value;
+        return Error("expected ',' or ']' in array");
+      }
+    }
+    if (c == '"') {
+      IREDUCT_ASSIGN_OR_RETURN(value.text, ParseString());
+      value.kind = JsonValue::Kind::kString;
+      return value;
+    }
+    if (ConsumeLiteral("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (ConsumeLiteral("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      return value;
+    }
+    if (ConsumeLiteral("null")) return value;
+    const size_t start = pos_;
+    while (pos_ < input_.size()) {
+      const char d = input_[pos_];
+      if ((d >= '0' && d <= '9') || d == '-' || d == '+' || d == '.' ||
+          d == 'e' || d == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("unexpected character");
+    const std::string token(input_.substr(start, pos_ - start));
+    char* end = nullptr;
+    value.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("malformed number");
+    value.kind = JsonValue::Kind::kNumber;
+    value.text = token;
+    return value;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonParse(std::string_view text) {
+  return JsonParser(text).Parse();
 }
 
 }  // namespace obs

@@ -1,22 +1,32 @@
-// Minimal streaming JSON writer for the observability layer.
+// Minimal streaming JSON writer (and strict document parser) for the
+// observability layer and config surfaces such as MechanismSpec.
 //
-// Emits compact JSON with deterministic formatting: keys appear exactly in
-// the order the caller writes them, and doubles render via shortest
-// round-trip (std::to_chars), so identical inputs serialize to identical
-// bytes across runs. JSON has no encoding for non-finite numbers, so
-// infinities and NaN are emitted as the strings "inf"/"-inf"/"nan" to keep
-// every document parseable.
+// The writer emits compact JSON with deterministic formatting: keys appear
+// exactly in the order the caller writes them, and doubles render via
+// shortest round-trip (std::to_chars), so identical inputs serialize to
+// identical bytes across runs. JSON has no encoding for non-finite
+// numbers, so infinities and NaN are emitted as the strings
+// "inf"/"-inf"/"nan" to keep every document parseable.
 //
 // The writer does not validate nesting beyond what its own bookkeeping
 // needs; callers are expected to produce well-formed sequences (this is an
 // internal serialization aid, not a general-purpose JSON library).
+//
+// The parser (JsonParse) covers exactly what the writer emits — objects,
+// arrays, strings with basic escapes, numbers, booleans, null — and is
+// strict: trailing garbage, unterminated containers and bad escapes are
+// rejected with a Status, so round-trip users double as well-formedness
+// checks.
 #ifndef IREDUCT_OBS_JSON_H_
 #define IREDUCT_OBS_JSON_H_
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/result.h"
 
 namespace ireduct {
 namespace obs {
@@ -74,6 +84,29 @@ class JsonWriter {
   std::vector<bool> has_element_;
   bool pending_key_ = false;
 };
+
+/// A parsed JSON document node. Object members keep insertion order so
+/// consumers can assert on (or reproduce) field order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  /// String payload for kString; the raw numeric token for kNumber (so
+  /// integer-looking inputs can be re-emitted verbatim).
+  std::string text;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is(Kind k) const { return kind == k; }
+
+  /// First member with the given key, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses one JSON document. Strict: the whole input must be consumed.
+Result<JsonValue> JsonParse(std::string_view text);
 
 }  // namespace obs
 }  // namespace ireduct

@@ -49,7 +49,15 @@ Result<double> PrivateQuerySession::CountQuery(const ConjunctiveQuery& query,
 Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
     std::span<const MarginalSpec> specs, double epsilon, double delta,
     int lambda_steps) {
+  return PublishMarginals(specs, MechanismSpec("ireduct"), epsilon, delta,
+                          lambda_steps);
+}
+
+Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
+    std::span<const MarginalSpec> specs, MechanismSpec mechanism,
+    double epsilon, double delta, int lambda_steps) {
   obs::TraceSpan span("session.publish_marginals");
+  span.Arg("mechanism", mechanism.name());
   span.Arg("epsilon", epsilon);
   span.Arg("marginals", static_cast<double>(specs.size()));
   IREDUCT_METRIC_COUNT("session.marginal_releases", 1);
@@ -59,7 +67,24 @@ Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
   if (lambda_steps < 2) {
     return Status::InvalidArgument("lambda_steps must be >= 2");
   }
-  if (!accountant_->CanAfford(epsilon)) {
+  IREDUCT_ASSIGN_OR_RETURN(const Mechanism* impl,
+                           MechanismRegistry::Global().Get(mechanism.name()));
+  const MechanismInfo info = impl->Describe();
+  if (info.privacy != MechanismPrivacy::kPrivate) {
+    return Status::InvalidArgument(
+        "mechanism '" + info.name +
+        "' is non-private and cannot release data through a session");
+  }
+  IREDUCT_RETURN_NOT_OK(impl->ValidateSpec(mechanism));
+  // The spec may override the budget slice; pre-check against the value
+  // the mechanism will actually see.
+  impl->SetSpecDefault(&mechanism, "epsilon", epsilon);
+  IREDUCT_ASSIGN_OR_RETURN(const double spec_epsilon,
+                           mechanism.GetDouble("epsilon", epsilon));
+  if (!(spec_epsilon > 0) || !std::isfinite(spec_epsilon)) {
+    return Status::InvalidArgument("spec epsilon must be positive finite");
+  }
+  if (!accountant_->CanAfford(spec_epsilon)) {
     return Status::PrivacyBudgetExceeded(
         "marginal release does not fit the remaining budget");
   }
@@ -67,25 +92,30 @@ Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
                            ComputeMarginals(*dataset_, specs));
   IREDUCT_ASSIGN_OR_RETURN(MarginalWorkload workload,
                            MarginalWorkload::Create(std::move(marginals)));
-  IReductParams params;
-  params.epsilon = epsilon;
-  params.delta = delta;
   // λmax: a tenth of the dataset, the paper's default reading of "the
   // largest amount of noise a user would accept".
-  params.lambda_max =
+  impl->SetSpecDefault(&mechanism, "delta", delta);
+  impl->SetSpecDefault(
+      &mechanism, "lambda_max",
       std::fmax(static_cast<double>(dataset_->num_rows()) / 10.0,
-                2 * workload.workload().Sensitivity() / epsilon);
-  params.lambda_delta = params.lambda_max / lambda_steps;
+                2 * workload.workload().Sensitivity() / spec_epsilon));
+  impl->SetSpecDefault(&mechanism, "lambda_steps",
+                       std::string(std::to_string(lambda_steps)));
   IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out,
-                           RunIReduct(workload.workload(), params, gen_));
-  IREDUCT_RETURN_NOT_OK(
-      accountant_->Charge("marginal release (iReduct)", out.epsilon_spent));
+                           impl->Run(workload.workload(), mechanism, gen_));
+  if (!out.is_private()) {
+    return Status::InvalidArgument(
+        "mechanism '" + info.name +
+        "' produced a non-private release; refusing to publish");
+  }
+  IREDUCT_RETURN_NOT_OK(accountant_->Charge(
+      "marginal release (" + info.display_name + ")", out.epsilon_spent));
   span.Arg("epsilon_spent", out.epsilon_spent);
   span.Arg("iterations", static_cast<double>(out.iterations));
-  IREDUCT_LOG(kInfo) << "published " << specs.size() << " marginals in "
-                     << out.iterations << " iterations for epsilon "
-                     << out.epsilon_spent << " (remaining "
-                     << accountant_->remaining() << ")";
+  IREDUCT_LOG(kInfo) << "published " << specs.size() << " marginals via "
+                     << info.display_name << " in " << out.iterations
+                     << " iterations for epsilon " << out.epsilon_spent
+                     << " (remaining " << accountant_->remaining() << ")";
   MarginalRelease release;
   release.epsilon_spent = out.epsilon_spent;
   IREDUCT_ASSIGN_OR_RETURN(release.marginals,

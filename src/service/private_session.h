@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "algorithms/ireduct.h"
+#include "algorithms/mechanism_registry.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "data/dataset.h"
@@ -71,6 +72,19 @@ class PrivateQuerySession {
   Result<MarginalRelease> PublishMarginals(
       std::span<const MarginalSpec> specs, double epsilon, double delta,
       int lambda_steps = 200);
+
+  /// Publishes the given marginals through any registered *private* batch
+  /// mechanism. `mechanism` names the algorithm and may carry parameter
+  /// overrides (e.g. "two_phase:epsilon1_fraction=0.1"); session-derived
+  /// defaults — epsilon, delta, lambda_max (max(|T|/10, 2·S/ε)) and
+  /// lambda_steps — are filled only for parameters the mechanism declares
+  /// and the spec leaves unset, so explicit spec values always win. The
+  /// accountant is charged the mechanism's actual epsilon_spent under the
+  /// label "marginal release (<DisplayName>)". Non-private mechanisms
+  /// (oracle, proportional) are refused with kInvalidArgument.
+  Result<MarginalRelease> PublishMarginals(
+      std::span<const MarginalSpec> specs, MechanismSpec mechanism,
+      double epsilon, double delta, int lambda_steps = 200);
 
   /// Starts a refinable count at `initial_scale` noise; refine through the
   /// returned chain (each Reduce draws from this session's budget). The

@@ -120,6 +120,83 @@ TEST(PrivateSessionTest, RefinableCountDrawsFromSessionBudget) {
   EXPECT_FALSE(chain->Reduce(0.5, session->rng()).ok());
 }
 
+TEST(PrivateSessionTest, PublishMarginalsByNameLabelsLedgerEntries) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 1.0, 10);
+  ASSERT_TRUE(session.ok());
+  auto specs = AllKWaySpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  auto release = session->PublishMarginals(*specs, MechanismSpec("two_phase"),
+                                           0.4, 5.0, 64);
+  ASSERT_TRUE(release.ok()) << release.status();
+  ASSERT_EQ(session->ledger().size(), 1u);
+  EXPECT_EQ(session->ledger()[0].label, "marginal release (TwoPhase)");
+  // The legacy overload keeps the historical iReduct label.
+  auto legacy = session->PublishMarginals(*specs, 0.3, 5.0, 64);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  ASSERT_EQ(session->ledger().size(), 2u);
+  EXPECT_EQ(session->ledger()[1].label, "marginal release (iReduct)");
+}
+
+TEST(PrivateSessionTest, TwoMechanismsComposeSequentially) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 1.0, 11);
+  ASSERT_TRUE(session.ok());
+  auto specs = AllKWaySpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  auto first = session->PublishMarginals(*specs, MechanismSpec("dwork"), 0.25,
+                                         5.0, 64);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = session->PublishMarginals(
+      *specs, MechanismSpec("ireduct"), 0.5, 5.0, 64);
+  ASSERT_TRUE(second.ok()) << second.status();
+  // Sequential composition: the accountant holds exactly the sum of the
+  // two releases' actual spends, each within its requested ε.
+  EXPECT_DOUBLE_EQ(session->spent(),
+                   first->epsilon_spent + second->epsilon_spent);
+  EXPECT_LE(first->epsilon_spent, 0.25 * (1 + 1e-9));
+  EXPECT_LE(second->epsilon_spent, 0.5 * (1 + 1e-9));
+  ASSERT_EQ(session->ledger().size(), 2u);
+  EXPECT_EQ(session->ledger()[0].label, "marginal release (Dwork)");
+  EXPECT_EQ(session->ledger()[1].label, "marginal release (iReduct)");
+}
+
+TEST(PrivateSessionTest, PublishMarginalsSpecParamsOverrideDefaults) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 1.0, 12);
+  ASSERT_TRUE(session.ok());
+  auto specs = AllKWaySpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  // A spec-level epsilon wins over the argument and is what gets charged.
+  MechanismSpec spec("dwork");
+  spec.Set("epsilon", 0.125);
+  auto release = session->PublishMarginals(*specs, spec, 0.9, 5.0, 64);
+  ASSERT_TRUE(release.ok()) << release.status();
+  EXPECT_DOUBLE_EQ(release->epsilon_spent, 0.125);
+  EXPECT_DOUBLE_EQ(session->spent(), 0.125);
+}
+
+TEST(PrivateSessionTest, PublishMarginalsByNameRejectsBadRequests) {
+  const Dataset d = MakeDataset();
+  auto session = PrivateQuerySession::Create(&d, 1.0, 13);
+  ASSERT_TRUE(session.ok());
+  auto specs = AllKWaySpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  auto unknown = session->PublishMarginals(
+      *specs, MechanismSpec("no_such_mechanism"), 0.4, 5.0, 64);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  // Non-private baselines must not masquerade as a DP release.
+  auto oracle = session->PublishMarginals(*specs, MechanismSpec("oracle"),
+                                          0.4, 5.0, 64);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_EQ(oracle.status().code(), StatusCode::kInvalidArgument);
+  auto typo = MechanismSpec::Parse("ireduct:epslion=1");
+  ASSERT_TRUE(typo.ok());
+  EXPECT_FALSE(session->PublishMarginals(*specs, *typo, 0.4, 5.0, 64).ok());
+  EXPECT_DOUBLE_EQ(session->spent(), 0.0);  // nothing charged on any refusal
+}
+
 TEST(PrivateSessionTest, MixedWorkflowComposes) {
   const Dataset d = MakeDataset();
   auto session = PrivateQuerySession::Create(&d, 1.0, 9);

@@ -8,6 +8,11 @@
 #                             # bench at small m, asserting naive/incremental
 #                             # parity and that the incremental fast path
 #                             # actually engaged (see docs/PERFORMANCE.md)
+#   tools/check.sh registry   # Mechanism-registry smoke: builds ireduct_tool
+#                             # under the default and no-tracing presets,
+#                             # asserts --list-mechanisms enumerates the
+#                             # builtin set, and runs two spec-driven
+#                             # marginal releases end-to-end
 #
 # Each mode maps to the CMakePresets.json preset of the same name, so the
 # builds land in separate directories and never fight over a cache. The
@@ -19,15 +24,44 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 case "$mode" in
-  default|san|no-tracing|perf) ;;
+  default|san|no-tracing|perf|registry) ;;
   *)
-    echo "usage: tools/check.sh [san|no-tracing|perf]" >&2
+    echo "usage: tools/check.sh [san|no-tracing|perf|registry]" >&2
     exit 2
     ;;
 esac
 preset="$mode"
 [ "$mode" = san ] && preset=asan-ubsan
 [ "$mode" = perf ] && preset=default
+
+if [ "$mode" = registry ]; then
+  # Spec dispatch must behave identically with tracing compiled out, so the
+  # smoke runs under both presets.
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "$out_dir"' EXIT
+  for p in default no-tracing; do
+    cmake --preset "$p"
+    cmake --build --preset "$p" -j "$(nproc)" --target ireduct_tool
+    build_dir=build
+    [ "$p" = no-tracing ] && build_dir=build-no-tracing
+    tool="$build_dir/tools/ireduct_tool"
+    count="$("$tool" --list-mechanisms |
+             sed -n 's/^registered mechanisms (\([0-9]*\)):$/\1/p')"
+    if [ -z "$count" ] || [ "$count" -lt 6 ]; then
+      echo "registry smoke [$p]: expected >=6 registered mechanisms," \
+           "got '${count:-none}'" >&2
+      exit 1
+    fi
+    mkdir -p "$out_dir/$p"
+    for spec in "two_phase:epsilon=0.5" \
+                "ireduct:lambda_steps=16,engine=incremental"; do
+      "$tool" marginals --mechanism "$spec" --rows 2000 --seed 7 \
+        --epsilon 0.5 --out-dir "$out_dir/$p" > /dev/null
+    done
+    echo "registry smoke [$p]: $count mechanisms, spec-driven runs OK"
+  done
+  exit 0
+fi
 
 cmake --preset "$preset"
 

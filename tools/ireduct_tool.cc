@@ -4,15 +4,27 @@
 //       Writes a synthetic census as CSV.
 //
 //   ireduct_tool marginals --kind brazil|us --rows N --k 1|2
-//                          --epsilon E --mechanism ireduct|dwork|two_phase
+//                          --epsilon E --mechanism SPEC
 //                          --out-dir DIR [--steps N] [--seed S]
 //       Publishes all k-way marginals under ε-DP and writes one CSV per
-//       marginal plus answers.csv with confidence intervals.
+//       marginal plus answers.csv with confidence intervals. SPEC is a
+//       registry mechanism spec — a bare name ("ireduct", "dwork", ...)
+//       or name:key=val,key=val with parameter overrides, e.g.
+//       "two_phase:epsilon=1.0" or
+//       "ireduct:lambda_steps=16,engine=incremental". Workload-derived
+//       defaults (epsilon, delta, lambda_max, lambda_steps) fill any
+//       declared parameter the spec leaves unset.
 //
 //   ireduct_tool compare   --kind brazil|us --rows N --k 1|2 --epsilon E
-//                          [--trials T] [--seed S]
-//       Runs the full Section 6 mechanism suite and prints/exports a
-//       comparison table (comparison.csv in the working directory).
+//                          [--mechanisms "SPEC;SPEC;..."] [--trials T]
+//                          [--seed S]
+//       Runs a suite of mechanism specs (default: the Section 6 paper
+//       suite) and prints/exports a comparison table (comparison.csv in
+//       the working directory).
+//
+//   ireduct_tool list-mechanisms   (or --list-mechanisms anywhere)
+//       Prints every registered mechanism with its privacy status and
+//       accepted spec parameters.
 //
 // Observability flags (valid for every command, `--flag value` or
 // `--flag=value`):
@@ -25,6 +37,7 @@
 //   --metrics-out FILE  write the process metrics snapshot JSON (counters,
 //                       gauges — including privacy.epsilon_spent —, and
 //                       histograms)
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -102,34 +115,48 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-Result<MechanismOutput> RunNamedMechanism(
-    const std::string& name, const Workload& workload, double epsilon,
-    double delta, double lambda_max, int steps, BitGen& gen) {
-  if (name == "dwork") return RunDwork(workload, DworkParams{epsilon}, gen);
-  if (name == "two_phase") {
-    return RunTwoPhase(
-        workload, TwoPhaseParams{0.07 * epsilon, 0.93 * epsilon, delta},
-        gen);
+// Registry dispatch with workload-derived defaults: the user's spec is
+// validated as written, then epsilon/delta/lambda_max/lambda_steps are
+// filled for whichever of those parameters the mechanism declares and the
+// spec leaves unset.
+Result<MechanismOutput> RunSpecMechanism(const MechanismSpec& user_spec,
+                                         const Workload& workload,
+                                         double epsilon, double delta,
+                                         double lambda_max, int steps,
+                                         BitGen& gen) {
+  IREDUCT_ASSIGN_OR_RETURN(const Mechanism* mech,
+                           MechanismRegistry::Global().Get(user_spec.name()));
+  IREDUCT_RETURN_NOT_OK(mech->ValidateSpec(user_spec));
+  MechanismSpec spec = user_spec;
+  mech->SetSpecDefault(&spec, "epsilon", epsilon);
+  mech->SetSpecDefault(&spec, "delta", delta);
+  mech->SetSpecDefault(&spec, "lambda_max", lambda_max);
+  mech->SetSpecDefault(&spec, "lambda_steps",
+                       std::string_view(std::to_string(steps)));
+  return mech->Run(workload, spec, gen);
+}
+
+int CmdListMechanisms() {
+  const MechanismRegistry& registry = MechanismRegistry::Global();
+  const std::vector<std::string> names = registry.Names();
+  std::printf("registered mechanisms (%zu):\n", names.size());
+  for (const std::string& name : names) {
+    const MechanismInfo info = registry.Find(name)->Describe();
+    std::printf("  %-13s %-13s %-12s %s\n", info.name.c_str(),
+                info.display_name.c_str(),
+                info.privacy == MechanismPrivacy::kPrivate ? "private"
+                                                           : "NON-PRIVATE",
+                info.summary.c_str());
+    for (const MechanismParamDoc& p : info.params) {
+      if (p.default_value.empty()) {
+        std::printf("      %-22s %s\n", p.key.c_str(), p.doc.c_str());
+      } else {
+        std::printf("      %-22s %s [default %s]\n", p.key.c_str(),
+                    p.doc.c_str(), p.default_value.c_str());
+      }
+    }
   }
-  if (name == "iresamp") {
-    IResampParams p;
-    p.epsilon = epsilon;
-    p.delta = delta;
-    p.lambda_max = lambda_max;
-    return RunIResamp(workload, p, gen);
-  }
-  if (name == "oracle") {
-    return RunOracle(workload, OracleParams{epsilon, delta}, gen);
-  }
-  if (name == "ireduct") {
-    IReductParams p;
-    p.epsilon = epsilon;
-    p.delta = delta;
-    p.lambda_max = lambda_max;
-    p.lambda_delta = lambda_max / steps;
-    return RunIReduct(workload, p, gen);
-  }
-  return Status::InvalidArgument("unknown mechanism '" + name + "'");
+  return 0;
 }
 
 int CmdMarginals(const std::map<std::string, std::string>& flags) {
@@ -157,9 +184,15 @@ int CmdMarginals(const std::map<std::string, std::string>& flags) {
   const double delta = 1e-4 * n;
   const int steps = std::atoi(FlagOr(flags, "steps", "200").c_str());
   BitGen gen(std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10));
-  const std::string mechanism = FlagOr(flags, "mechanism", "ireduct");
-  auto out = RunNamedMechanism(mechanism, mw->workload(), epsilon, delta,
-                               n / 10, steps, gen);
+  const std::string mechanism_text = FlagOr(flags, "mechanism", "ireduct");
+  auto spec = MechanismSpec::Parse(mechanism_text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  const std::string mechanism = spec->name();
+  auto out = RunSpecMechanism(*spec, mw->workload(), epsilon, delta, n / 10,
+                              steps, gen);
   if (!out.ok()) {
     std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
     return 1;
@@ -167,10 +200,14 @@ int CmdMarginals(const std::map<std::string, std::string>& flags) {
 
   // Mirror the release through an accountant so the run carries a ledger:
   // the privacy.epsilon_spent gauge tracks the charge, and the ledger JSON
-  // rides into the trace under otherData.privacy_ledger. The non-private
-  // oracle (epsilon_spent = inf) stays unaccounted.
-  if (std::isfinite(out->epsilon_spent) && out->epsilon_spent > 0) {
-    auto accountant = PrivacyAccountant::Create(epsilon);
+  // rides into the trace under otherData.privacy_ledger. Non-private
+  // baselines (oracle, proportional) stay unaccounted. A spec that pins its
+  // own budget (e.g. "two_phase:epsilon=0.5") is authorized by that spec,
+  // so the mirror's budget covers whatever the mechanism actually spent —
+  // budget *enforcement* lives in PrivateQuerySession, not here.
+  if (out->is_private() && out->epsilon_spent > 0) {
+    auto accountant =
+        PrivacyAccountant::Create(std::max(epsilon, out->epsilon_spent));
     if (accountant.ok()) {
       if (Status s = accountant->Charge("marginals (" + mechanism + ")",
                                         out->epsilon_spent);
@@ -232,17 +269,39 @@ int CmdCompare(const std::map<std::string, std::string>& flags) {
   const uint64_t seed =
       std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
 
+  // Semicolon-separated mechanism specs; default is the Section 6 suite.
+  std::vector<std::string> spec_texts;
+  {
+    std::string list = FlagOr(flags, "mechanisms",
+                              "oracle;ireduct;two_phase;iresamp;dwork");
+    size_t start = 0;
+    while (start <= list.size()) {
+      const size_t semi = list.find(';', start);
+      const std::string item = list.substr(
+          start, semi == std::string::npos ? std::string::npos
+                                           : semi - start);
+      if (!item.empty()) spec_texts.push_back(item);
+      if (semi == std::string::npos) break;
+      start = semi + 1;
+    }
+  }
+
   std::vector<ComparisonRow> rows;
   TablePrinter table({"mechanism", "overall_error", "max_rel_error",
                       "mean_abs_error", "epsilon"});
-  for (const std::string name :
-       {"oracle", "ireduct", "two_phase", "iresamp", "dwork"}) {
+  for (const std::string& text : spec_texts) {
+    auto spec = MechanismSpec::Parse(text);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    const std::string name = spec->ToString();
     ComparisonRow mean_row;
     mean_row.mechanism = name;
     for (int t = 0; t < trials; ++t) {
       BitGen gen(seed + 31 * t);
-      auto out = RunNamedMechanism(name, mw->workload(), epsilon, delta,
-                                   n / 10, 200, gen);
+      auto out = RunSpecMechanism(*spec, mw->workload(), epsilon, delta,
+                                  n / 10, 200, gen);
       if (!out.ok()) {
         std::fprintf(stderr, "%s: %s\n", name.c_str(),
                      out.status().ToString().c_str());
@@ -273,10 +332,11 @@ int CmdCompare(const std::map<std::string, std::string>& flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ireduct_tool generate|marginals|compare [--flag "
-               "value ...]\n[--log-level L] [--trace-out F] [--metrics-out "
-               "F] work with every command.\n(see the header comment of "
-               "tools/ireduct_tool.cc for details)\n");
+               "usage: ireduct_tool generate|marginals|compare|"
+               "list-mechanisms [--flag value ...]\n[--log-level L] "
+               "[--trace-out F] [--metrics-out F] work with every command."
+               "\n(see the header comment of tools/ireduct_tool.cc for "
+               "details)\n");
   return 2;
 }
 
@@ -293,6 +353,14 @@ std::string TakeFlag(std::map<std::string, std::string>* flags,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --list-mechanisms is valueless and position-independent; honor it
+  // before flag parsing so `ireduct_tool --list-mechanisms` just works.
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--list-mechanisms") ||
+        !std::strcmp(argv[i], "list-mechanisms")) {
+      return CmdListMechanisms();
+    }
+  }
   if (argc < 2) return Usage();
   std::map<std::string, std::string> flags;
   if (!ParseFlags(argc, argv, 2, &flags)) return 2;
