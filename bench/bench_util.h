@@ -16,6 +16,12 @@
 //                  algorithms/mechanism_registry.h) replacing the default
 //                  Section 6 suite in PaperMechanisms, e.g.
 //                  "ireduct;ireduct:reducer=exact_coupling;dwork".
+//   IREDUCT_THREADS  worker threads for the evaluation layer: fused
+//                  marginal computation shards its dataset pass and
+//                  MeasureOverallError runs its trials concurrently.
+//                  Default 1. Every parallel path is bit-identical to the
+//                  sequential one (see docs/PERFORMANCE.md), so the knob
+//                  only changes wall-clock, never results.
 #ifndef IREDUCT_BENCH_BENCH_UTIL_H_
 #define IREDUCT_BENCH_BENCH_UTIL_H_
 
@@ -25,6 +31,7 @@
 
 #include "algorithms/mechanism_registry.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "data/census_generator.h"
 #include "eval/experiment.h"
 #include "marginals/marginal_workload.h"
@@ -38,6 +45,15 @@ uint64_t RowsFor(CensusKind kind);
 /// Returns (and caches across calls within the process) the synthetic
 /// census dataset for `kind`. Aborts on generation failure.
 const Dataset& GetCensus(CensusKind kind);
+
+/// Content fingerprint of GetCensus(kind), computed once per process —
+/// the MarginalCache key for the shared datasets.
+uint64_t GetCensusFingerprint(CensusKind kind);
+
+/// Shared worker pool sized by IREDUCT_THREADS, or nullptr when the knob
+/// is 1/unset. Passed to the fused marginal evaluator by the setup
+/// builders; usable by any bench needing evaluation-layer parallelism.
+ThreadPool* EvalPool();
 
 /// Builds the all-k-way marginal workload over the cached dataset.
 MarginalWorkload BuildKWayWorkload(CensusKind kind, int k);

@@ -8,6 +8,7 @@
 #include "algorithms/selection.h"
 #include "algorithms/wavelet.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "data/census_generator.h"
 #include "dp/incremental_sensitivity.h"
 #include "dp/laplace_coupling.h"
@@ -15,6 +16,8 @@
 #include "dp/workload.h"
 #include "marginals/marginal.h"
 #include "marginals/consistency.h"
+#include "marginals/marginal_evaluator.h"
+#include "marginals/marginal_set.h"
 #include "marginals/marginal_workload.h"
 
 namespace {
@@ -88,6 +91,58 @@ void BM_MarginalCompute(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * dataset->num_rows());
 }
 BENCHMARK(BM_MarginalCompute)->Arg(1)->Arg(2);
+
+// Evaluation-layer baseline feeding BENCH_EVAL.json (bench/eval_scaling):
+// all k-way marginals over 100k census rows, per-marginal scans vs the
+// fused single-pass evaluator at 1 and N threads. Outputs are
+// bit-identical across all four variants (enforced by
+// marginal_evaluator_test.cc); these benches measure only the cost gap.
+
+// One Marginal::Compute dataset scan per spec — the historical path.
+void BM_MarginalSetPerMarginal(benchmark::State& state) {
+  static const Dataset* dataset = [] {
+    CensusConfig c;
+    c.rows = 100'000;
+    return new Dataset(std::move(*GenerateCensus(c)));
+  }();
+  const int arity = static_cast<int>(state.range(0));
+  const auto specs = AllKWaySpecs(dataset->schema(), arity);
+  for (auto _ : state) {
+    for (const MarginalSpec& spec : *specs) {
+      auto marginal = Marginal::Compute(*dataset, spec);
+      benchmark::DoNotOptimize(marginal);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * dataset->num_rows() *
+                          specs->size());
+}
+BENCHMARK(BM_MarginalSetPerMarginal)->Arg(1)->Arg(2);
+
+// Fused single pass; threads = state.range(1) (1 = no pool).
+void BM_MarginalSetFused(benchmark::State& state) {
+  static const Dataset* dataset = [] {
+    CensusConfig c;
+    c.rows = 100'000;
+    return new Dataset(std::move(*GenerateCensus(c)));
+  }();
+  const int arity = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const auto specs = AllKWaySpecs(dataset->schema(), arity);
+  auto evaluator = MarginalSetEvaluator::Create(dataset->schema(), *specs);
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    auto marginals =
+        evaluator->Compute(*dataset, {}, threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(marginals);
+  }
+  state.SetItemsProcessed(state.iterations() * dataset->num_rows() *
+                          specs->size());
+}
+BENCHMARK(BM_MarginalSetFused)
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Args({2, 1})
+    ->Args({2, 8});
 
 void BM_GeneralizedSensitivity(benchmark::State& state) {
   const size_t groups = static_cast<size_t>(state.range(0));

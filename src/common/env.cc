@@ -1,0 +1,20 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace ireduct {
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed <= 0) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+int EnvThreads() {
+  return static_cast<int>(EnvInt64("IREDUCT_THREADS", 1));
+}
+
+}  // namespace ireduct

@@ -52,16 +52,47 @@ Result<std::vector<uint8_t>> Dataset::FoldAssignment(int k,
 }
 
 Dataset Dataset::Select(std::span<const uint32_t> rows) const {
+  // Source values are already schema-validated, so gather column-wise into
+  // presized columns — no per-row AppendRow revalidation or push_back
+  // growth checks on this hot path.
+  for (uint32_t r : rows) {
+    IREDUCT_DCHECK(r < num_rows_);
+    (void)r;
+  }
   Dataset subset(schema_);
-  subset.Reserve(rows.size());
   for (size_t c = 0; c < columns_.size(); ++c) {
-    for (uint32_t r : rows) {
-      IREDUCT_DCHECK(r < num_rows_);
-      subset.columns_[c].push_back(columns_[c][r]);
-    }
+    const uint16_t* src = columns_[c].data();
+    std::vector<uint16_t>& dst = subset.columns_[c];
+    dst.resize(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) dst[i] = src[rows[i]];
   }
   subset.num_rows_ = rows.size();
   return subset;
+}
+
+uint64_t Dataset::Fingerprint() const {
+  // FNV-1a 64 over the schema shape and the column-major value stream.
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t h = kOffset;
+  const auto mix = [&h](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  mix(num_rows_);
+  mix(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    mix(schema_.attribute(c).domain_size);
+    for (uint16_t v : columns_[c]) {
+      h ^= v & 0xff;
+      h *= kPrime;
+      h ^= v >> 8;
+      h *= kPrime;
+    }
+  }
+  return h;
 }
 
 }  // namespace ireduct

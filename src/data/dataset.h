@@ -46,6 +46,13 @@ class Dataset {
   /// Materializes the subset of rows with the given indices.
   Dataset Select(std::span<const uint32_t> rows) const;
 
+  /// 64-bit content fingerprint over the schema shape and every value
+  /// (FNV-1a). Two datasets with equal fingerprints hold equal data for
+  /// any practical purpose — MarginalCache keys on this. Costs one full
+  /// scan; callers caching per-dataset results should also cache the
+  /// fingerprint.
+  uint64_t Fingerprint() const;
+
  private:
   Schema schema_;
   size_t num_rows_ = 0;

@@ -1,33 +1,45 @@
 #include "eval/experiment.h"
 
 #include <cmath>
-#include <cstdlib>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace ireduct {
 
 TrialAggregate RunTrials(int trials, uint64_t base_seed,
-                         const std::function<double(uint64_t)>& trial) {
+                         const std::function<double(uint64_t)>& trial,
+                         const TrialOptions& options) {
   IREDUCT_CHECK(trials >= 1);
-  std::vector<double> values;
-  values.reserve(trials);
-  for (int t = 0; t < trials; ++t) {
-    // Well-spread per-trial seeds (golden-ratio increments).
-    values.push_back(trial(base_seed + 0x9e3779b97f4a7c15ULL * (t + 1)));
+  // Well-spread per-trial seeds (golden-ratio increments), derived the
+  // same way on the sequential and parallel paths.
+  const auto seed_for = [base_seed](int t) {
+    return base_seed + 0x9e3779b97f4a7c15ULL * (t + 1);
+  };
+  int num_threads =
+      options.num_threads > 0 ? options.num_threads : EnvThreads();
+  if (num_threads > trials) num_threads = trials;
+
+  std::vector<double> values(trials);
+  if (num_threads <= 1) {
+    for (int t = 0; t < trials; ++t) values[t] = trial(seed_for(t));
+  } else {
+    // Trials land in `values` at their seed index, so the summary below
+    // sees the sequential ordering no matter how the pool schedules them.
+    IREDUCT_METRIC_COUNT("eval.parallel_trial_batches", 1);
+    ThreadPool pool(num_threads);
+    for (int t = 0; t < trials; ++t) {
+      pool.Submit([&values, &trial, &seed_for, t] {
+        values[t] = trial(seed_for(t));
+      });
+    }
+    pool.Wait();
   }
+  IREDUCT_METRIC_COUNT("eval.trials_run", trials);
   const SampleSummary s = Summarize(values);
   return TrialAggregate{s.mean, std::sqrt(s.variance), trials};
-}
-
-int64_t EnvInt64(const char* name, int64_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(raw, &end, 10);
-  if (end == raw || *end != '\0' || parsed <= 0) return fallback;
-  return static_cast<int64_t>(parsed);
 }
 
 }  // namespace ireduct

@@ -1,6 +1,7 @@
 // Repeated-trial experiment runner. The paper reports the mean overall
 // error over 10 runs of each algorithm per configuration (Section 6.1);
-// this helper runs a seeded trial function and aggregates.
+// this helper runs a seeded trial function and aggregates — sequentially
+// or on a thread pool, with bit-identical aggregates either way.
 #ifndef IREDUCT_EVAL_EXPERIMENT_H_
 #define IREDUCT_EVAL_EXPERIMENT_H_
 
@@ -8,6 +9,7 @@
 #include <functional>
 #include <string>
 
+#include "common/env.h"  // EnvInt64 moved here; kept included for callers
 #include "eval/stats.h"
 
 namespace ireduct {
@@ -19,14 +21,26 @@ struct TrialAggregate {
   int trials = 0;
 };
 
+/// Execution options for RunTrials.
+struct TrialOptions {
+  /// Worker threads for running trials concurrently. 0 (the default)
+  /// reads the IREDUCT_THREADS environment knob (fallback 1); 1 runs
+  /// trials sequentially on the caller's thread.
+  ///
+  /// Per-trial seeds are derived identically on every path and each
+  /// trial's measurement is stored at its seed index before aggregation,
+  /// so mean/stddev are bit-identical at any thread count. With more
+  /// than one thread the trial function must be safe to call
+  /// concurrently (trials seeded through their own BitGen and reading
+  /// shared state const-only qualify).
+  int num_threads = 0;
+};
+
 /// Runs `trial(seed)` for `trials` distinct seeds derived from `base_seed`
 /// and summarizes the returned measurements. Requires trials >= 1.
 TrialAggregate RunTrials(int trials, uint64_t base_seed,
-                         const std::function<double(uint64_t)>& trial);
-
-/// Reads a positive integer environment variable, or returns `fallback` if
-/// unset/invalid. Benches use this for TRIALS, CENSUS_ROWS, IREDUCT_STEPS.
-int64_t EnvInt64(const char* name, int64_t fallback);
+                         const std::function<double(uint64_t)>& trial,
+                         const TrialOptions& options = {});
 
 }  // namespace ireduct
 

@@ -1,0 +1,72 @@
+#include "marginals/marginal_cache.h"
+
+#include "marginals/marginal_evaluator.h"
+#include "obs/metrics.h"
+
+namespace ireduct {
+
+MarginalCache& MarginalCache::Global() {
+  static MarginalCache* cache = new MarginalCache();
+  return *cache;
+}
+
+Result<std::vector<Marginal>> MarginalCache::GetOrCompute(
+    const Dataset& dataset, std::span<const MarginalSpec> specs,
+    ThreadPool* pool) {
+  return GetOrCompute(dataset.Fingerprint(), dataset, specs, pool);
+}
+
+Result<std::vector<Marginal>> MarginalCache::GetOrCompute(
+    uint64_t fingerprint, const Dataset& dataset,
+    std::span<const MarginalSpec> specs, ThreadPool* pool) {
+  std::vector<std::shared_ptr<const Marginal>> found(specs.size());
+  std::vector<MarginalSpec> missing;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const auto it =
+          entries_.find(Key{fingerprint, specs[i].attributes});
+      if (it != entries_.end()) found[i] = it->second;
+    }
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (found[i] == nullptr) missing.push_back(specs[i]);
+  }
+  IREDUCT_METRIC_COUNT("marginals.cache_hits", specs.size() - missing.size());
+  IREDUCT_METRIC_COUNT("marginals.cache_misses", missing.size());
+
+  if (!missing.empty()) {
+    // Compute outside the lock: a concurrent miss on the same key at worst
+    // duplicates work, and both computations insert identical tables.
+    IREDUCT_ASSIGN_OR_RETURN(
+        MarginalSetEvaluator evaluator,
+        MarginalSetEvaluator::Create(dataset.schema(), std::move(missing)));
+    IREDUCT_ASSIGN_OR_RETURN(std::vector<Marginal> computed,
+                             evaluator.Compute(dataset, {}, pool));
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t c = 0;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (found[i] != nullptr) continue;
+      auto entry = std::make_shared<const Marginal>(std::move(computed[c++]));
+      entries_.insert_or_assign(Key{fingerprint, specs[i].attributes}, entry);
+      found[i] = std::move(entry);
+    }
+  }
+
+  std::vector<Marginal> result;
+  result.reserve(specs.size());
+  for (const auto& entry : found) result.push_back(*entry);
+  return result;
+}
+
+size_t MarginalCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void MarginalCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace ireduct

@@ -1,0 +1,76 @@
+// Process-wide cache of true marginal tables.
+//
+// The figure benches sweep mechanisms × epsilons × trials over the same
+// census datasets, and every sweep point needs the same true marginals —
+// historically recomputed from scratch per CensusSetup. MarginalCache
+// memoizes computed tables keyed by (dataset fingerprint, spec), so the
+// tables for a given dataset are derived once per process and every later
+// request is a copy.
+//
+// Missing specs of one request are computed together in a single fused
+// MarginalSetEvaluator pass (optionally sharded on a ThreadPool), so even
+// the cold path beats a per-marginal scan loop. Cached tables are
+// bit-identical to Marginal::Compute: the fused pass has an exact parity
+// guarantee, and the cache only ever stores what that pass produced.
+#ifndef IREDUCT_MARGINALS_MARGINAL_CACHE_H_
+#define IREDUCT_MARGINALS_MARGINAL_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "marginals/marginal.h"
+
+namespace ireduct {
+
+/// Thread-safe memo of computed marginals. Entries live for the cache's
+/// lifetime (no eviction — the evaluation workloads touch a handful of
+/// datasets); Clear() drops everything.
+class MarginalCache {
+ public:
+  /// The shared process-wide instance the benches use.
+  static MarginalCache& Global();
+
+  /// Returns the marginals for `specs` over `dataset`, in spec order —
+  /// cached copies where available, otherwise computed in one fused pass
+  /// (sharded on `pool` when non-null) and cached. Fingerprints the
+  /// dataset internally; prefer the explicit-fingerprint overload when
+  /// calling repeatedly for one dataset.
+  Result<std::vector<Marginal>> GetOrCompute(
+      const Dataset& dataset, std::span<const MarginalSpec> specs,
+      ThreadPool* pool = nullptr);
+
+  /// Same, with the caller-supplied `fingerprint` standing in for
+  /// Dataset::Fingerprint() (which costs a full data scan).
+  Result<std::vector<Marginal>> GetOrCompute(
+      uint64_t fingerprint, const Dataset& dataset,
+      std::span<const MarginalSpec> specs, ThreadPool* pool = nullptr);
+
+  /// Number of cached marginal tables.
+  size_t size() const;
+
+  /// Drops every entry.
+  void Clear();
+
+  MarginalCache() = default;
+  MarginalCache(const MarginalCache&) = delete;
+  MarginalCache& operator=(const MarginalCache&) = delete;
+
+ private:
+  // (fingerprint, spec attributes) → computed table. Marginals are stored
+  // behind shared_ptr so lookups can copy the table outside the lock.
+  using Key = std::pair<uint64_t, std::vector<uint32_t>>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const Marginal>> entries_;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_MARGINALS_MARGINAL_CACHE_H_

@@ -1,0 +1,278 @@
+#include "marginals/marginal_evaluator.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace ireduct {
+
+namespace {
+
+// Mirrors the per-spec validation of Marginal::Compute so the fused path
+// rejects exactly what the per-marginal path rejects.
+Status ValidateSpec(const MarginalSpec& spec, size_t num_attributes) {
+  if (spec.attributes.empty()) {
+    return Status::InvalidArgument("marginal spec needs >= 1 attribute");
+  }
+  std::unordered_set<uint32_t> seen;
+  for (uint32_t a : spec.attributes) {
+    if (a >= num_attributes) {
+      return Status::OutOfRange("attribute index out of range");
+    }
+    if (!seen.insert(a).second) {
+      return Status::InvalidArgument("duplicate attribute in marginal spec");
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> CellCount(const std::vector<uint32_t>& domain_sizes) {
+  size_t cells = 1;
+  for (uint32_t ds : domain_sizes) {
+    if (ds == 0) return Status::InvalidArgument("zero domain size");
+    if (cells > (static_cast<size_t>(1) << 40) / ds) {
+      return Status::InvalidArgument("marginal domain too large");
+    }
+    cells *= ds;
+  }
+  return cells;
+}
+
+}  // namespace
+
+Result<MarginalSetEvaluator> MarginalSetEvaluator::Create(
+    const Schema& schema, std::vector<MarginalSpec> specs) {
+  MarginalSetEvaluator evaluator;
+  evaluator.num_schema_attributes_ = schema.num_attributes();
+
+  // Sorted union of every referenced attribute; one load per row each.
+  std::vector<uint32_t> columns;
+  for (const MarginalSpec& spec : specs) {
+    IREDUCT_RETURN_NOT_OK(ValidateSpec(spec, schema.num_attributes()));
+    columns.insert(columns.end(), spec.attributes.begin(),
+                   spec.attributes.end());
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  evaluator.columns_ = std::move(columns);
+
+  size_t offset = 0;
+  evaluator.plans_.reserve(specs.size());
+  for (MarginalSpec& spec : specs) {
+    SpecPlan plan;
+    plan.domain_sizes.reserve(spec.attributes.size());
+    for (uint32_t a : spec.attributes) {
+      plan.domain_sizes.push_back(schema.attribute(a).domain_size);
+    }
+    IREDUCT_ASSIGN_OR_RETURN(plan.cells, CellCount(plan.domain_sizes));
+    // Row-major strides, first attribute varying slowest — identical cell
+    // order to Marginal.
+    std::vector<size_t> strides(spec.attributes.size());
+    size_t stride = 1;
+    for (size_t i = spec.attributes.size(); i-- > 0;) {
+      strides[i] = stride;
+      stride *= plan.domain_sizes[i];
+    }
+    plan.terms.reserve(spec.attributes.size());
+    for (size_t i = 0; i < spec.attributes.size(); ++i) {
+      const auto it = std::lower_bound(evaluator.columns_.begin(),
+                                       evaluator.columns_.end(),
+                                       spec.attributes[i]);
+      plan.terms.emplace_back(
+          static_cast<uint32_t>(it - evaluator.columns_.begin()), strides[i]);
+    }
+    plan.offset = offset;
+    if (offset > (static_cast<size_t>(1) << 42) - plan.cells) {
+      return Status::InvalidArgument("fused marginal table too large");
+    }
+    offset += plan.cells;
+    plan.spec = std::move(spec);
+    evaluator.plans_.push_back(std::move(plan));
+  }
+  evaluator.total_cells_ = offset;
+  return evaluator;
+}
+
+void MarginalSetEvaluator::CountShard(const Dataset& dataset,
+                                      std::span<const uint32_t> rows,
+                                      size_t begin, size_t end,
+                                      uint32_t* counts) const {
+  // Raw column pointers for the referenced attributes only.
+  std::vector<const uint16_t*> cols;
+  cols.reserve(columns_.size());
+  for (uint32_t c : columns_) cols.push_back(dataset.column(c).data());
+  const uint32_t* row_idx = rows.empty() ? nullptr : rows.data();
+
+  // Plan-major with same-arity plans processed two at a time. Census data
+  // is Zipf-skewed, so consecutive rows keep hitting the same hot cells and
+  // each ++table[cell] stalls on the store of the previous one; running two
+  // plans' tables in one loop gives the core two independent increment
+  // chains to overlap — something the per-marginal path cannot do. The
+  // 1- and 2-attribute loops (every spec of the paper's tasks) are
+  // specialized to keep them tight; cell totals are integers, so the
+  // interleaving cannot change any count.
+  size_t p = 0;
+  while (p < plans_.size()) {
+    const SpecPlan& a = plans_[p];
+    const size_t arity = a.terms.size();
+    const bool paired = (arity == 1 || arity == 2) && p + 1 < plans_.size() &&
+                        plans_[p + 1].terms.size() == arity;
+    uint32_t* const ta = counts + a.offset;
+    if (paired && arity == 1) {
+      const SpecPlan& b = plans_[p + 1];
+      uint32_t* const tb = counts + b.offset;
+      const uint16_t* const a0 = cols[a.terms[0].first];
+      const uint16_t* const b0 = cols[b.terms[0].first];
+      if (row_idx == nullptr) {
+        for (size_t i = begin; i < end; ++i) {
+          ++ta[a0[i]];
+          ++tb[b0[i]];
+        }
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          const size_t r = row_idx[i];
+          ++ta[a0[r]];
+          ++tb[b0[r]];
+        }
+      }
+      p += 2;
+    } else if (paired && arity == 2) {
+      const SpecPlan& b = plans_[p + 1];
+      uint32_t* const tb = counts + b.offset;
+      const uint16_t* const a0 = cols[a.terms[0].first];
+      const uint16_t* const a1 = cols[a.terms[1].first];
+      const uint16_t* const b0 = cols[b.terms[0].first];
+      const uint16_t* const b1 = cols[b.terms[1].first];
+      const size_t as0 = a.terms[0].second;
+      const size_t bs0 = b.terms[0].second;
+      if (row_idx == nullptr) {
+        for (size_t i = begin; i < end; ++i) {
+          ++ta[as0 * a0[i] + a1[i]];
+          ++tb[bs0 * b0[i] + b1[i]];
+        }
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          const size_t r = row_idx[i];
+          ++ta[as0 * a0[r] + a1[r]];
+          ++tb[bs0 * b0[r] + b1[r]];
+        }
+      }
+      p += 2;
+    } else if (arity == 1) {
+      const uint16_t* const a0 = cols[a.terms[0].first];
+      if (row_idx == nullptr) {
+        for (size_t i = begin; i < end; ++i) ++ta[a0[i]];
+      } else {
+        for (size_t i = begin; i < end; ++i) ++ta[a0[row_idx[i]]];
+      }
+      ++p;
+    } else if (arity == 2) {
+      const uint16_t* const a0 = cols[a.terms[0].first];
+      const uint16_t* const a1 = cols[a.terms[1].first];
+      const size_t as0 = a.terms[0].second;
+      if (row_idx == nullptr) {
+        for (size_t i = begin; i < end; ++i) ++ta[as0 * a0[i] + a1[i]];
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          const size_t r = row_idx[i];
+          ++ta[as0 * a0[r] + a1[r]];
+        }
+      }
+      ++p;
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        const size_t r = row_idx == nullptr ? i : row_idx[i];
+        size_t cell = 0;
+        for (const auto& [col, stride] : a.terms) {
+          cell += stride * cols[col][r];
+        }
+        ++ta[cell];
+      }
+      ++p;
+    }
+  }
+}
+
+Result<std::vector<Marginal>> MarginalSetEvaluator::Compute(
+    const Dataset& dataset, std::span<const uint32_t> rows,
+    ThreadPool* pool) const {
+  if (dataset.schema().num_attributes() < num_schema_attributes_) {
+    return Status::InvalidArgument(
+        "dataset has fewer attributes than the evaluation plan");
+  }
+  for (const SpecPlan& plan : plans_) {
+    for (size_t i = 0; i < plan.spec.attributes.size(); ++i) {
+      if (dataset.schema().attribute(plan.spec.attributes[i]).domain_size !=
+          plan.domain_sizes[i]) {
+        return Status::InvalidArgument(
+            "dataset domain sizes do not match the evaluation plan");
+      }
+    }
+  }
+  const size_t n = rows.empty() ? dataset.num_rows() : rows.size();
+  for (uint32_t r : rows) {
+    if (r >= dataset.num_rows()) {
+      return Status::OutOfRange("row index out of range");
+    }
+  }
+
+  IREDUCT_SCOPED_TIMER(fused_timer, "marginals.fused_seconds");
+  IREDUCT_METRIC_COUNT("marginals.fused_passes", 1);
+  IREDUCT_METRIC_COUNT("marginals.fused_rows", n);
+
+  // One shard per worker, but never shards so small that the per-shard
+  // accumulator allocation dominates. Shard *count* only affects
+  // wall-clock: cell counts are integers, so merging shard blocks in any
+  // grouping yields the same totals and the final double tables are
+  // bit-identical to the sequential pass.
+  size_t num_shards = 1;
+  if (pool != nullptr && pool->num_threads() > 1) {
+    constexpr size_t kMinRowsPerShard = 1024;
+    num_shards = std::min<size_t>(pool->num_threads(),
+                                  std::max<size_t>(1, n / kMinRowsPerShard));
+  }
+
+  std::vector<uint64_t> totals(total_cells_, 0);
+  if (num_shards <= 1) {
+    std::vector<uint32_t> counts(total_cells_, 0);
+    CountShard(dataset, rows, 0, n, counts.data());
+    for (size_t c = 0; c < total_cells_; ++c) totals[c] = counts[c];
+  } else {
+    std::vector<std::vector<uint32_t>> shard_counts(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t begin = n * s / num_shards;
+      const size_t end = n * (s + 1) / num_shards;
+      pool->Submit([this, &dataset, rows, begin, end, &shard_counts, s] {
+        shard_counts[s].assign(total_cells_, 0);
+        CountShard(dataset, rows, begin, end, shard_counts[s].data());
+      });
+    }
+    pool->Wait();
+    // Fixed shard order; with integer counts any order gives the same sum.
+    for (size_t s = 0; s < num_shards; ++s) {
+      const uint32_t* src = shard_counts[s].data();
+      for (size_t c = 0; c < total_cells_; ++c) totals[c] += src[c];
+    }
+  }
+
+  std::vector<Marginal> marginals;
+  marginals.reserve(plans_.size());
+  for (const SpecPlan& plan : plans_) {
+    std::vector<double> counts(plan.cells);
+    for (size_t c = 0; c < plan.cells; ++c) {
+      // Integer-valued, < 2^53: exactly the double the sequential += 1.0
+      // accumulation of Marginal::Compute produces.
+      counts[c] = static_cast<double>(totals[plan.offset + c]);
+    }
+    IREDUCT_ASSIGN_OR_RETURN(
+        Marginal m, Marginal::FromCounts(plan.spec, plan.domain_sizes,
+                                         std::move(counts)));
+    marginals.push_back(std::move(m));
+  }
+  return marginals;
+}
+
+}  // namespace ireduct

@@ -86,5 +86,57 @@ TEST(DatasetTest, SelectMaterializesSubset) {
   EXPECT_EQ(sub.value(2, 0), 1);  // original row 3
 }
 
+// The column-wise gather fast path must match a row-by-row AppendRow
+// rebuild exactly (duplicates and arbitrary order included).
+TEST(DatasetTest, SelectMatchesAppendRowReference) {
+  const Dataset d = MakeDataset();
+  const std::vector<uint32_t> rows{3, 3, 0, 5, 1, 0};
+  const Dataset sub = d.Select(rows);
+
+  Dataset reference(d.schema());
+  for (uint32_t r : rows) {
+    std::vector<uint16_t> row(d.num_columns());
+    for (size_t c = 0; c < d.num_columns(); ++c) row[c] = d.value(r, c);
+    ASSERT_TRUE(reference.AppendRow(row).ok());
+  }
+  ASSERT_EQ(sub.num_rows(), reference.num_rows());
+  for (size_t c = 0; c < d.num_columns(); ++c) {
+    for (size_t r = 0; r < sub.num_rows(); ++r) {
+      EXPECT_EQ(sub.value(r, c), reference.value(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+  EXPECT_EQ(sub.Fingerprint(), reference.Fingerprint());
+}
+
+TEST(DatasetTest, SelectOfNothingIsEmpty) {
+  const Dataset d = MakeDataset();
+  const Dataset sub = d.Select({});
+  EXPECT_EQ(sub.num_rows(), 0u);
+  EXPECT_EQ(sub.num_columns(), d.num_columns());
+}
+
+TEST(DatasetTest, FingerprintIsStableAndContentSensitive) {
+  const Dataset a = MakeDataset();
+  const Dataset b = MakeDataset();
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  Dataset c = MakeDataset();
+  const std::array<uint16_t, 2> row{1, 1};
+  ASSERT_TRUE(c.AppendRow(row).ok());
+  EXPECT_NE(c.Fingerprint(), a.Fingerprint());
+
+  // Same multiset of rows in a different order is different content.
+  const std::vector<uint32_t> reversed{5, 4, 3, 2, 1, 0};
+  EXPECT_NE(a.Select(reversed).Fingerprint(), a.Fingerprint());
+
+  // Empty datasets over different schemas differ too.
+  auto s1 = Schema::Create({{"A", 3}});
+  auto s2 = Schema::Create({{"A", 4}});
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_NE(Dataset(std::move(s1).value()).Fingerprint(),
+            Dataset(std::move(s2).value()).Fingerprint());
+}
+
 }  // namespace
 }  // namespace ireduct

@@ -4,7 +4,10 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
 #include <set>
+
+#include "common/random.h"
 
 namespace ireduct {
 namespace {
@@ -32,6 +35,76 @@ TEST(ExperimentTest, SeedsAreDistinctAndDeterministic) {
   });
   EXPECT_EQ(seeds_a.size(), 8u);
   EXPECT_EQ(seeds_a, seeds_b);
+}
+
+// A deterministic, thread-safe trial: a few PRNG draws folded together,
+// so any scheduling difference in a parallel run would be visible.
+double SyntheticTrial(uint64_t seed) {
+  BitGen gen(seed);
+  double v = 0;
+  for (int i = 0; i < 16; ++i) v += gen.Laplace(1.0 + i);
+  return v;
+}
+
+TEST(ExperimentTest, ParallelAggregateIsBitIdenticalToSequential) {
+  for (const uint64_t base_seed : {1ull, 42ull, 1000ull}) {
+    TrialOptions sequential;
+    sequential.num_threads = 1;
+    const TrialAggregate ref =
+        RunTrials(9, base_seed, SyntheticTrial, sequential);
+    for (const int threads : {2, 8}) {
+      TrialOptions parallel;
+      parallel.num_threads = threads;
+      const TrialAggregate agg =
+          RunTrials(9, base_seed, SyntheticTrial, parallel);
+      EXPECT_EQ(agg.mean, ref.mean)
+          << "base_seed " << base_seed << " threads " << threads;
+      EXPECT_EQ(agg.stddev, ref.stddev)
+          << "base_seed " << base_seed << " threads " << threads;
+      EXPECT_EQ(agg.trials, ref.trials);
+    }
+  }
+}
+
+TEST(ExperimentTest, ParallelSeedsMatchSequentialSeeds) {
+  std::set<uint64_t> sequential_seeds;
+  TrialOptions opts;
+  opts.num_threads = 1;
+  RunTrials(8, 42, [&](uint64_t s) {
+    sequential_seeds.insert(s);
+    return 0.0;
+  }, opts);
+  std::mutex mu;
+  std::set<uint64_t> parallel_seeds;
+  opts.num_threads = 4;
+  RunTrials(8, 42, [&](uint64_t s) {
+    std::lock_guard<std::mutex> lock(mu);
+    parallel_seeds.insert(s);
+    return 0.0;
+  }, opts);
+  EXPECT_EQ(parallel_seeds, sequential_seeds);
+}
+
+TEST(ExperimentTest, ThreadsEnvKnobIsHonored) {
+  TrialOptions sequential;
+  sequential.num_threads = 1;
+  const TrialAggregate ref = RunTrials(5, 7, SyntheticTrial, sequential);
+  setenv("IREDUCT_THREADS", "4", 1);
+  const TrialAggregate agg = RunTrials(5, 7, SyntheticTrial);
+  unsetenv("IREDUCT_THREADS");
+  EXPECT_EQ(agg.mean, ref.mean);
+  EXPECT_EQ(agg.stddev, ref.stddev);
+}
+
+TEST(ExperimentTest, MoreThreadsThanTrialsIsFine) {
+  TrialOptions opts;
+  opts.num_threads = 16;
+  const TrialAggregate agg = RunTrials(2, 3, SyntheticTrial, opts);
+  TrialOptions sequential;
+  sequential.num_threads = 1;
+  const TrialAggregate ref = RunTrials(2, 3, SyntheticTrial, sequential);
+  EXPECT_EQ(agg.mean, ref.mean);
+  EXPECT_EQ(agg.stddev, ref.stddev);
 }
 
 TEST(ExperimentTest, EnvInt64FallsBackWhenUnsetOrInvalid) {

@@ -1,0 +1,136 @@
+#include "marginals/marginal_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "marginals/marginal_set.h"
+
+namespace ireduct {
+namespace {
+
+Dataset RandomDataset(uint64_t seed, size_t rows) {
+  auto schema = Schema::Create({{"A", 4}, {"B", 3}, {"C", 5}});
+  EXPECT_TRUE(schema.ok());
+  Dataset d(std::move(schema).value());
+  BitGen gen(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    const std::array<uint16_t, 3> row{
+        static_cast<uint16_t>(gen.UniformInt(4)),
+        static_cast<uint16_t>(gen.UniformInt(3)),
+        static_cast<uint16_t>(gen.UniformInt(5))};
+    EXPECT_TRUE(d.AppendRow(row).ok());
+  }
+  return d;
+}
+
+void ExpectBitIdentical(const std::vector<Marginal>& got,
+                        const std::vector<Marginal>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].num_cells(), want[i].num_cells());
+    EXPECT_EQ(std::memcmp(got[i].counts().data(), want[i].counts().data(),
+                          got[i].num_cells() * sizeof(double)),
+              0);
+  }
+}
+
+TEST(MarginalCacheTest, CachedResultsMatchDirectComputation) {
+  MarginalCache cache;
+  const Dataset d = RandomDataset(3, 1000);
+  auto specs = AllKWaySpecs(d.schema(), 2);
+  ASSERT_TRUE(specs.ok());
+  auto direct = ComputeMarginals(d, *specs);
+  ASSERT_TRUE(direct.ok());
+
+  auto cold = cache.GetOrCompute(d, *specs);
+  ASSERT_TRUE(cold.ok());
+  ExpectBitIdentical(*cold, *direct);
+  EXPECT_EQ(cache.size(), specs->size());
+
+  auto warm = cache.GetOrCompute(d, *specs);
+  ASSERT_TRUE(warm.ok());
+  ExpectBitIdentical(*warm, *direct);
+  EXPECT_EQ(cache.size(), specs->size());
+}
+
+TEST(MarginalCacheTest, PartialHitsComputeOnlyMissingSpecs) {
+  MarginalCache cache;
+  const Dataset d = RandomDataset(5, 500);
+  const std::vector<MarginalSpec> first{MarginalSpec{{0}},
+                                        MarginalSpec{{0, 1}}};
+  ASSERT_TRUE(cache.GetOrCompute(d, first).ok());
+  EXPECT_EQ(cache.size(), 2u);
+
+  const std::vector<MarginalSpec> second{
+      MarginalSpec{{0, 1}}, MarginalSpec{{2}}, MarginalSpec{{1, 2}}};
+  auto got = cache.GetOrCompute(d, second);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(cache.size(), 4u);
+  auto direct = ComputeMarginals(d, second);
+  ASSERT_TRUE(direct.ok());
+  ExpectBitIdentical(*got, *direct);
+}
+
+TEST(MarginalCacheTest, DistinguishesDatasetsByFingerprint) {
+  MarginalCache cache;
+  Dataset a = RandomDataset(1, 300);
+  const Dataset b = RandomDataset(2, 300);
+  ASSERT_NE(a.Fingerprint(), b.Fingerprint());
+  const std::vector<MarginalSpec> specs{MarginalSpec{{0, 2}}};
+
+  auto from_a = cache.GetOrCompute(a, specs);
+  auto from_b = cache.GetOrCompute(b, specs);
+  ASSERT_TRUE(from_a.ok() && from_b.ok());
+  EXPECT_EQ(cache.size(), 2u);
+  auto direct_b = ComputeMarginals(b, specs);
+  ASSERT_TRUE(direct_b.ok());
+  ExpectBitIdentical(*from_b, *direct_b);
+
+  // Appending a row changes the fingerprint, so the stale entry can
+  // never be served for the grown dataset.
+  const uint64_t before = a.Fingerprint();
+  const std::array<uint16_t, 3> row{0, 0, 0};
+  ASSERT_TRUE(a.AppendRow(row).ok());
+  EXPECT_NE(a.Fingerprint(), before);
+  auto regrown = cache.GetOrCompute(a, specs);
+  ASSERT_TRUE(regrown.ok());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ((*regrown)[0].Total(), 301.0);
+}
+
+TEST(MarginalCacheTest, PooledComputationIsBitIdentical) {
+  MarginalCache cache;
+  ThreadPool pool(8);
+  const Dataset d = RandomDataset(9, 4000);
+  auto specs = AllKWaySpecs(d.schema(), 2);
+  ASSERT_TRUE(specs.ok());
+  auto pooled = cache.GetOrCompute(d, *specs, &pool);
+  ASSERT_TRUE(pooled.ok());
+  auto direct = ComputeMarginals(d, *specs);
+  ASSERT_TRUE(direct.ok());
+  ExpectBitIdentical(*pooled, *direct);
+}
+
+TEST(MarginalCacheTest, ClearDropsEntries) {
+  MarginalCache cache;
+  const Dataset d = RandomDataset(4, 100);
+  const std::vector<MarginalSpec> specs{MarginalSpec{{1}}};
+  ASSERT_TRUE(cache.GetOrCompute(d, specs).ok());
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(MarginalCacheTest, GlobalInstanceIsShared) {
+  MarginalCache& a = MarginalCache::Global();
+  MarginalCache& b = MarginalCache::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace ireduct

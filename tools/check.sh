@@ -13,6 +13,10 @@
 #                             # asserts --list-mechanisms enumerates the
 #                             # builtin set, and runs two spec-driven
 #                             # marginal releases end-to-end
+#   tools/check.sh threads    # ThreadSanitizer build of the concurrent
+#                             # evaluation paths: thread pool, fused
+#                             # marginal evaluator, marginal cache, and
+#                             # the parallel trial runner
 #
 # Each mode maps to the CMakePresets.json preset of the same name, so the
 # builds land in separate directories and never fight over a cache. The
@@ -24,15 +28,33 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 case "$mode" in
-  default|san|no-tracing|perf|registry) ;;
+  default|san|no-tracing|perf|registry|threads) ;;
   *)
-    echo "usage: tools/check.sh [san|no-tracing|perf|registry]" >&2
+    echo "usage: tools/check.sh [san|no-tracing|perf|registry|threads]" >&2
     exit 2
     ;;
 esac
 preset="$mode"
 [ "$mode" = san ] && preset=asan-ubsan
 [ "$mode" = perf ] && preset=default
+[ "$mode" = threads ] && preset=tsan
+
+if [ "$mode" = threads ]; then
+  # Only the concurrency-bearing tests; a full TSan suite is far slower
+  # and the sequential code has no threads for TSan to observe. Test
+  # binaries run directly so unbuilt targets can't confuse ctest
+  # discovery. IREDUCT_THREADS forces the pooled paths on.
+  cmake --preset tsan
+  tsan_tests="thread_pool_test marginal_evaluator_test marginal_cache_test \
+              experiment_test ireduct_batch_test"
+  # shellcheck disable=SC2086  # word splitting is the point
+  cmake --build --preset tsan -j "$(nproc)" --target $tsan_tests
+  for t in $tsan_tests; do
+    echo "== TSan: $t =="
+    IREDUCT_THREADS=4 ./build-tsan/tests/"$t"
+  done
+  exit 0
+fi
 
 if [ "$mode" = registry ]; then
   # Spec dispatch must behave identically with tracing compiled out, so the
