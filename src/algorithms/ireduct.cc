@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algorithms/selection.h"
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "dp/incremental_sensitivity.h"
 #include "dp/laplace_coupling.h"
@@ -159,6 +160,32 @@ Result<MechanismOutput> RunIReductNaive(const Workload& workload,
   return out;
 }
 
+// Captures the loop state at a completed-round boundary and delivers it to
+// the sink. epsilon_spent is the exact GS of the current scales via a
+// non-mutating full recompute — calling the tracker's Resync() here would
+// perturb its resync cadence and break bit-identity with uninterrupted
+// runs.
+Status WriteIReductCheckpoint(const Workload& workload, uint64_t fingerprint,
+                              uint64_t round, const MechanismOutput& out,
+                              const std::vector<uint8_t>& active,
+                              const IncrementalSensitivity& gs_tracker,
+                              const BitGen& gen, CheckpointSink& sink) {
+  RunCheckpoint checkpoint;
+  checkpoint.algorithm = "ireduct";
+  checkpoint.workload_fingerprint = fingerprint;
+  checkpoint.round = round;
+  checkpoint.iterations = out.iterations;
+  checkpoint.resample_calls = out.resample_calls;
+  checkpoint.epsilon_spent =
+      workload.GeneralizedSensitivity(out.group_scales);
+  checkpoint.rng_state = gen.SaveState();
+  checkpoint.gs = gs_tracker.Save();
+  checkpoint.answers = out.answers;
+  checkpoint.group_scales = out.group_scales;
+  checkpoint.active = active;
+  return sink.Write(checkpoint);
+}
+
 // One admitted λ move awaiting its NoiseDown round.
 struct AdmittedMove {
   size_t group;
@@ -178,19 +205,41 @@ Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
                                               const IReductParams& params,
                                               BitGen& gen) {
   MechanismOutput out;
-  out.group_scales.assign(workload.num_groups(), params.lambda_max);
-  if (workload.GeneralizedSensitivity(out.group_scales) > params.epsilon) {
-    return Status::PrivacyBudgetExceeded(
-        "GS at lambda_max already exceeds epsilon; no release possible");
+  std::vector<uint8_t> active(workload.num_groups(), 1);
+  const RunCheckpoint* const resume = params.resume;
+  if (resume != nullptr) {
+    IREDUCT_RETURN_NOT_OK(ValidateResume(*resume, "ireduct", workload));
+    // Rehydrate the interrupted loop: answers, scales, mask, counters and
+    // the exact RNG stream position. The initial noise draw already
+    // happened in the interrupted run; re-drawing here would diverge from
+    // it and release different values.
+    out.answers = resume->answers;
+    out.group_scales = resume->group_scales;
+    out.iterations = static_cast<size_t>(resume->iterations);
+    out.resample_calls = static_cast<size_t>(resume->resample_calls);
+    active = resume->active;
+    gen = BitGen::FromState(resume->rng_state);
+  } else {
+    out.group_scales.assign(workload.num_groups(), params.lambda_max);
+    if (workload.GeneralizedSensitivity(out.group_scales) >
+        params.epsilon) {
+      return Status::PrivacyBudgetExceeded(
+          "GS at lambda_max already exceeds epsilon; no release possible");
+    }
+    IREDUCT_ASSIGN_OR_RETURN(out.answers,
+                             LaplaceNoise(workload, out.group_scales, gen));
   }
-  IREDUCT_ASSIGN_OR_RETURN(out.answers,
-                           LaplaceNoise(workload, out.group_scales, gen));
 
   IREDUCT_SCOPED_TIMER(run_timer, "ireduct.run_seconds");
   obs::TraceRecorder* const recorder = obs::TraceRecorder::Get();
-  std::vector<uint8_t> active(workload.num_groups(), 1);
 
   IncrementalSensitivity gs_tracker(workload, out.group_scales);
+  if (resume != nullptr) {
+    // Construction recomputed GS from the restored scales; overwriting the
+    // running totals with the snapshot restores the interrupted tracker's
+    // accumulated Kahan carry and resync phase bit for bit.
+    gs_tracker.Restore(resume->gs);
+  }
   const SelectionRule rule =
       params.objective == IReductObjective::kMaxRelativeError
           ? SelectionRule::kMaxRelativeError
@@ -211,6 +260,9 @@ Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
   std::vector<uint64_t> substream_seeds;
   std::vector<Status> round_status;
   round.reserve(params.batch_size);
+  uint64_t completed_rounds = resume != nullptr ? resume->round : 0;
+  const uint64_t fingerprint =
+      params.checkpoint.enabled() ? FingerprintWorkload(workload) : 0;
   for (;;) {
     const uint64_t round_start_us =
         recorder != nullptr ? recorder->NowMicros() : 0;
@@ -305,6 +357,17 @@ Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
              {"gs_headroom", params.epsilon - mv.gs_after}});
       }
     }
+
+    ++completed_rounds;
+    // Crash-test hook: "ireduct.round" crash@R dies here, after round R's
+    // draws but before any checkpoint of it.
+    FaultInjector::Global().Hit("ireduct.round");
+    if (params.checkpoint.enabled() &&
+        completed_rounds % params.checkpoint.every == 0) {
+      IREDUCT_RETURN_NOT_OK(WriteIReductCheckpoint(
+          workload, fingerprint, completed_rounds, out, active, gs_tracker,
+          gen, *params.checkpoint.sink));
+    }
   }
 
   IREDUCT_METRIC_COUNT("ireduct.heap_repushes", heap.repush_count());
@@ -330,6 +393,11 @@ Result<MechanismOutput> RunIReduct(const Workload& workload,
   const bool custom_hook = static_cast<bool>(pick_group);
   if (!custom_hook && params.engine != IReductEngine::kNaive) {
     return RunIReductIncremental(workload, params, gen);
+  }
+  if (params.checkpoint.enabled() || params.resume != nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint/resume requires the incremental engine (default "
+        "pick_group and engine != kNaive)");
   }
   if (!pick_group) {
     if (params.objective == IReductObjective::kMaxRelativeError) {

@@ -19,6 +19,7 @@
 #include "algorithms/mechanism.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "dp/checkpoint.h"
 #include "dp/workload.h"
 
 namespace ireduct {
@@ -80,6 +81,15 @@ struct IReductParams {
   /// substreams, drawn in admission order from the caller's generator);
   /// values > 1 only change wall-clock time.
   int num_threads = 1;
+  /// Periodic durable checkpoints (incremental engine only; see
+  /// dp/checkpoint.h). Inactive by default.
+  CheckpointOptions checkpoint;
+  /// Resume state from a previously loaded checkpoint (borrowed; must
+  /// outlive the run). The run continues bit-identically to the
+  /// interrupted one: same answers, scales, RNG stream and ε accounting.
+  /// Refused when the checkpoint's algorithm or workload fingerprint does
+  /// not match. Incremental engine only.
+  const RunCheckpoint* resume = nullptr;
 };
 
 /// Override hook for the PickQueries black box (Section 4.3): receives the

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "algorithms/selection.h"
+#include "common/fault.h"
 #include "dp/incremental_sensitivity.h"
 #include "dp/laplace_mechanism.h"
 
@@ -23,6 +24,35 @@ double EffectiveScale(double lambda, double lambda_max) {
 // decisions match the full-recompute loop exactly.
 constexpr double kAdmitGuardRel = 1e-9;
 
+// See WriteIReductCheckpoint in algorithms/ireduct.cc; iResamp additionally
+// carries the raw sample scales and the Equation 16 inverse-variance
+// accumulators, without which a resumed run could not fold fresh samples
+// into the running minimum-variance estimate.
+Status WriteIResampCheckpoint(
+    const Workload& workload, uint64_t fingerprint, uint64_t round,
+    const MechanismOutput& out, const std::vector<double>& effective,
+    const std::vector<double>& nominal, const std::vector<double>& wsum,
+    const std::vector<double>& weight, const std::vector<uint8_t>& active,
+    const IncrementalSensitivity& gs_tracker, const BitGen& gen,
+    CheckpointSink& sink) {
+  RunCheckpoint checkpoint;
+  checkpoint.algorithm = "iresamp";
+  checkpoint.workload_fingerprint = fingerprint;
+  checkpoint.round = round;
+  checkpoint.iterations = out.iterations;
+  checkpoint.resample_calls = out.resample_calls;
+  checkpoint.epsilon_spent = workload.GeneralizedSensitivity(effective);
+  checkpoint.rng_state = gen.SaveState();
+  checkpoint.gs = gs_tracker.Save();
+  checkpoint.answers = out.answers;
+  checkpoint.group_scales = effective;
+  checkpoint.active = active;
+  checkpoint.nominal_scales = nominal;
+  checkpoint.weighted_sum = wsum;
+  checkpoint.weight = weight;
+  return sink.Write(checkpoint);
+}
+
 }  // namespace
 
 Result<MechanismOutput> RunIResamp(const Workload& workload,
@@ -37,28 +67,47 @@ Result<MechanismOutput> RunIResamp(const Workload& workload,
     return Status::InvalidArgument("lambda_max must be positive finite");
   }
 
-  // Lines 1-4: start at λmax (where nominal and effective scales coincide).
+  // Lines 1-4: start at λmax (where nominal and effective scales
+  // coincide) — or rehydrate an interrupted run's state, whose initial
+  // draws already happened and must not be repeated.
   const size_t num_groups = workload.num_groups();
-  std::vector<double> nominal(num_groups, params.lambda_max);
-  std::vector<double> effective(num_groups, params.lambda_max);
-  if (workload.GeneralizedSensitivity(effective) > params.epsilon) {
-    return Status::PrivacyBudgetExceeded(
-        "GS at lambda_max already exceeds epsilon; no release possible");
-  }
-  IREDUCT_ASSIGN_OR_RETURN(std::vector<double> samples,
-                           LaplaceNoise(workload, nominal, gen));
-
-  // Inverse-variance accumulators for Equation 16:
-  //   y* = (Σ_j y_j/λ_j²) / (Σ_j 1/λ_j²).
   const size_t m = workload.num_queries();
-  std::vector<double> weighted_sum(m), weight(m);
+  const RunCheckpoint* const resume = params.resume;
+  std::vector<double> nominal, effective, weighted_sum, weight;
+  std::vector<uint8_t> active(num_groups, 1);
   MechanismOutput out;
-  out.answers.resize(m);
-  const double w0 = 1.0 / (params.lambda_max * params.lambda_max);
-  for (size_t i = 0; i < m; ++i) {
-    weighted_sum[i] = samples[i] * w0;
-    weight[i] = w0;
-    out.answers[i] = samples[i];
+  if (resume != nullptr) {
+    IREDUCT_RETURN_NOT_OK(ValidateResume(*resume, "iresamp", workload));
+    nominal = resume->nominal_scales;
+    effective = resume->group_scales;
+    weighted_sum = resume->weighted_sum;
+    weight = resume->weight;
+    out.answers = resume->answers;
+    out.iterations = static_cast<size_t>(resume->iterations);
+    out.resample_calls = static_cast<size_t>(resume->resample_calls);
+    active = resume->active;
+    gen = BitGen::FromState(resume->rng_state);
+  } else {
+    nominal.assign(num_groups, params.lambda_max);
+    effective.assign(num_groups, params.lambda_max);
+    if (workload.GeneralizedSensitivity(effective) > params.epsilon) {
+      return Status::PrivacyBudgetExceeded(
+          "GS at lambda_max already exceeds epsilon; no release possible");
+    }
+    IREDUCT_ASSIGN_OR_RETURN(std::vector<double> samples,
+                             LaplaceNoise(workload, nominal, gen));
+
+    // Inverse-variance accumulators for Equation 16:
+    //   y* = (Σ_j y_j/λ_j²) / (Σ_j 1/λ_j²).
+    weighted_sum.resize(m);
+    weight.resize(m);
+    out.answers.resize(m);
+    const double w0 = 1.0 / (params.lambda_max * params.lambda_max);
+    for (size_t i = 0; i < m; ++i) {
+      weighted_sum[i] = samples[i] * w0;
+      weight[i] = w0;
+      out.answers[i] = samples[i];
+    }
   }
 
   // Lines 6-21: iterative refinement with fresh independent samples. The
@@ -66,11 +115,14 @@ Result<MechanismOutput> RunIResamp(const Workload& workload,
   // a lazy score heap over the nominal scales (identical pick sequence to
   // the PickGroupIResamp linear scan) and incremental GS accounting over
   // the effective scales.
-  std::vector<uint8_t> active(num_groups, 1);
   IncrementalSensitivity gs_tracker(workload, effective);
+  if (resume != nullptr) gs_tracker.Restore(resume->gs);
   GroupScoreHeap heap(workload, SelectionRule::kIResampRatio, params.delta,
                       /*lambda_delta=*/0);
   heap.Build(out.answers, nominal, active);
+  uint64_t completed_rounds = resume != nullptr ? resume->round : 0;
+  const uint64_t fingerprint =
+      params.checkpoint.enabled() ? FingerprintWorkload(workload) : 0;
   for (;;) {
     const size_t g = heap.PopBest();
     if (g == kNoGroup) break;
@@ -107,6 +159,18 @@ Result<MechanismOutput> RunIResamp(const Workload& workload,
     heap.Update(g, out.answers, nominal);
     out.resample_calls += group.size();
     ++out.iterations;
+
+    ++completed_rounds;
+    // Crash-test hook: "iresamp.round" crash@R dies here, after round R's
+    // draws but before any checkpoint of it.
+    FaultInjector::Global().Hit("iresamp.round");
+    if (params.checkpoint.enabled() &&
+        completed_rounds % params.checkpoint.every == 0) {
+      IREDUCT_RETURN_NOT_OK(WriteIResampCheckpoint(
+          workload, fingerprint, completed_rounds, out, effective, nominal,
+          weighted_sum, weight, active, gs_tracker, gen,
+          *params.checkpoint.sink));
+    }
   }
 
   out.group_scales = std::move(effective);

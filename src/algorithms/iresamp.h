@@ -15,6 +15,7 @@
 #include "algorithms/mechanism.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "dp/checkpoint.h"
 #include "dp/workload.h"
 
 namespace ireduct {
@@ -26,6 +27,14 @@ struct IResampParams {
   double delta = 1.0;
   /// Initial noise scale; the paper uses |T|/10.
   double lambda_max = 1.0;
+  /// Periodic durable checkpoints (see dp/checkpoint.h). Inactive by
+  /// default.
+  CheckpointOptions checkpoint;
+  /// Resume state from a previously loaded checkpoint (borrowed; must
+  /// outlive the run); the run continues bit-identically to the
+  /// interrupted one. Refused when the checkpoint's algorithm or workload
+  /// fingerprint does not match.
+  const RunCheckpoint* resume = nullptr;
 };
 
 /// Runs Figure 12. Returns kPrivacyBudgetExceeded when the all-λmax

@@ -229,6 +229,14 @@ Status Mechanism::ValidateSpec(const MechanismSpec& spec) const {
   return Status::OK();
 }
 
+Result<MechanismOutput> Mechanism::RunResumable(
+    const Workload& workload, const MechanismSpec& spec, BitGen& gen,
+    const ResumableHooks& hooks) const {
+  if (hooks.trivial()) return Run(workload, spec, gen);
+  return Status::InvalidArgument("mechanism '" + Describe().name +
+                                 "' does not support checkpoint/resume");
+}
+
 void Mechanism::SetSpecDefault(MechanismSpec* spec, std::string_view key,
                                double value) const {
   SetSpecDefault(spec, key, std::string_view(obs::FormatDouble(value)));
@@ -430,6 +438,21 @@ class IResampMechanism : public Mechanism {
   Result<MechanismOutput> Run(const Workload& workload,
                               const MechanismSpec& spec,
                               BitGen& gen) const override {
+    IREDUCT_ASSIGN_OR_RETURN(const IResampParams params, BuildParams(spec));
+    return RunIResamp(workload, params, gen);
+  }
+
+  Result<MechanismOutput> RunResumable(
+      const Workload& workload, const MechanismSpec& spec, BitGen& gen,
+      const ResumableHooks& hooks) const override {
+    IREDUCT_ASSIGN_OR_RETURN(IResampParams params, BuildParams(spec));
+    params.checkpoint = hooks.checkpoint;
+    params.resume = hooks.resume;
+    return RunIResamp(workload, params, gen);
+  }
+
+ private:
+  static Result<IResampParams> BuildParams(const MechanismSpec& spec) {
     IResampParams params;
     IREDUCT_ASSIGN_OR_RETURN(params.epsilon,
                              spec.GetDouble("epsilon", params.epsilon));
@@ -437,7 +460,7 @@ class IResampMechanism : public Mechanism {
                              spec.GetDouble("delta", params.delta));
     IREDUCT_ASSIGN_OR_RETURN(params.lambda_max,
                              spec.GetDouble("lambda_max", params.lambda_max));
-    return RunIResamp(workload, params, gen);
+    return params;
   }
 };
 
@@ -477,6 +500,21 @@ class IReductMechanism : public Mechanism {
   Result<MechanismOutput> Run(const Workload& workload,
                               const MechanismSpec& spec,
                               BitGen& gen) const override {
+    IREDUCT_ASSIGN_OR_RETURN(const IReductParams params, BuildParams(spec));
+    return RunIReduct(workload, params, gen);
+  }
+
+  Result<MechanismOutput> RunResumable(
+      const Workload& workload, const MechanismSpec& spec, BitGen& gen,
+      const ResumableHooks& hooks) const override {
+    IREDUCT_ASSIGN_OR_RETURN(IReductParams params, BuildParams(spec));
+    params.checkpoint = hooks.checkpoint;
+    params.resume = hooks.resume;
+    return RunIReduct(workload, params, gen);
+  }
+
+ private:
+  static Result<IReductParams> BuildParams(const MechanismSpec& spec) {
     IReductParams params;
     IREDUCT_ASSIGN_OR_RETURN(params.epsilon,
                              spec.GetDouble("epsilon", params.epsilon));
@@ -543,7 +581,7 @@ class IReductMechanism : public Mechanism {
     }
     params.batch_size = static_cast<size_t>(batch);
     params.num_threads = static_cast<int>(threads);
-    return RunIReduct(workload, params, gen);
+    return params;
   }
 };
 
@@ -705,6 +743,14 @@ Result<MechanismOutput> MechanismRegistry::Run(const Workload& workload,
                                                BitGen& gen) const {
   IREDUCT_ASSIGN_OR_RETURN(MechanismSpec spec, MechanismSpec::Parse(spec_text));
   return Run(workload, spec, gen);
+}
+
+Result<MechanismOutput> MechanismRegistry::RunResumable(
+    const Workload& workload, const MechanismSpec& spec, BitGen& gen,
+    const Mechanism::ResumableHooks& hooks) const {
+  IREDUCT_ASSIGN_OR_RETURN(const Mechanism* mechanism, Get(spec.name()));
+  IREDUCT_RETURN_NOT_OK(mechanism->ValidateSpec(spec));
+  return mechanism->RunResumable(workload, spec, gen, hooks);
 }
 
 }  // namespace ireduct

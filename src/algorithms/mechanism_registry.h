@@ -31,6 +31,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "dp/checkpoint.h"
 #include "dp/workload.h"
 
 namespace ireduct {
@@ -137,6 +138,25 @@ class Mechanism {
                                       const MechanismSpec& spec,
                                       BitGen& gen) const = 0;
 
+  /// Crash-safety hooks threaded into a run (see dp/checkpoint.h). The
+  /// default-constructed value is trivial: no checkpointing, no resume.
+  struct ResumableHooks {
+    CheckpointOptions checkpoint;
+    const RunCheckpoint* resume = nullptr;
+
+    bool trivial() const {
+      return !checkpoint.enabled() && resume == nullptr;
+    }
+  };
+
+  /// Like Run, but with checkpoint/resume hooks. The base implementation
+  /// forwards trivial hooks to Run and refuses non-trivial ones with
+  /// kInvalidArgument; the iterative mechanisms (ireduct, iresamp)
+  /// override it.
+  virtual Result<MechanismOutput> RunResumable(
+      const Workload& workload, const MechanismSpec& spec, BitGen& gen,
+      const ResumableHooks& hooks) const;
+
   /// Fills `key` into `spec` only when absent AND declared by this
   /// mechanism — the tool/session/bench layers derive per-workload
   /// defaults (epsilon, delta, lambda_max, ...) without knowing which of
@@ -183,6 +203,11 @@ class MechanismRegistry {
   /// Convenience: parses `spec_text` and runs it.
   Result<MechanismOutput> Run(const Workload& workload,
                               std::string_view spec_text, BitGen& gen) const;
+
+  /// Lookup + ValidateSpec + RunResumable in one call.
+  Result<MechanismOutput> RunResumable(
+      const Workload& workload, const MechanismSpec& spec, BitGen& gen,
+      const Mechanism::ResumableHooks& hooks) const;
 
  private:
   std::vector<std::unique_ptr<Mechanism>> entries_;

@@ -1,0 +1,136 @@
+#include "common/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ireduct {
+
+namespace {
+
+// Parses a non-negative integer; returns false on empty/garbage.
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    if (const char* env = std::getenv("IREDUCT_FAULT");
+        env != nullptr && *env != '\0') {
+      if (Status s = inj->Configure(env); !s.ok()) {
+        // A mistyped spec silently running fault-free would defeat the
+        // whole harness; die loudly instead.
+        std::fprintf(stderr, "IREDUCT_FAULT: %s\n", s.ToString().c_str());
+        std::abort();
+      }
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+Status FaultInjector::Configure(std::string_view spec) {
+  std::vector<Arm> arms;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    const size_t colon = item.rfind(':');
+    const size_t at = item.find('@', colon == std::string_view::npos
+                                         ? 0
+                                         : colon + 1);
+    if (colon == std::string_view::npos || at == std::string_view::npos ||
+        colon == 0 || at <= colon + 1) {
+      return Status::InvalidArgument("fault arm '" + std::string(item) +
+                                     "' is not point:action@n[=m]");
+    }
+    Arm arm;
+    arm.point = std::string(item.substr(0, colon));
+    const std::string_view action = item.substr(colon + 1, at - colon - 1);
+    std::string_view count = item.substr(at + 1);
+    if (action == "fail") {
+      arm.action = FaultAction::kFail;
+    } else if (action == "crash") {
+      arm.action = FaultAction::kCrash;
+    } else if (action == "truncate") {
+      arm.action = FaultAction::kTruncate;
+      const size_t eq = count.find('=');
+      if (eq == std::string_view::npos ||
+          !ParseU64(count.substr(eq + 1), &arm.truncate_bytes)) {
+        return Status::InvalidArgument(
+            "fault arm '" + std::string(item) +
+            "' needs truncate@n=m (m = bytes to keep)");
+      }
+      count = count.substr(0, eq);
+    } else {
+      return Status::InvalidArgument("fault action '" + std::string(action) +
+                                     "' must be fail, truncate or crash");
+    }
+    if (!ParseU64(count, &arm.at_hit) || arm.at_hit == 0) {
+      return Status::InvalidArgument("fault arm '" + std::string(item) +
+                                     "' needs a positive 1-based hit count");
+    }
+    arms.push_back(std::move(arm));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  arms_ = std::move(arms);
+  counters_.clear();
+  armed_ = !arms_.empty();
+  return Status::OK();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  arms_.clear();
+  counters_.clear();
+  armed_ = false;
+}
+
+FaultDecision FaultInjector::Hit(std::string_view point) {
+  if (!armed_) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  Counter* counter = nullptr;
+  for (Counter& c : counters_) {
+    if (c.point == point) {
+      counter = &c;
+      break;
+    }
+  }
+  if (counter == nullptr) {
+    counters_.push_back(Counter{std::string(point), 0});
+    counter = &counters_.back();
+  }
+  ++counter->hits;
+  for (const Arm& arm : arms_) {
+    if (arm.point != point || counter->hits != arm.at_hit) continue;
+    if (arm.action == FaultAction::kCrash) {
+      // SIGKILL stand-in: no destructors, no stream flushing, nothing —
+      // whatever is durable is exactly what fsync already made durable.
+      std::_Exit(kFaultCrashExitCode);
+    }
+    return FaultDecision{arm.action, arm.truncate_bytes};
+  }
+  return {};
+}
+
+uint64_t FaultInjector::hit_count(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Counter& c : counters_) {
+    if (c.point == point) return c.hits;
+  }
+  return 0;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,112 @@
+// Deterministic fault injection for the durability layer.
+//
+// Crash-safety claims (write-ahead ledger journal, checkpoint/resume) are
+// only as good as their torn-write and mid-run-kill coverage, and real
+// crashes are not reproducible. This harness makes them so: a fault spec —
+// from the IREDUCT_FAULT environment variable or set programmatically —
+// arms exactly one deterministic failure at a named *fault point*, and the
+// instrumented code paths (LedgerJournal appends, FileCheckpointSink
+// writes, the iReduct round loop) consult the injector at each hit.
+//
+// Spec grammar (comma-separated arms):
+//   point:action@n          e.g. "journal.append:fail@3"
+//   point:truncate@n=m      truncate the n-th write after m bytes
+//
+// Actions:
+//   fail      the n-th hit reports an injected I/O error (nothing written)
+//   truncate  the n-th write persists only its first m bytes, then errors —
+//             a torn record, exactly what a crash mid-write leaves behind
+//   crash     the n-th hit calls _Exit(86): no destructors, no flushing —
+//             the closest in-process stand-in for SIGKILL
+//
+// Hit counts are per point and 1-based. Unarmed points cost one branch on
+// a usually-false atomic flag.
+#ifndef IREDUCT_COMMON_FAULT_H_
+#define IREDUCT_COMMON_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ireduct {
+
+/// What an armed fault point does when its trigger count is reached.
+enum class FaultAction {
+  kNone,
+  kFail,
+  kTruncate,
+  kCrash,
+};
+
+/// The injector's answer for one hit of a fault point.
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  /// For kTruncate: number of bytes of the write to persist.
+  uint64_t truncate_bytes = 0;
+
+  bool fired() const { return action != FaultAction::kNone; }
+};
+
+/// Process-wide registry of armed faults. Thread-safe; disarmed (the
+/// default and the IREDUCT_FAULT-unset case) it is a single relaxed
+/// atomic load per hit.
+class FaultInjector {
+ public:
+  /// The shared instance. On first use it arms itself from the
+  /// IREDUCT_FAULT environment variable (ignored if unset or empty;
+  /// the process aborts on a malformed spec — a typo'd fault test must
+  /// not silently run fault-free).
+  static FaultInjector& Global();
+
+  /// Replaces the armed spec. Empty disarms. Resets all hit counters.
+  Status Configure(std::string_view spec);
+
+  /// Disarms everything and resets hit counters.
+  void Reset();
+
+  /// Records one hit of `point` and returns the armed action if this hit
+  /// is the configured occurrence. kCrash is executed here (the call
+  /// never returns).
+  FaultDecision Hit(std::string_view point);
+
+  /// Hits recorded for `point` so far.
+  uint64_t hit_count(std::string_view point) const;
+
+  /// True when any arm is configured.
+  bool armed() const { return armed_; }
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  struct Arm {
+    std::string point;
+    FaultAction action = FaultAction::kNone;
+    uint64_t at_hit = 0;          // 1-based trigger occurrence
+    uint64_t truncate_bytes = 0;  // kTruncate only
+  };
+  struct Counter {
+    std::string point;
+    uint64_t hits = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Arm> arms_;
+  std::vector<Counter> counters_;
+  // Written under mu_, read without: a stale false skips at most the hits
+  // racing with Configure, and fault tests are single-threaded by design.
+  volatile bool armed_ = false;
+};
+
+/// Exit code of an injected kCrash (distinguishes injected crashes from
+/// real failures in the crash-matrix harness).
+inline constexpr int kFaultCrashExitCode = 86;
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_COMMON_FAULT_H_

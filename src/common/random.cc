@@ -97,6 +97,18 @@ double BitGen::TruncatedExponential(double mean, double lo, double hi) {
   return std::fmin(std::fmax(x, lo), hi);
 }
 
+std::array<uint64_t, 4> BitGen::SaveState() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+BitGen BitGen::FromState(const std::array<uint64_t, 4>& state) {
+  BitGen gen;
+  for (int i = 0; i < 4; ++i) gen.s_[i] = state[i];
+  // Preserve the all-zero guard of the seeding path.
+  if ((gen.s_[0] | gen.s_[1] | gen.s_[2] | gen.s_[3]) == 0) gen.s_[0] = 1;
+  return gen;
+}
+
 BitGen BitGen::Fork() { return BitGen((*this)()); }
 
 bool BitGen::Bernoulli(double p) {

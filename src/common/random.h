@@ -7,6 +7,7 @@
 #ifndef IREDUCT_COMMON_RANDOM_H_
 #define IREDUCT_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 
 namespace ireduct {
@@ -57,6 +58,14 @@ class BitGen {
 
   /// Bernoulli trial with success probability p (clamped to [0, 1]).
   bool Bernoulli(double p);
+
+  /// Exact engine state, for checkpoint/resume. Restoring via FromState
+  /// continues the stream bit-identically: SaveState followed by any draw
+  /// sequence equals FromState(saved) followed by the same sequence.
+  std::array<uint64_t, 4> SaveState() const;
+
+  /// Reconstructs a generator at a previously saved state.
+  static BitGen FromState(const std::array<uint64_t, 4>& state);
 
   /// Derives a child generator (substream) by drawing one 64-bit value from
   /// this stream and expanding it through the splitmix64 seeding path.

@@ -74,6 +74,31 @@ class IncrementalSensitivity {
   /// The tracked per-group scales.
   std::span<const double> scales() const { return scales_; }
 
+  /// The running totals a checkpoint must carry for a resumed tracker to
+  /// continue bit-identically to the interrupted one: the compensated sum,
+  /// its Kahan carry, and the position in the periodic-resync cycle.
+  struct Snapshot {
+    double value = 0;
+    double compensation = 0;
+    uint64_t commits_since_resync = 0;
+  };
+
+  Snapshot Save() const {
+    return Snapshot{value_, compensation_,
+                    static_cast<uint64_t>(commits_since_resync_)};
+  }
+
+  /// Overwrites the running totals with a saved snapshot. The tracker must
+  /// have been constructed over the checkpoint's scale vector; the restored
+  /// value then matches the interrupted tracker bit for bit (construction
+  /// alone would recompute and lose the accumulated Kahan carry).
+  void Restore(const Snapshot& snapshot) {
+    value_ = snapshot.value;
+    compensation_ = snapshot.compensation;
+    commits_since_resync_ =
+        static_cast<size_t>(snapshot.commits_since_resync);
+  }
+
  private:
   double FullRecompute() const;
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "dp/ledger_journal.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -23,6 +25,30 @@ Result<PrivacyAccountant> PrivacyAccountant::Create(double epsilon_budget) {
   return PrivacyAccountant(epsilon_budget);
 }
 
+Result<PrivacyAccountant> PrivacyAccountant::Restore(
+    double epsilon_budget, std::vector<PrivacyCharge> ledger) {
+  IREDUCT_ASSIGN_OR_RETURN(PrivacyAccountant accountant,
+                           Create(epsilon_budget));
+  for (PrivacyCharge& charge : ledger) {
+    if (!(charge.epsilon > 0) || !std::isfinite(charge.epsilon)) {
+      return Status::InvalidArgument(
+          "recovered charge '" + charge.label +
+          "' has a non-positive or non-finite epsilon");
+    }
+    // Plain left-to-right accumulation, exactly as a sequence of Charge
+    // calls would have summed — the restored `spent` is bit-identical to
+    // the crashed accountant's.
+    accountant.spent_ += charge.epsilon;
+    accountant.ledger_.push_back(std::move(charge));
+  }
+  if (accountant.spent_ > accountant.budget_) {
+    IREDUCT_LOG(kWarn) << "restored ledger spends " << accountant.spent_
+                       << " of budget " << accountant.budget_
+                       << "; all further charges will be refused";
+  }
+  return accountant;
+}
+
 bool PrivacyAccountant::CanAfford(double epsilon) const {
   return spent_ + epsilon <= budget_ * (1 + kRelativeSlack);
 }
@@ -37,6 +63,12 @@ Status PrivacyAccountant::Charge(std::string label, double epsilon) {
     return Status::PrivacyBudgetExceeded(
         "charge '" + label + "' of " + std::to_string(epsilon) +
         " exceeds remaining budget " + std::to_string(remaining()));
+  }
+  if (journal_ != nullptr) {
+    // Write-ahead: the grant becomes durable before it becomes visible. A
+    // failed append refuses the grant outright — the caller sees the
+    // failure before anything depending on the budget can be released.
+    IREDUCT_RETURN_NOT_OK(journal_->AppendGrant(label, epsilon));
   }
   spent_ += epsilon;
   ledger_.push_back(PrivacyCharge{std::move(label), epsilon});

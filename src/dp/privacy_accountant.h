@@ -15,6 +15,8 @@
 
 namespace ireduct {
 
+class LedgerJournal;
+
 /// One recorded privacy expenditure.
 struct PrivacyCharge {
   std::string label;
@@ -27,10 +29,29 @@ class PrivacyAccountant {
   /// Creates an accountant with the given total ε budget (must be > 0).
   static Result<PrivacyAccountant> Create(double epsilon_budget);
 
+  /// Rebuilds an accountant from a recovered ledger: every charge is
+  /// admitted as already spent, in order. Unlike Charge, recovery does not
+  /// enforce the budget — a conservatively recovered journal (torn grant
+  /// counted as spent) may legitimately exceed it, and under-reporting the
+  /// recovered spend would be the real correctness bug. Individual charges
+  /// must still be positive finite.
+  static Result<PrivacyAccountant> Restore(double epsilon_budget,
+                                           std::vector<PrivacyCharge> ledger);
+
   /// Records a charge of `epsilon` under `label`. Fails with
   /// kPrivacyBudgetExceeded (and records nothing) if it would overspend,
   /// and with kInvalidArgument for non-positive or non-finite charges.
+  /// With a journal attached the charge is made durable *first*: a journal
+  /// append failure refuses the charge (kIoError) and leaves the
+  /// accountant unchanged — no grant is ever visible without a durable
+  /// record of it.
   Status Charge(std::string label, double epsilon);
+
+  /// Attaches a write-ahead journal (borrowed; must outlive the
+  /// accountant, or be detached with nullptr). Every subsequent Charge is
+  /// journaled-then-admitted.
+  void AttachJournal(LedgerJournal* journal) { journal_ = journal; }
+  bool has_journal() const { return journal_ != nullptr; }
 
   /// True if a further charge of `epsilon` would fit in the budget.
   bool CanAfford(double epsilon) const;
@@ -57,6 +78,7 @@ class PrivacyAccountant {
   double budget_;
   double spent_ = 0;
   std::vector<PrivacyCharge> ledger_;
+  LedgerJournal* journal_ = nullptr;  // borrowed write-ahead journal
 };
 
 }  // namespace ireduct

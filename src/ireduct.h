@@ -27,9 +27,12 @@
 #include "data/csv.h"                      // IWYU pragma: export
 #include "data/dataset.h"                  // IWYU pragma: export
 #include "data/schema.h"                   // IWYU pragma: export
+#include "common/fault.h"                  // IWYU pragma: export
+#include "dp/checkpoint.h"                 // IWYU pragma: export
 #include "dp/confidence.h"                 // IWYU pragma: export
 #include "dp/laplace_coupling.h"           // IWYU pragma: export
 #include "dp/laplace_mechanism.h"          // IWYU pragma: export
+#include "dp/ledger_journal.h"             // IWYU pragma: export
 #include "dp/noise_down.h"                 // IWYU pragma: export
 #include "dp/noise_down_chain.h"           // IWYU pragma: export
 #include "dp/privacy_accountant.h"         // IWYU pragma: export

@@ -1,13 +1,44 @@
 #include "marginals/marginal_cache.h"
 
+#include <cstdlib>
+
 #include "marginals/marginal_evaluator.h"
 #include "obs/metrics.h"
 
 namespace ireduct {
 
+size_t EstimateMarginalBytes(const Marginal& marginal) {
+  return sizeof(Marginal) +
+         marginal.num_cells() * sizeof(double) +
+         marginal.domain_sizes().size() *
+             (sizeof(uint32_t) + sizeof(size_t) + sizeof(uint32_t));
+}
+
 MarginalCache& MarginalCache::Global() {
-  static MarginalCache* cache = new MarginalCache();
+  static MarginalCache* cache = [] {
+    auto* c = new MarginalCache();
+    if (const char* env = std::getenv("IREDUCT_CACHE_BYTES");
+        env != nullptr && *env != '\0') {
+      c->set_byte_budget(std::strtoull(env, nullptr, 10));
+    }
+    return c;
+  }();
   return *cache;
+}
+
+void MarginalCache::TouchLocked(Entry* entry) {
+  lru_.splice(lru_.begin(), lru_, entry->lru);
+}
+
+void MarginalCache::EvictToBudgetLocked() {
+  while (byte_budget_ > 0 && bytes_ > byte_budget_ && !lru_.empty()) {
+    const auto it = entries_.find(lru_.back());
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+    IREDUCT_METRIC_COUNT("marginals.cache_evictions", 1);
+  }
 }
 
 Result<std::vector<Marginal>> MarginalCache::GetOrCompute(
@@ -26,7 +57,10 @@ Result<std::vector<Marginal>> MarginalCache::GetOrCompute(
     for (size_t i = 0; i < specs.size(); ++i) {
       const auto it =
           entries_.find(Key{fingerprint, specs[i].attributes});
-      if (it != entries_.end()) found[i] = it->second;
+      if (it != entries_.end()) {
+        found[i] = it->second.table;
+        TouchLocked(&it->second);
+      }
     }
   }
   for (size_t i = 0; i < specs.size(); ++i) {
@@ -47,10 +81,25 @@ Result<std::vector<Marginal>> MarginalCache::GetOrCompute(
     size_t c = 0;
     for (size_t i = 0; i < specs.size(); ++i) {
       if (found[i] != nullptr) continue;
+      Key key{fingerprint, specs[i].attributes};
       auto entry = std::make_shared<const Marginal>(std::move(computed[c++]));
-      entries_.insert_or_assign(Key{fingerprint, specs[i].attributes}, entry);
-      found[i] = std::move(entry);
+      found[i] = entry;
+      const auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        // A concurrent computation won the race; keep its entry.
+        TouchLocked(&it->second);
+        continue;
+      }
+      lru_.push_front(key);
+      const size_t entry_bytes = EstimateMarginalBytes(*entry);
+      bytes_ += entry_bytes;
+      entries_.emplace(std::move(key),
+                       Entry{std::move(entry), entry_bytes, lru_.begin()});
     }
+    // Evict only after the whole batch is in, so one request's specs never
+    // evict each other before the caller has its copies (found[] keeps the
+    // tables alive regardless).
+    EvictToBudgetLocked();
   }
 
   std::vector<Marginal> result;
@@ -64,9 +113,32 @@ size_t MarginalCache::size() const {
   return entries_.size();
 }
 
+size_t MarginalCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t MarginalCache::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return byte_budget_;
+}
+
+void MarginalCache::set_byte_budget(size_t budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_budget_ = budget;
+  EvictToBudgetLocked();
+}
+
+uint64_t MarginalCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
 void MarginalCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
 }
 
 }  // namespace ireduct

@@ -16,6 +16,7 @@
 #define IREDUCT_MARGINALS_MARGINAL_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,12 +30,18 @@
 
 namespace ireduct {
 
-/// Thread-safe memo of computed marginals. Entries live for the cache's
-/// lifetime (no eviction — the evaluation workloads touch a handful of
-/// datasets); Clear() drops everything.
+/// Thread-safe memo of computed marginals with an optional byte budget.
+/// With no budget (the default) entries live for the cache's lifetime —
+/// the evaluation workloads touch a handful of datasets. With a budget,
+/// least-recently-used tables are evicted until the estimated footprint
+/// fits; eviction only drops cached copies, never correctness (an evicted
+/// table is simply recomputed on the next request). Clear() drops
+/// everything.
 class MarginalCache {
  public:
-  /// The shared process-wide instance the benches use.
+  /// The shared process-wide instance the benches use. Its byte budget is
+  /// read once from the IREDUCT_CACHE_BYTES environment variable (bytes;
+  /// unset, empty or 0 means unlimited).
   static MarginalCache& Global();
 
   /// Returns the marginals for `specs` over `dataset`, in spec order —
@@ -55,6 +62,19 @@ class MarginalCache {
   /// Number of cached marginal tables.
   size_t size() const;
 
+  /// Estimated bytes held by the cached tables (see EstimateMarginalBytes).
+  size_t bytes() const;
+
+  /// The byte budget; 0 means unlimited.
+  size_t byte_budget() const;
+
+  /// Sets the byte budget and immediately evicts LRU entries down to it.
+  /// 0 disables eviction.
+  void set_byte_budget(size_t budget);
+
+  /// Total tables evicted over the cache's lifetime.
+  uint64_t evictions() const;
+
   /// Drops every entry.
   void Clear();
 
@@ -66,10 +86,28 @@ class MarginalCache {
   // (fingerprint, spec attributes) → computed table. Marginals are stored
   // behind shared_ptr so lookups can copy the table outside the lock.
   using Key = std::pair<uint64_t, std::vector<uint32_t>>;
+  struct Entry {
+    std::shared_ptr<const Marginal> table;
+    size_t bytes = 0;
+    std::list<Key>::iterator lru;  // position in lru_
+  };
+
+  // Both require mu_ held.
+  void TouchLocked(Entry* entry);
+  void EvictToBudgetLocked();
 
   mutable std::mutex mu_;
-  std::map<Key, std::shared_ptr<const Marginal>> entries_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  size_t bytes_ = 0;
+  size_t byte_budget_ = 0;  // 0: unlimited
+  uint64_t evictions_ = 0;
 };
+
+/// The cache's per-table footprint estimate: the count table, the domain
+/// and stride vectors, and the container overhead. Exposed so tests can
+/// size budgets in units the eviction logic actually uses.
+size_t EstimateMarginalBytes(const Marginal& marginal);
 
 }  // namespace ireduct
 

@@ -23,6 +23,51 @@ Result<PrivateQuerySession> PrivateQuerySession::Create(
       std::make_unique<PrivacyAccountant>(std::move(accountant)), seed);
 }
 
+Result<PrivateQuerySession> PrivateQuerySession::CreateWithJournal(
+    const Dataset* dataset, double epsilon_budget, uint64_t seed,
+    const std::string& journal_path) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset must not be null");
+  }
+  IREDUCT_ASSIGN_OR_RETURN(PrivacyAccountant accountant,
+                           PrivacyAccountant::Create(epsilon_budget));
+  IREDUCT_ASSIGN_OR_RETURN(LedgerJournal journal,
+                           LedgerJournal::Create(journal_path,
+                                                 epsilon_budget));
+  return PrivateQuerySession(
+      dataset, std::make_unique<PrivacyAccountant>(std::move(accountant)),
+      seed, std::make_unique<LedgerJournal>(std::move(journal)));
+}
+
+Result<PrivateQuerySession> PrivateQuerySession::ResumeWithJournal(
+    const Dataset* dataset, uint64_t seed,
+    const std::string& journal_path) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset must not be null");
+  }
+  IREDUCT_ASSIGN_OR_RETURN(const LedgerJournal::Recovered recovered,
+                           LedgerJournal::Recover(journal_path));
+  IREDUCT_ASSIGN_OR_RETURN(PrivacyAccountant accountant,
+                           LedgerJournal::Replay(recovered));
+  if (recovered.torn_tail) {
+    IREDUCT_LOG(kWarn) << "journal '" << journal_path
+                       << "' ended in a torn grant; counting its epsilon "
+                       << recovered.torn_epsilon
+                       << " as spent and compacting";
+  }
+  // A torn tail cannot be appended after; compaction rewrites the
+  // recovered state (torn liability included) as a fresh, fully
+  // CRC-valid journal.
+  IREDUCT_ASSIGN_OR_RETURN(
+      LedgerJournal journal,
+      recovered.torn_tail
+          ? LedgerJournal::RewriteCompacted(journal_path, recovered)
+          : LedgerJournal::OpenForAppend(journal_path));
+  return PrivateQuerySession(
+      dataset, std::make_unique<PrivacyAccountant>(std::move(accountant)),
+      seed, std::make_unique<LedgerJournal>(std::move(journal)));
+}
+
 Result<double> PrivateQuerySession::CountQuery(const ConjunctiveQuery& query,
                                                double epsilon,
                                                CountNoise noise) {

@@ -26,6 +26,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "data/dataset.h"
+#include "dp/ledger_journal.h"
 #include "dp/noise_down_chain.h"
 #include "dp/privacy_accountant.h"
 #include "marginals/marginal.h"
@@ -53,6 +54,26 @@ class PrivateQuerySession {
   static Result<PrivateQuerySession> Create(const Dataset* dataset,
                                             double epsilon_budget,
                                             uint64_t seed);
+
+  /// Like Create, but crash-safe: a fresh write-ahead ledger journal is
+  /// created at `journal_path` (truncating any existing file) and every
+  /// budget mutation is made durable there *before* it becomes visible in
+  /// the session (see dp/ledger_journal.h).
+  static Result<PrivateQuerySession> CreateWithJournal(
+      const Dataset* dataset, double epsilon_budget, uint64_t seed,
+      const std::string& journal_path);
+
+  /// Reopens a journaled session after a crash. The journal at
+  /// `journal_path` is recovered — strict about corruption, conservative
+  /// about a torn final record, which counts as spent (and the journal is
+  /// compacted so appending can continue) — and the accountant resumes
+  /// with the recovered ledger. The recovered spend may exceed the budget;
+  /// such a session refuses all further charges.
+  static Result<PrivateQuerySession> ResumeWithJournal(
+      const Dataset* dataset, uint64_t seed, const std::string& journal_path);
+
+  /// The attached write-ahead journal, or nullptr for plain sessions.
+  const LedgerJournal* journal() const { return journal_.get(); }
 
   double budget() const { return accountant_->budget(); }
   double spent() const { return accountant_->spent(); }
@@ -100,11 +121,18 @@ class PrivateQuerySession {
  private:
   PrivateQuerySession(const Dataset* dataset,
                       std::unique_ptr<PrivacyAccountant> accountant,
-                      uint64_t seed)
-      : dataset_(dataset), accountant_(std::move(accountant)), gen_(seed) {}
+                      uint64_t seed,
+                      std::unique_ptr<LedgerJournal> journal = nullptr)
+      : dataset_(dataset),
+        accountant_(std::move(accountant)),
+        journal_(std::move(journal)),
+        gen_(seed) {
+    if (journal_ != nullptr) accountant_->AttachJournal(journal_.get());
+  }
 
   const Dataset* dataset_;
   std::unique_ptr<PrivacyAccountant> accountant_;
+  std::unique_ptr<LedgerJournal> journal_;  // heap: survives session moves
   BitGen gen_;
 };
 

@@ -1,0 +1,93 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace ireduct {
+namespace {
+
+// Every test drives its own injector instance so the process-global one
+// (and any IREDUCT_FAULT from the environment) stays untouched.
+
+TEST(FaultInjectorTest, DisarmedHitsAreNoOps) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.Hit("journal.append").fired());
+  // The disarmed fast path skips even the counter: zero overhead when off.
+  EXPECT_EQ(injector.hit_count("journal.append"), 0u);
+}
+
+TEST(FaultInjectorTest, FailFiresOnExactlyTheNthHit) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("journal.append:fail@3").ok());
+  EXPECT_TRUE(injector.armed());
+  EXPECT_FALSE(injector.Hit("journal.append").fired());
+  EXPECT_FALSE(injector.Hit("journal.append").fired());
+  const FaultDecision third = injector.Hit("journal.append");
+  EXPECT_EQ(third.action, FaultAction::kFail);
+  EXPECT_FALSE(injector.Hit("journal.append").fired());
+  EXPECT_EQ(injector.hit_count("journal.append"), 4u);
+}
+
+TEST(FaultInjectorTest, PointsAreIndependent) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("checkpoint.write:fail@1").ok());
+  EXPECT_FALSE(injector.Hit("journal.append").fired());
+  EXPECT_EQ(injector.Hit("checkpoint.write").action, FaultAction::kFail);
+}
+
+TEST(FaultInjectorTest, TruncateCarriesByteCount) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("journal.append:truncate@2=17").ok());
+  EXPECT_FALSE(injector.Hit("journal.append").fired());
+  const FaultDecision d = injector.Hit("journal.append");
+  EXPECT_EQ(d.action, FaultAction::kTruncate);
+  EXPECT_EQ(d.truncate_bytes, 17u);
+}
+
+TEST(FaultInjectorTest, MultipleArmsCommaSeparated) {
+  FaultInjector injector;
+  ASSERT_TRUE(
+      injector
+          .Configure("journal.append:fail@1,checkpoint.write:truncate@1=5")
+          .ok());
+  EXPECT_EQ(injector.Hit("journal.append").action, FaultAction::kFail);
+  const FaultDecision d = injector.Hit("checkpoint.write");
+  EXPECT_EQ(d.action, FaultAction::kTruncate);
+  EXPECT_EQ(d.truncate_bytes, 5u);
+}
+
+TEST(FaultInjectorTest, ConfigureRejectsMalformedSpecs) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.Configure("nonsense").ok());
+  EXPECT_FALSE(injector.Configure("point:fail").ok());
+  EXPECT_FALSE(injector.Configure("point:fail@zero").ok());
+  EXPECT_FALSE(injector.Configure("point:explode@1").ok());
+  EXPECT_FALSE(injector.Configure("point:truncate@1").ok());
+  EXPECT_FALSE(injector.Configure("point:fail@0").ok());
+  // A failed Configure leaves the injector disarmed.
+  EXPECT_FALSE(injector.armed());
+}
+
+TEST(FaultInjectorTest, ResetDisarmsAndClearsCounters) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("p:fail@2").ok());
+  EXPECT_FALSE(injector.Hit("p").fired());
+  injector.Reset();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_EQ(injector.hit_count("p"), 0u);
+  // After re-configuring, counting starts over: the next hit is #1.
+  ASSERT_TRUE(injector.Configure("p:fail@2").ok());
+  EXPECT_FALSE(injector.Hit("p").fired());
+  EXPECT_TRUE(injector.Hit("p").fired());
+}
+
+TEST(FaultInjectorTest, ReconfigureReplacesArms) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("a:fail@1").ok());
+  ASSERT_TRUE(injector.Configure("b:fail@1").ok());
+  EXPECT_FALSE(injector.Hit("a").fired());
+  EXPECT_TRUE(injector.Hit("b").fired());
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -132,5 +132,80 @@ TEST(MarginalCacheTest, GlobalInstanceIsShared) {
   EXPECT_EQ(&a, &b);
 }
 
+TEST(MarginalCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  MarginalCache cache;
+  const Dataset d = RandomDataset(11, 400);
+  const std::vector<MarginalSpec> a{MarginalSpec{{0}}};
+  const std::vector<MarginalSpec> b{MarginalSpec{{1}}};
+  const std::vector<MarginalSpec> c{MarginalSpec{{2}}};
+  auto direct_a = ComputeMarginals(d, a);
+  auto direct_c = ComputeMarginals(d, c);
+  ASSERT_TRUE(direct_a.ok() && direct_c.ok());
+  ASSERT_TRUE(cache.GetOrCompute(d, a).ok());
+  ASSERT_TRUE(cache.GetOrCompute(d, b).ok());
+  ASSERT_EQ(cache.size(), 2u);
+  // Exactly enough room for the survivors of the upcoming insert: tables
+  // have different domain sizes, so size the budget from the estimates the
+  // eviction logic uses.
+  const size_t budget = EstimateMarginalBytes((*direct_a)[0]) +
+                        EstimateMarginalBytes((*direct_c)[0]);
+
+  // Touch `a` so `b` becomes the LRU victim, then insert a third table.
+  ASSERT_TRUE(cache.GetOrCompute(d, a).ok());
+  cache.set_byte_budget(budget);
+  auto from_c = cache.GetOrCompute(d, c);
+  ASSERT_TRUE(from_c.ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LE(cache.bytes(), budget);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  // `a` (recently used) and `c` (just inserted) are warm hits; `b` was
+  // evicted and is recomputed — still correct, just not cached-hot.
+  const size_t evictions_before = cache.evictions();
+  ASSERT_TRUE(cache.GetOrCompute(d, a).ok());
+  ASSERT_TRUE(cache.GetOrCompute(d, c).ok());
+  auto from_b = cache.GetOrCompute(d, b);
+  ASSERT_TRUE(from_b.ok());
+  auto direct_b = ComputeMarginals(d, b);
+  ASSERT_TRUE(direct_b.ok());
+  ExpectBitIdentical(*from_b, *direct_b);
+  // Recomputing `b` displaced the then-LRU entry to stay within budget.
+  EXPECT_GT(cache.evictions(), evictions_before);
+  EXPECT_LE(cache.bytes(), budget);
+}
+
+TEST(MarginalCacheTest, EvictionPreservesPartialHitCorrectness) {
+  MarginalCache cache;
+  const Dataset d = RandomDataset(13, 600);
+  auto all = AllKWaySpecs(d.schema(), 2);
+  ASSERT_TRUE(all.ok());
+  // A budget big enough for roughly half the tables forces the request's
+  // own inserts to evict each other; the returned batch must still be
+  // complete and bit-identical to direct computation.
+  ASSERT_TRUE(cache.GetOrCompute(d, *all).ok());
+  cache.set_byte_budget(cache.bytes() / 2);
+  EXPECT_LT(cache.size(), all->size());
+  auto partial = cache.GetOrCompute(d, *all);
+  ASSERT_TRUE(partial.ok());
+  auto direct = ComputeMarginals(d, *all);
+  ASSERT_TRUE(direct.ok());
+  ExpectBitIdentical(*partial, *direct);
+  EXPECT_LE(cache.bytes(), cache.byte_budget());
+}
+
+TEST(MarginalCacheTest, ZeroBudgetMeansUnlimited) {
+  MarginalCache cache;
+  EXPECT_EQ(cache.byte_budget(), 0u);
+  const Dataset d = RandomDataset(17, 200);
+  auto all = AllKWaySpecs(d.schema(), 2);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(cache.GetOrCompute(d, *all).ok());
+  EXPECT_EQ(cache.size(), all->size());
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_GT(cache.bytes(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace ireduct

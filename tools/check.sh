@@ -17,6 +17,13 @@
 #                             # evaluation paths: thread pool, fused
 #                             # marginal evaluator, marginal cache, and
 #                             # the parallel trial runner
+#   tools/check.sh format     # clang-format style gate over src/tests/
+#                             # tools/bench/examples (skips locally when
+#                             # clang-format is missing; CI enforces it)
+#   tools/check.sh ci         # local reproduction of the CI pipeline:
+#                             # format + default + registry + evaluator
+#                             # parity smoke (EVAL_MIN_SPEEDUP=0 — CI
+#                             # asserts correctness, never speed)
 #
 # Each mode maps to the CMakePresets.json preset of the same name, so the
 # builds land in separate directories and never fight over a cache. The
@@ -28,9 +35,10 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 case "$mode" in
-  default|san|no-tracing|perf|registry|threads) ;;
+  default|san|no-tracing|perf|registry|threads|format|ci) ;;
   *)
-    echo "usage: tools/check.sh [san|no-tracing|perf|registry|threads]" >&2
+    echo "usage: tools/check.sh" \
+         "[san|no-tracing|perf|registry|threads|format|ci]" >&2
     exit 2
     ;;
 esac
@@ -38,6 +46,42 @@ preset="$mode"
 [ "$mode" = san ] && preset=asan-ubsan
 [ "$mode" = perf ] && preset=default
 [ "$mode" = threads ] && preset=tsan
+
+if [ "$mode" = format ]; then
+  # Style gate over every first-party C++ file. clang-format is optional
+  # locally (skip, CI enforces it) but the CI job installs it, so a
+  # missing binary never turns the gate green up there.
+  if ! command -v clang-format >/dev/null 2>&1; then
+    if [ -n "${CI:-}" ]; then
+      echo "format: clang-format missing in CI" >&2
+      exit 1
+    fi
+    echo "format: clang-format not installed; skipping (CI enforces it)"
+    exit 0
+  fi
+  find src tests tools bench examples \
+    \( -name '*.cc' -o -name '*.h' \) -print0 |
+    xargs -0 clang-format --dry-run --Werror
+  echo "format: OK ($(clang-format --version))"
+  exit 0
+fi
+
+if [ "$mode" = ci ]; then
+  # The full local reproduction of the CI pipeline, minus the sanitizer
+  # builds (run those with `san` / `threads` when touching memory or
+  # concurrency): style gate, Release build + tests, registry smoke, and
+  # the evaluator parity smoke with timing thresholds disabled — CI
+  # checks correctness everywhere and speed nowhere.
+  "$0" format
+  "$0" default
+  "$0" registry
+  cmake --build --preset default -j "$(nproc)" --target eval_scaling
+  (cd build/bench &&
+   EVAL_MIN_SPEEDUP=0 EVAL_ROWS=20000 EVAL_THREADS=1,2 CENSUS_ROWS=20000 \
+     ./eval_scaling)
+  echo "ci: all gates passed"
+  exit 0
+fi
 
 if [ "$mode" = threads ]; then
   # Only the concurrency-bearing tests; a full TSan suite is far slower

@@ -6,6 +6,8 @@
 //   ireduct_tool marginals --kind brazil|us --rows N --k 1|2
 //                          --epsilon E --mechanism SPEC
 //                          --out-dir DIR [--steps N] [--seed S]
+//                          [--journal FILE [--resume 1]
+//                           [--checkpoint-every N] [--checkpoint FILE]]
 //       Publishes all k-way marginals under ε-DP and writes one CSV per
 //       marginal plus answers.csv with confidence intervals. SPEC is a
 //       registry mechanism spec — a bare name ("ireduct", "dwork", ...)
@@ -14,6 +16,15 @@
 //       "ireduct:lambda_steps=16,engine=incremental". Workload-derived
 //       defaults (epsilon, delta, lambda_max, lambda_steps) fill any
 //       declared parameter the spec leaves unset.
+//
+//       --journal FILE makes the run crash-safe: every ε grant is written
+//       to an fsync'd write-ahead ledger journal before it is admitted,
+//       and the run checkpoints its full state every N completed rounds
+//       (default 8; checkpoint file defaults to FILE.ckpt). After a crash,
+//       rerun with --resume 1: the ledger is recovered (a torn final
+//       record counts as spent), the checkpoint is loaded, and the run
+//       continues bit-identically to an uninterrupted one. A journal that
+//       recorded grants but has no checkpoint is refused on resume.
 //
 //   ireduct_tool compare   --kind brazil|us --rows N --k 1|2 --epsilon E
 //                          [--mechanisms "SPEC;SPEC;..."] [--trials T]
@@ -37,6 +48,8 @@
 //   --metrics-out FILE  write the process metrics snapshot JSON (counters,
 //                       gauges — including privacy.epsilon_spent —, and
 //                       histograms)
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -45,6 +58,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -119,11 +133,10 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
 // validated as written, then epsilon/delta/lambda_max/lambda_steps are
 // filled for whichever of those parameters the mechanism declares and the
 // spec leaves unset.
-Result<MechanismOutput> RunSpecMechanism(const MechanismSpec& user_spec,
-                                         const Workload& workload,
-                                         double epsilon, double delta,
-                                         double lambda_max, int steps,
-                                         BitGen& gen) {
+Result<MechanismOutput> RunSpecMechanism(
+    const MechanismSpec& user_spec, const Workload& workload, double epsilon,
+    double delta, double lambda_max, int steps, BitGen& gen,
+    const Mechanism::ResumableHooks* hooks = nullptr) {
   IREDUCT_ASSIGN_OR_RETURN(const Mechanism* mech,
                            MechanismRegistry::Global().Get(user_spec.name()));
   IREDUCT_RETURN_NOT_OK(mech->ValidateSpec(user_spec));
@@ -133,7 +146,86 @@ Result<MechanismOutput> RunSpecMechanism(const MechanismSpec& user_spec,
   mech->SetSpecDefault(&spec, "lambda_max", lambda_max);
   mech->SetSpecDefault(&spec, "lambda_steps",
                        std::string_view(std::to_string(steps)));
+  if (hooks != nullptr) {
+    return mech->RunResumable(workload, spec, gen, *hooks);
+  }
   return mech->Run(workload, spec, gen);
+}
+
+// Crash-safety state for a journaled `marginals` run: the write-ahead
+// ledger journal, the accountant it is attached to, the checkpoint sink
+// chain, and (on --resume) the loaded checkpoint.
+struct CrashSafeRun {
+  std::unique_ptr<LedgerJournal> journal;
+  std::unique_ptr<PrivacyAccountant> accountant;
+  std::unique_ptr<FileCheckpointSink> file_sink;
+  std::unique_ptr<JournalingCheckpointSink> journaled_sink;
+  std::unique_ptr<RunCheckpoint> resume_state;
+  Mechanism::ResumableHooks hooks;
+};
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// Builds the journal + checkpoint plumbing for CmdMarginals. On resume the
+// ledger is recovered first (torn tail counted as spent, then compacted),
+// so the accountant can never under-report what the crashed run granted.
+Result<CrashSafeRun> SetUpCrashSafeRun(const std::string& journal_path,
+                                       const std::string& checkpoint_path,
+                                       uint64_t checkpoint_every,
+                                       bool resume, double epsilon) {
+  CrashSafeRun run;
+  if (resume) {
+    IREDUCT_ASSIGN_OR_RETURN(const LedgerJournal::Recovered recovered,
+                             LedgerJournal::Recover(journal_path));
+    IREDUCT_ASSIGN_OR_RETURN(PrivacyAccountant accountant,
+                             LedgerJournal::Replay(recovered));
+    run.accountant =
+        std::make_unique<PrivacyAccountant>(std::move(accountant));
+    if (recovered.torn_tail) {
+      std::fprintf(stderr,
+                   "note: journal ended in a torn grant; counting its "
+                   "epsilon %g as spent\n",
+                   recovered.torn_epsilon);
+    }
+    IREDUCT_ASSIGN_OR_RETURN(
+        LedgerJournal journal,
+        recovered.torn_tail
+            ? LedgerJournal::RewriteCompacted(journal_path, recovered)
+            : LedgerJournal::OpenForAppend(journal_path));
+    run.journal = std::make_unique<LedgerJournal>(std::move(journal));
+    if (FileExists(checkpoint_path)) {
+      IREDUCT_ASSIGN_OR_RETURN(RunCheckpoint checkpoint,
+                               FileCheckpointSink::Load(checkpoint_path));
+      run.resume_state =
+          std::make_unique<RunCheckpoint>(std::move(checkpoint));
+      run.hooks.resume = run.resume_state.get();
+    } else if (!recovered.charges.empty()) {
+      // Grants were journaled but no checkpoint survived: re-executing
+      // from scratch cannot be proven identical to what was paid for.
+      return Status::FailedPrecondition(
+          "journal '" + journal_path + "' records grants but no " +
+          "checkpoint exists at '" + checkpoint_path +
+          "'; refusing to re-run the paid-for release from scratch");
+    }
+  } else {
+    IREDUCT_ASSIGN_OR_RETURN(PrivacyAccountant accountant,
+                             PrivacyAccountant::Create(epsilon));
+    run.accountant =
+        std::make_unique<PrivacyAccountant>(std::move(accountant));
+    IREDUCT_ASSIGN_OR_RETURN(LedgerJournal journal,
+                             LedgerJournal::Create(journal_path, epsilon));
+    run.journal = std::make_unique<LedgerJournal>(std::move(journal));
+  }
+  run.accountant->AttachJournal(run.journal.get());
+  run.file_sink = std::make_unique<FileCheckpointSink>(checkpoint_path);
+  run.journaled_sink = std::make_unique<JournalingCheckpointSink>(
+      run.accountant.get(), run.file_sink.get());
+  run.hooks.checkpoint.sink = run.journaled_sink.get();
+  run.hooks.checkpoint.every = checkpoint_every;
+  return run;
 }
 
 int CmdListMechanisms() {
@@ -191,21 +283,63 @@ int CmdMarginals(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   const std::string mechanism = spec->name();
-  auto out = RunSpecMechanism(*spec, mw->workload(), epsilon, delta, n / 10,
-                              steps, gen);
+
+  // --journal switches the run to crash-safe mode: write-ahead ledger
+  // journal + periodic checkpoints, resumable with --resume 1.
+  const std::string journal_path = FlagOr(flags, "journal", "");
+  CrashSafeRun crash_safe;
+  if (!journal_path.empty()) {
+    const std::string checkpoint_path =
+        FlagOr(flags, "checkpoint", journal_path + ".ckpt");
+    const uint64_t checkpoint_every = std::strtoull(
+        FlagOr(flags, "checkpoint-every", "8").c_str(), nullptr, 10);
+    const std::string resume = FlagOr(flags, "resume", "0");
+    auto prepared =
+        SetUpCrashSafeRun(journal_path, checkpoint_path, checkpoint_every,
+                          resume != "0" && !resume.empty(), epsilon);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+      return 1;
+    }
+    crash_safe = std::move(*prepared);
+  }
+
+  auto out = RunSpecMechanism(
+      *spec, mw->workload(), epsilon, delta, n / 10, steps, gen,
+      journal_path.empty() ? nullptr : &crash_safe.hooks);
   if (!out.ok()) {
     std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
     return 1;
   }
 
-  // Mirror the release through an accountant so the run carries a ledger:
-  // the privacy.epsilon_spent gauge tracks the charge, and the ledger JSON
-  // rides into the trace under otherData.privacy_ledger. Non-private
-  // baselines (oracle, proportional) stay unaccounted. A spec that pins its
-  // own budget (e.g. "two_phase:epsilon=0.5") is authorized by that spec,
-  // so the mirror's budget covers whatever the mechanism actually spent —
-  // budget *enforcement* lives in PrivateQuerySession, not here.
-  if (out->is_private() && out->epsilon_spent > 0) {
+  if (crash_safe.accountant != nullptr) {
+    // Journaled runs already charged up to the last checkpoint boundary;
+    // one final top-up makes the ledger equal the run's exact spend.
+    if (out->is_private()) {
+      const double remainder =
+          out->epsilon_spent - crash_safe.accountant->spent();
+      if (remainder > 0) {
+        if (Status s = crash_safe.accountant->Charge(
+                "marginals (" + mechanism + ") final", remainder);
+            !s.ok()) {
+          std::fprintf(stderr, "%s\n", s.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    if (auto* recorder = obs::TraceRecorder::Get()) {
+      recorder->SetOtherData("privacy_ledger",
+                             crash_safe.accountant->ExportLedgerJson());
+    }
+  } else if (out->is_private() && out->epsilon_spent > 0) {
+    // Mirror the release through an accountant so the run carries a
+    // ledger: the privacy.epsilon_spent gauge tracks the charge, and the
+    // ledger JSON rides into the trace under otherData.privacy_ledger.
+    // Non-private baselines (oracle, proportional) stay unaccounted. A
+    // spec that pins its own budget (e.g. "two_phase:epsilon=0.5") is
+    // authorized by that spec, so the mirror's budget covers whatever the
+    // mechanism actually spent — budget *enforcement* lives in
+    // PrivateQuerySession, not here.
     auto accountant =
         PrivacyAccountant::Create(std::max(epsilon, out->epsilon_spent));
     if (accountant.ok()) {
