@@ -87,7 +87,7 @@ Status FaultInjector::Configure(std::string_view spec) {
   std::lock_guard<std::mutex> lock(mu_);
   arms_ = std::move(arms);
   counters_.clear();
-  armed_ = !arms_.empty();
+  armed_.store(!arms_.empty(), std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -95,11 +95,11 @@ void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   arms_.clear();
   counters_.clear();
-  armed_ = false;
+  armed_.store(false, std::memory_order_relaxed);
 }
 
 FaultDecision FaultInjector::Hit(std::string_view point) {
-  if (!armed_) return {};
+  if (!armed_.load(std::memory_order_relaxed)) return {};
   std::lock_guard<std::mutex> lock(mu_);
   Counter* counter = nullptr;
   for (Counter& c : counters_) {

@@ -24,6 +24,7 @@
 #ifndef IREDUCT_COMMON_FAULT_H_
 #define IREDUCT_COMMON_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -77,7 +78,7 @@ class FaultInjector {
   uint64_t hit_count(std::string_view point) const;
 
   /// True when any arm is configured.
-  bool armed() const { return armed_; }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
   FaultInjector() = default;
   FaultInjector(const FaultInjector&) = delete;
@@ -98,9 +99,10 @@ class FaultInjector {
   mutable std::mutex mu_;
   std::vector<Arm> arms_;
   std::vector<Counter> counters_;
-  // Written under mu_, read without: a stale false skips at most the hits
-  // racing with Configure, and fault tests are single-threaded by design.
-  volatile bool armed_ = false;
+  // Written under mu_, read with a relaxed load in Hit(): a stale false
+  // skips at most the hits racing with Configure, which fault tests never
+  // rely on. Relaxed is enough — the armed path re-checks under mu_.
+  std::atomic<bool> armed_{false};
 };
 
 /// Exit code of an injected kCrash (distinguishes injected crashes from

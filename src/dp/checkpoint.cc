@@ -125,24 +125,6 @@ Status WriteAll(int fd, std::string_view data, const std::string& path) {
   return Status::OK();
 }
 
-// Makes the rename itself durable: fsync the containing directory.
-Status SyncParentDir(const std::string& path) {
-  const size_t slash = path.rfind('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash + 1);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) {
-    return Status::IoError(ErrnoMessage("opening directory", dir));
-  }
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) {
-    return Status::IoError(ErrnoMessage("fsyncing directory", dir));
-  }
-  return Status::OK();
-}
-
 }  // namespace
 
 uint64_t FingerprintWorkload(const Workload& workload) {

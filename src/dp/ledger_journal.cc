@@ -121,6 +121,23 @@ uint32_t Crc32(std::string_view data) {
   return crc ^ 0xffffffffu;
 }
 
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("opening directory", dir));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError(ErrnoMessage("fsyncing directory", dir));
+  }
+  return Status::OK();
+}
+
 std::string SealJsonRecord(const std::string& body) {
   char hex[9];
   std::snprintf(hex, sizeof(hex), "%08x", Crc32(body));
@@ -196,7 +213,8 @@ LedgerJournal::~LedgerJournal() {
 LedgerJournal::LedgerJournal(LedgerJournal&& other) noexcept
     : path_(std::move(other.path_)),
       fd_(other.fd_),
-      next_seq_(other.next_seq_) {
+      next_seq_(other.next_seq_),
+      poisoned_(other.poisoned_) {
   other.fd_ = -1;
 }
 
@@ -206,20 +224,37 @@ LedgerJournal& LedgerJournal::operator=(LedgerJournal&& other) noexcept {
     path_ = std::move(other.path_);
     fd_ = other.fd_;
     next_seq_ = other.next_seq_;
+    poisoned_ = other.poisoned_;
     other.fd_ = -1;
   }
   return *this;
 }
 
 Status LedgerJournal::AppendDurable(const std::string& record) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "journal '" + path_ +
+        "' had a failed append and may hold a torn record; recover and "
+        "compact it (Recover + RewriteCompacted) before appending again");
+  }
   if (fd_ < 0) {
     return Status::FailedPrecondition("journal '" + path_ + "' is closed");
   }
+  // Any failure poisons the journal: the file may now end in a torn
+  // prefix, and a later append would glue its record onto that prefix —
+  // one line that recovery would mis-read as a single torn record,
+  // silently dropping the later grant's ε.
+  auto poison = [this](Status status) {
+    poisoned_ = true;
+    ::close(fd_);
+    fd_ = -1;
+    return status;
+  };
   std::string line = record;
   line.push_back('\n');
   const FaultDecision fault = FaultInjector::Global().Hit("journal.append");
   if (fault.action == FaultAction::kFail) {
-    return Status::IoError("injected fault: journal append failed");
+    return poison(Status::IoError("injected fault: journal append failed"));
   }
   if (fault.action == FaultAction::kTruncate) {
     // A crash mid-write: some prefix of the record reaches the disk, the
@@ -227,14 +262,18 @@ Status LedgerJournal::AppendDurable(const std::string& record) {
     // then report the failure the process would never have observed.
     const size_t keep =
         std::min<size_t>(fault.truncate_bytes, line.size());
-    IREDUCT_RETURN_NOT_OK(WriteAll(fd_, line.substr(0, keep), path_));
+    if (Status s = WriteAll(fd_, line.substr(0, keep), path_); !s.ok()) {
+      return poison(std::move(s));
+    }
     ::fsync(fd_);
-    return Status::IoError("injected fault: journal append torn after " +
-                           std::to_string(keep) + " bytes");
+    return poison(Status::IoError("injected fault: journal append torn after " +
+                                  std::to_string(keep) + " bytes"));
   }
-  IREDUCT_RETURN_NOT_OK(WriteAll(fd_, line, path_));
+  if (Status s = WriteAll(fd_, line, path_); !s.ok()) {
+    return poison(std::move(s));
+  }
   if (::fsync(fd_) != 0) {
-    return Status::IoError(ErrnoMessage("fsyncing journal", path_));
+    return poison(Status::IoError(ErrnoMessage("fsyncing journal", path_)));
   }
   IREDUCT_METRIC_COUNT("journal.appends", 1);
   return Status::OK();
@@ -398,17 +437,31 @@ Result<PrivacyAccountant> LedgerJournal::Replay(const Recovered& recovered) {
 Result<LedgerJournal> LedgerJournal::RewriteCompacted(
     const std::string& path, const Recovered& recovered) {
   const std::string tmp = path + ".tmp";
+  Status written = Status::OK();
   {
-    IREDUCT_ASSIGN_OR_RETURN(LedgerJournal journal,
-                             Create(tmp, recovered.budget));
-    for (const PrivacyCharge& charge : recovered.charges) {
-      IREDUCT_RETURN_NOT_OK(
-          journal.AppendGrant(charge.label, charge.epsilon));
+    auto journal = Create(tmp, recovered.budget);
+    if (!journal.ok()) {
+      written = journal.status();
+    } else {
+      for (const PrivacyCharge& charge : recovered.charges) {
+        written = journal->AppendGrant(charge.label, charge.epsilon);
+        if (!written.ok()) break;
+      }
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError(ErrnoMessage("renaming journal", path));
+  if (!written.ok()) {
+    ::unlink(tmp.c_str());  // don't leak a half-written rewrite
+    return written;
   }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status renamed = Status::IoError(ErrnoMessage("renaming journal", path));
+    ::unlink(tmp.c_str());
+    return renamed;
+  }
+  // Make the rename itself durable: without the directory fsync a crash
+  // here could resurrect the pre-compaction torn journal after the caller
+  // was told its liability is sealed.
+  IREDUCT_RETURN_NOT_OK(SyncParentDir(path));
   return OpenForAppend(path);
 }
 

@@ -54,9 +54,13 @@ class LedgerJournal {
   static Result<LedgerJournal> OpenForAppend(const std::string& path);
 
   /// Appends one grant record and fsyncs it. Returns only once the record
-  /// is durable; any error means the grant MUST NOT be admitted (and this
-  /// journal must not be appended to again — the file may hold a torn
-  /// record).
+  /// is durable; any error means the grant MUST NOT be admitted. A failed
+  /// append also poisons the journal — the file may hold a torn record,
+  /// and gluing another record onto that prefix would turn a salvageable
+  /// torn tail into one line recovery mis-reads (dropping the later
+  /// grant's ε). Every subsequent append is therefore refused with
+  /// kFailedPrecondition until the file is recovered and compacted
+  /// (Recover + RewriteCompacted).
   Status AppendGrant(std::string_view label, double epsilon);
 
   /// What a journal replays to.
@@ -106,17 +110,25 @@ class LedgerJournal {
 
   // Writes `record` (with trailing newline) and fsyncs. Fault point
   // "journal.append": kFail writes nothing; kTruncate persists a prefix —
-  // a torn record — and reports failure.
+  // a torn record — and reports failure. Any failure closes the fd and
+  // sets poisoned_, enforcing the no-append-after-failure contract.
   Status AppendDurable(const std::string& record);
 
   std::string path_;
   int fd_ = -1;
   uint64_t next_seq_ = 1;
+  // Sticky: set on the first failed append; refuses all later appends.
+  bool poisoned_ = false;
 };
 
 /// CRC-32 (IEEE 802.3, reflected) of `data` — exposed for tests that
 /// construct journal corruption by hand.
 uint32_t Crc32(std::string_view data);
+
+/// fsyncs the directory containing `path`, making a just-completed rename
+/// into that directory durable. Shared by the journal-compaction and
+/// checkpoint rename paths.
+Status SyncParentDir(const std::string& path);
 
 /// Seals a complete JSON object into a self-checking record by splicing a
 /// `"crc"` member (the CRC-32 of `body`) in as its final member. Shared by

@@ -67,7 +67,9 @@ Status PrivacyAccountant::Charge(std::string label, double epsilon) {
   if (journal_ != nullptr) {
     // Write-ahead: the grant becomes durable before it becomes visible. A
     // failed append refuses the grant outright — the caller sees the
-    // failure before anything depending on the budget can be released.
+    // failure before anything depending on the budget can be released —
+    // and poisons the journal, so every later Charge is also refused
+    // until the journal file is recovered and compacted.
     IREDUCT_RETURN_NOT_OK(journal_->AppendGrant(label, epsilon));
   }
   spent_ += epsilon;

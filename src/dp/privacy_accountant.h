@@ -42,9 +42,11 @@ class PrivacyAccountant {
   /// kPrivacyBudgetExceeded (and records nothing) if it would overspend,
   /// and with kInvalidArgument for non-positive or non-finite charges.
   /// With a journal attached the charge is made durable *first*: a journal
-  /// append failure refuses the charge (kIoError) and leaves the
-  /// accountant unchanged — no grant is ever visible without a durable
-  /// record of it.
+  /// append failure refuses the charge and leaves the accountant
+  /// unchanged — no grant is ever visible without a durable record of it.
+  /// The failed journal poisons itself, so every later Charge through it
+  /// is refused (kFailedPrecondition) until the journal file is recovered
+  /// and compacted.
   Status Charge(std::string label, double epsilon);
 
   /// Attaches a write-ahead journal (borrowed; must outlive the

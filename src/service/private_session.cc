@@ -1,5 +1,7 @@
 #include "service/private_session.h"
 
+#include <sys/stat.h>
+
 #include <cmath>
 
 #include "algorithms/geometric.h"
@@ -28,6 +30,15 @@ Result<PrivateQuerySession> PrivateQuerySession::CreateWithJournal(
     const std::string& journal_path) {
   if (dataset == nullptr) {
     return Status::InvalidArgument("dataset must not be null");
+  }
+  // Truncating a crashed session's journal would erase its spent-ε record
+  // and double-spend the budget; an existing file must go through
+  // ResumeWithJournal (or be deleted explicitly).
+  if (struct stat st; ::stat(journal_path.c_str(), &st) == 0) {
+    return Status::FailedPrecondition(
+        "journal '" + journal_path +
+        "' already exists; use ResumeWithJournal to continue that "
+        "session, or delete the file to explicitly discard its ledger");
   }
   IREDUCT_ASSIGN_OR_RETURN(PrivacyAccountant accountant,
                            PrivacyAccountant::Create(epsilon_budget));

@@ -56,9 +56,11 @@ class PrivateQuerySession {
                                             uint64_t seed);
 
   /// Like Create, but crash-safe: a fresh write-ahead ledger journal is
-  /// created at `journal_path` (truncating any existing file) and every
-  /// budget mutation is made durable there *before* it becomes visible in
-  /// the session (see dp/ledger_journal.h).
+  /// created at `journal_path` and every budget mutation is made durable
+  /// there *before* it becomes visible in the session (see
+  /// dp/ledger_journal.h). Refuses (kFailedPrecondition) if a journal
+  /// already exists there — truncating a crashed session's ledger would
+  /// double-spend its ε; use ResumeWithJournal or delete the file.
   static Result<PrivateQuerySession> CreateWithJournal(
       const Dataset* dataset, double epsilon_budget, uint64_t seed,
       const std::string& journal_path);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace ireduct {
 namespace {
 
@@ -87,6 +90,28 @@ TEST(FaultInjectorTest, ReconfigureReplacesArms) {
   ASSERT_TRUE(injector.Configure("b:fail@1").ok());
   EXPECT_FALSE(injector.Hit("a").fired());
   EXPECT_TRUE(injector.Hit("b").fired());
+}
+
+TEST(FaultInjectorTest, ConcurrentHitsWhileReconfiguringAreRaceFree) {
+  // Fault points sit on code paths that run from worker threads (e.g.
+  // journal appends driven by parallel trials), so Hit must be safe
+  // against a concurrent Configure/Reset — under TSan this test is the
+  // regression check that the armed flag is a real atomic.
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Configure("p:fail@1000000").ok());
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&injector] {
+      for (int i = 0; i < 1000; ++i) injector.Hit("p");
+    });
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(injector.Configure("p:fail@1000000").ok());
+  }
+  injector.Reset();
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.Hit("p").fired());
 }
 
 }  // namespace

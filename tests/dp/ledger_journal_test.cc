@@ -295,6 +295,69 @@ TEST(LedgerJournalTest, FailedAppendLeavesJournaledAccountantUnchanged) {
   std::remove(path.c_str());
 }
 
+TEST(LedgerJournalTest, FailedAppendPoisonsJournalAgainstGluedRecords) {
+  const std::string path = TestPath("poison");
+  auto journal = LedgerJournal::Create(path, 1.0);
+  ASSERT_TRUE(journal.ok());
+  auto accountant = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(accountant.ok());
+  accountant->AttachJournal(&*journal);
+  ASSERT_TRUE(accountant->Charge("durable", 0.25).ok());
+
+  // Tear the next append mid-label: the file now ends in a torn record.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("journal.append:truncate@1=40").ok());
+  EXPECT_EQ(accountant->Charge("torn", 0.5).code(), StatusCode::kIoError);
+  FaultInjector::Global().Reset();
+
+  // The journal poisons itself: appending again would glue a new record
+  // onto the torn prefix, making one line that recovery reads as a single
+  // torn record — silently dropping the later grant's epsilon. Both direct
+  // appends and journaled charges must be refused.
+  EXPECT_EQ(journal->AppendGrant("glued", 0.125).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(accountant->Charge("after poison", 0.125).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(accountant->spent(), 0.25);
+
+  // The on-disk state stays a salvageable torn tail, counted conservatively.
+  auto recovered = LedgerJournal::Recover(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->torn_tail);
+  ASSERT_EQ(recovered->charges.size(), 2u);
+  EXPECT_EQ(recovered->charges[0].epsilon, 0.25);
+  EXPECT_EQ(recovered->charges[1].epsilon, 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(LedgerJournalTest, RewriteCompactedCleansUpAndPreservesOnFailure) {
+  const std::string path = TestPath("compact_fail");
+  {
+    auto journal = LedgerJournal::Create(path, 1.0);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->AppendGrant("kept", 0.25).ok());
+  }
+  WriteFile(path, ReadFile(path) +
+                      "{\"type\":\"grant\",\"seq\":2,\"epsilon\":0.5,\"lab");
+  auto recovered = LedgerJournal::Recover(path);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_TRUE(recovered->torn_tail);
+  // Fail the rewrite's first grant append (hit 1 is the tmp open record).
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("journal.append:fail@2").ok());
+  auto rewritten = LedgerJournal::RewriteCompacted(path, *recovered);
+  FaultInjector::Global().Reset();
+  ASSERT_FALSE(rewritten.ok());
+  // The half-written rewrite is unlinked, not leaked...
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  // ...and the original torn journal is untouched and still recoverable.
+  auto again = LedgerJournal::Recover(path);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again->torn_tail);
+  ASSERT_EQ(again->charges.size(), 2u);
+  std::remove(path.c_str());
+}
+
 TEST(LedgerJournalTest, TruncatedAppendLeavesRecoverableTornTail) {
   const std::string path = TestPath("wal_torn");
   auto journal = LedgerJournal::Create(path, 1.0);

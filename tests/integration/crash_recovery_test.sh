@@ -9,7 +9,9 @@
 #   3. --resume 1 finishes the run and the published answers are
 #      byte-identical to the uninterrupted baseline;
 #   4. a journal with recorded grants but no surviving checkpoint refuses
-#      to resume (re-running from scratch would double-spend ε).
+#      to resume (re-running from scratch would double-spend ε);
+#   5. rerunning without --resume over an existing journal is refused
+#      (truncating a crashed run's ledger would also double-spend ε).
 #
 # Usage: crash_recovery_test.sh /path/to/ireduct_tool
 set -eu
@@ -76,5 +78,15 @@ if [ "$status" -eq 0 ]; then
   exit 1
 fi
 grep -q "checkpoint" "$work/refused.err"
+
+echo "== rerun without --resume over an existing journal is refused =="
+status=0
+run journaled --journal "$work/journaled.wal" \
+  > /dev/null 2> "$work/rerun.err" || status=$?
+if [ "$status" -eq 0 ]; then
+  echo "a fresh run must not truncate an existing journal" >&2
+  exit 1
+fi
+grep -q "resume" "$work/rerun.err"
 
 echo "crash_recovery_test: OK"

@@ -24,7 +24,9 @@
 //       rerun with --resume 1: the ledger is recovered (a torn final
 //       record counts as spent), the checkpoint is loaded, and the run
 //       continues bit-identically to an uninterrupted one. A journal that
-//       recorded grants but has no checkpoint is refused on resume.
+//       recorded grants but has no checkpoint is refused on resume, and a
+//       fresh (non-resume) run refuses to overwrite an existing journal —
+//       truncating a crashed run's ledger would double-spend its ε.
 //
 //   ireduct_tool compare   --kind brazil|us --rows N --k 1|2 --epsilon E
 //                          [--mechanisms "SPEC;SPEC;..."] [--trials T]
@@ -211,6 +213,16 @@ Result<CrashSafeRun> SetUpCrashSafeRun(const std::string& journal_path,
           "'; refusing to re-run the paid-for release from scratch");
     }
   } else {
+    // A fresh run truncates the journal. An existing file here is almost
+    // always a crashed run whose --resume was forgotten; truncating it
+    // would destroy the spent-ε record and double-spend the budget — the
+    // exact hazard the journal exists to prevent. Refuse instead.
+    if (FileExists(journal_path)) {
+      return Status::FailedPrecondition(
+          "journal '" + journal_path +
+          "' already exists; pass --resume 1 to continue that run, or "
+          "delete the file to explicitly discard its ledger");
+    }
     IREDUCT_ASSIGN_OR_RETURN(PrivacyAccountant accountant,
                              PrivacyAccountant::Create(epsilon));
     run.accountant =
