@@ -7,6 +7,8 @@
 
 #include "common/env.h"
 #include "eval/metrics.h"
+#include "eval/run_report.h"
+#include "obs/event_log.h"
 #include "marginals/marginal_cache.h"
 #include "marginals/marginal_evaluator.h"
 #include "marginals/marginal_set.h"
@@ -209,28 +211,16 @@ TrialAggregate MeasureOverallError(const Workload& workload,
 }
 
 void RegisterStandardMetrics() {
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  registry.counter("bench.mechanism_runs");
-  registry.counter("ireduct.iterations");
-  registry.counter("ireduct.group_retirements");
-  registry.counter("ireduct.resample_draws");
-  registry.counter("noise_down.samples");
-  registry.counter("noise_down.rejection_rounds");
-  registry.counter("noise_down.envelope_draws");
-  registry.counter("privacy.charges");
-  registry.gauge("privacy.epsilon_spent");
-  registry.histogram("ireduct.run_seconds");
-  registry.counter("marginals.cache_hits");
-  registry.counter("marginals.cache_misses");
-  registry.counter("marginals.fused_passes");
-  registry.counter("marginals.fused_rows");
-  registry.histogram("marginals.fused_seconds");
-  registry.counter("eval.trials_run");
-  registry.counter("eval.parallel_trial_batches");
+  // The library owns the canonical schema; benches just make sure it is
+  // registered before snapshotting so untouched metrics still show up.
+  obs::RegisterStandardMetrics();
 }
 
 void EmitMetricsSnapshot(const std::string& bench_name) {
   RegisterStandardMetrics();
+  // Every bench funnels through here, so BENCH_REPORT_OUT works for all of
+  // them without per-bench wiring.
+  EmitRunReport(bench_name);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   const char* out_path = std::getenv("BENCH_METRICS_OUT");
   if (out_path == nullptr || out_path[0] == '\0') {
@@ -262,6 +252,22 @@ void EmitMetricsSnapshot(const std::string& bench_name) {
     return;
   }
   std::fprintf(stderr, "[bench] wrote metrics snapshot to %s\n", out_path);
+}
+
+void EmitRunReport(const std::string& bench_name) {
+  const char* out_path = std::getenv("BENCH_REPORT_OUT");
+  if (out_path == nullptr || out_path[0] == '\0') return;
+  RegisterStandardMetrics();
+  RunReport report(bench_name);
+  report.AttachMetrics();
+  if (obs::EventLog* events = obs::EventLog::Get()) {
+    report.AttachEvents(*events);
+  }
+  if (Status s = report.WriteFile(out_path); !s.ok()) {
+    IREDUCT_LOG(kError) << "failed writing run report: " << s.ToString();
+    return;
+  }
+  std::fprintf(stderr, "[bench] wrote run report to %s\n", out_path);
 }
 
 }  // namespace bench

@@ -122,9 +122,15 @@ void RegisterStandardMetrics();
 /// Emits the process metrics snapshot for `bench_name`: written as a JSON
 /// blob {"bench":...,"metrics":{...}} to the path in the BENCH_METRICS_OUT
 /// environment variable, or summarized to stderr when the knob is unset.
-/// Call once at the end of a bench main so the recorded counters cover the
-/// whole run.
+/// Also honors BENCH_REPORT_OUT (see EmitRunReport). Call once at the end
+/// of a bench main so the recorded counters cover the whole run.
 void EmitMetricsSnapshot(const std::string& bench_name);
+
+/// Writes the unified run report (eval/run_report) for `bench_name` to the
+/// path in the BENCH_REPORT_OUT environment variable: the full metrics
+/// snapshot plus the event stream when an EventLog is installed. No-op
+/// when the knob is unset.
+void EmitRunReport(const std::string& bench_name);
 
 }  // namespace bench
 }  // namespace ireduct

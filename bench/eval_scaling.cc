@@ -40,6 +40,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "data/census_generator.h"
+#include "eval/metrics.h"
 #include "eval/table_printer.h"
 #include "marginals/marginal_cache.h"
 #include "marginals/marginal_evaluator.h"
@@ -246,6 +247,63 @@ bool RunEndToEndSection(obs::JsonWriter& writer) {
   return ok;
 }
 
+// Phase breakdown of one fig08/09-style release on the Brazil k=2 task:
+// true-table evaluation, the noise mechanism itself, and post-processing
+// back to marginal tables + error scoring. A runtime regression in the
+// end-to-end number becomes attributable to a phase from BENCH_EVAL.json
+// alone, without rerunning anything under a profiler.
+void RunPhaseSection(obs::JsonWriter& writer) {
+  MarginalCache::Global().Clear();  // time a cold true-table pass
+  const auto true_table_start = std::chrono::steady_clock::now();
+  bench::CensusSetup setup = bench::BuildCensusSetup(CensusKind::kBrazil, 2);
+  const double true_table_s = Seconds(true_table_start);
+
+  const double epsilon = 0.05;
+  auto spec = MechanismSpec::Parse("ireduct");
+  IREDUCT_CHECK(spec.ok());
+  auto mechanism = MechanismRegistry::Global().Get("ireduct");
+  IREDUCT_CHECK(mechanism.ok());
+  (*mechanism)->SetSpecDefault(&spec.value(), "epsilon", epsilon);
+  (*mechanism)->SetSpecDefault(&spec.value(), "delta", setup.delta);
+  (*mechanism)->SetSpecDefault(&spec.value(), "lambda_max",
+                               setup.lambda_max);
+  (*mechanism)->SetSpecDefault(&spec.value(), "lambda_delta",
+                               setup.lambda_delta);
+  BitGen gen(2011);
+  const auto noise_start = std::chrono::steady_clock::now();
+  auto answers =
+      bench::SpecMechanism(*spec)(setup.workload.workload(), gen);
+  const double noise_s = Seconds(noise_start);
+  IREDUCT_CHECK(answers.ok());
+
+  const auto post_start = std::chrono::steady_clock::now();
+  auto noisy = setup.workload.ToMarginals(*answers);
+  IREDUCT_CHECK(noisy.ok());
+  const double overall =
+      OverallError(setup.workload.workload(), *answers, setup.delta);
+  const double post_s = Seconds(post_start);
+
+  writer.Key("phases");
+  writer.BeginObject();
+  writer.Key("rows");
+  writer.UInt(static_cast<uint64_t>(setup.n));
+  writer.Key("epsilon");
+  writer.Double(epsilon);
+  writer.Key("true_table_seconds");
+  writer.Double(true_table_s);
+  writer.Key("noise_seconds");
+  writer.Double(noise_s);
+  writer.Key("postprocess_seconds");
+  writer.Double(post_s);
+  writer.Key("overall_error");
+  writer.Double(overall);
+  writer.EndObject();
+
+  std::cout << "phase breakdown (Brazil k=2, epsilon " << epsilon
+            << "): true tables " << true_table_s << " s, noise " << noise_s
+            << " s, post-process " << post_s << " s\n";
+}
+
 }  // namespace
 
 int main() {
@@ -255,6 +313,7 @@ int main() {
   writer.KV("bench", "eval_engine_scaling");
   const bool fused_ok = RunFusedSection(writer);
   const bool e2e_ok = RunEndToEndSection(writer);
+  RunPhaseSection(writer);
   writer.Key("parity_ok");
   writer.Bool(fused_ok);
   writer.Key("end_to_end_ok");

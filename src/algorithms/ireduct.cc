@@ -12,6 +12,7 @@
 #include "dp/laplace_coupling.h"
 #include "dp/laplace_mechanism.h"
 #include "dp/noise_down.h"
+#include "obs/event_log.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -76,6 +77,10 @@ void RecordRetirement(obs::TraceRecorder* recorder, size_t g, double scale) {
     recorder->AddInstantEvent(
         "ireduct.retire",
         {{"group", static_cast<double>(g)}, {"lambda", scale}});
+  }
+  if (obs::EventLog* events = obs::EventLog::Get()) {
+    events->Emit("ireduct.retire", {{"group", static_cast<uint64_t>(g)},
+                                    {"lambda", scale}});
   }
 }
 
@@ -149,6 +154,16 @@ Result<MechanismOutput> RunIReductNaive(const Workload& workload,
             EstimatedGroupError(workload, g, out.answers, new_scale,
                                 params.delta)},
            {"gs_headroom", params.epsilon - gs}});
+    }
+    if (obs::EventLog* events = obs::EventLog::Get()) {
+      // The naive engine refines one group per iteration, so iteration
+      // index doubles as the round index.
+      events->Emit("ireduct.move",
+                   {{"round", static_cast<uint64_t>(out.iterations)},
+                    {"group", static_cast<uint64_t>(g)},
+                    {"old_lambda", old_scale},
+                    {"new_lambda", new_scale},
+                    {"gs_after", gs}});
     }
   }
 
@@ -263,6 +278,11 @@ Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
   uint64_t completed_rounds = resume != nullptr ? resume->round : 0;
   const uint64_t fingerprint =
       params.checkpoint.enabled() ? FingerprintWorkload(workload) : 0;
+  // ε-delta baseline for round events; one full recompute at loop entry.
+  double gs_before_round =
+      obs::EventLog::active()
+          ? workload.GeneralizedSensitivity(out.group_scales)
+          : 0;
   for (;;) {
     const uint64_t round_start_us =
         recorder != nullptr ? recorder->NowMicros() : 0;
@@ -356,9 +376,27 @@ Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
                                   mv.new_scale, params.delta)},
              {"gs_headroom", params.epsilon - mv.gs_after}});
       }
+      if (obs::EventLog* events = obs::EventLog::Get()) {
+        events->Emit("ireduct.move",
+                     {{"round", completed_rounds + 1},
+                      {"group", static_cast<uint64_t>(mv.group)},
+                      {"old_lambda", mv.old_scale},
+                      {"new_lambda", mv.new_scale},
+                      {"gs_after", mv.gs_after}});
+      }
     }
 
     ++completed_rounds;
+    if (obs::EventLog* events = obs::EventLog::Get()) {
+      const double gs_now = round.back().gs_after;
+      events->Emit("ireduct.round",
+                   {{"round", completed_rounds},
+                    {"moves", static_cast<uint64_t>(round.size())},
+                    {"gs", gs_now},
+                    {"epsilon_delta", gs_now - gs_before_round},
+                    {"epsilon", params.epsilon}});
+      gs_before_round = gs_now;
+    }
     // Crash-test hook: "ireduct.round" crash@R dies here, after round R's
     // draws but before any checkpoint of it.
     FaultInjector::Global().Hit("ireduct.round");

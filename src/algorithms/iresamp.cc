@@ -7,6 +7,7 @@
 #include "common/fault.h"
 #include "dp/incremental_sensitivity.h"
 #include "dp/laplace_mechanism.h"
+#include "obs/event_log.h"
 
 namespace ireduct {
 
@@ -139,6 +140,11 @@ Result<MechanismOutput> RunIResamp(const Workload& workload,
     if (!(new_effective > 0) || gs > params.epsilon) {
       active[g] = false;  // lines 18-21
       heap.Retire(g);
+      if (obs::EventLog* events = obs::EventLog::Get()) {
+        events->Emit("iresamp.retire",
+                     {{"group", static_cast<uint64_t>(g)},
+                      {"lambda", nominal[g]}});
+      }
       continue;
     }
     gs_tracker.Commit(g, new_effective);
@@ -161,6 +167,15 @@ Result<MechanismOutput> RunIResamp(const Workload& workload,
     ++out.iterations;
 
     ++completed_rounds;
+    if (obs::EventLog* events = obs::EventLog::Get()) {
+      events->Emit("iresamp.round",
+                   {{"round", completed_rounds},
+                    {"group", static_cast<uint64_t>(g)},
+                    {"new_nominal", new_nominal},
+                    {"new_effective", new_effective},
+                    {"gs", gs},
+                    {"epsilon", params.epsilon}});
+    }
     // Crash-test hook: "iresamp.round" crash@R dies here, after round R's
     // draws but before any checkpoint of it.
     FaultInjector::Global().Hit("iresamp.round");

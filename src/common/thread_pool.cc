@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <chrono>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace ireduct {
 
@@ -22,11 +25,36 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+#if IREDUCT_ENABLE_TRACING
+  // Wrap the closure with queue-wait and run timing. Done at submit (not in
+  // the worker) so the enqueue timestamp rides inside the task itself; the
+  // wrapper is only paid when metrics are on.
+  if (obs::MetricsRegistry::enabled()) {
+    IREDUCT_METRIC_COUNT("thread_pool.tasks", 1);
+    task = [inner = std::move(task),
+            enqueued = std::chrono::steady_clock::now()] {
+      const auto started = std::chrono::steady_clock::now();
+      IREDUCT_METRIC_OBSERVE(
+          "thread_pool.task_wait_seconds",
+          std::chrono::duration<double>(started - enqueued).count());
+      inner();
+      IREDUCT_METRIC_OBSERVE(
+          "thread_pool.task_run_seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count());
+    };
+  }
+#endif
+  size_t depth;
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    depth = queue_.size();
   }
+  IREDUCT_METRIC_GAUGE_SET("thread_pool.queue_depth",
+                           static_cast<double>(depth));
   work_available_.notify_one();
 }
 
@@ -38,6 +66,7 @@ void ThreadPool::Wait() {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock,
@@ -47,7 +76,10 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
+    IREDUCT_METRIC_GAUGE_SET("thread_pool.queue_depth",
+                             static_cast<double>(depth));
     task();
     {
       std::unique_lock<std::mutex> lock(mu_);

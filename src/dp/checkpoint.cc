@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +13,7 @@
 
 #include "common/fault.h"
 #include "dp/ledger_journal.h"
+#include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -298,8 +300,16 @@ Result<RunCheckpoint> ParseCheckpoint(std::string_view text) {
 }
 
 Status FileCheckpointSink::Write(const RunCheckpoint& checkpoint) {
+  const auto serialize_start = std::chrono::steady_clock::now();
   std::string record = SerializeCheckpoint(checkpoint);
   record.push_back('\n');
+  const auto write_start = std::chrono::steady_clock::now();
+  IREDUCT_METRIC_OBSERVE(
+      "checkpoint.serialize_seconds",
+      std::chrono::duration<double>(write_start - serialize_start).count());
+  IREDUCT_METRIC_OBSERVE_BUCKETS("checkpoint.bytes",
+                                 static_cast<double>(record.size()),
+                                 obs::ByteBucketBounds());
 
   const FaultDecision fault =
       FaultInjector::Global().Hit("checkpoint.write");
@@ -333,6 +343,16 @@ Status FileCheckpointSink::Write(const RunCheckpoint& checkpoint) {
   IREDUCT_METRIC_COUNT("checkpoint.writes", 1);
   IREDUCT_METRIC_GAUGE_SET("checkpoint.last_round",
                            static_cast<double>(checkpoint.round));
+  IREDUCT_METRIC_OBSERVE(
+      "checkpoint.write_seconds",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    write_start)
+          .count());
+  if (obs::EventLog* events = obs::EventLog::Get()) {
+    events->Emit("checkpoint.write",
+                 {{"round", checkpoint.round},
+                  {"bytes", static_cast<uint64_t>(record.size())}});
+  }
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +13,7 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -269,13 +271,25 @@ Status LedgerJournal::AppendDurable(const std::string& record) {
     return poison(Status::IoError("injected fault: journal append torn after " +
                                   std::to_string(keep) + " bytes"));
   }
+  const auto write_start = std::chrono::steady_clock::now();
   if (Status s = WriteAll(fd_, line, path_); !s.ok()) {
     return poison(std::move(s));
   }
+  const auto fsync_start = std::chrono::steady_clock::now();
   if (::fsync(fd_) != 0) {
     return poison(Status::IoError(ErrnoMessage("fsyncing journal", path_)));
   }
+  const auto done = std::chrono::steady_clock::now();
   IREDUCT_METRIC_COUNT("journal.appends", 1);
+  IREDUCT_METRIC_OBSERVE(
+      "journal.append_seconds",
+      std::chrono::duration<double>(done - write_start).count());
+  IREDUCT_METRIC_OBSERVE(
+      "journal.fsync_seconds",
+      std::chrono::duration<double>(done - fsync_start).count());
+  IREDUCT_METRIC_OBSERVE_BUCKETS("journal.append_bytes",
+                                 static_cast<double>(line.size()),
+                                 obs::ByteBucketBounds());
   return Status::OK();
 }
 
@@ -286,6 +300,11 @@ Status LedgerJournal::AppendGrant(std::string_view label, double epsilon) {
   }
   IREDUCT_RETURN_NOT_OK(
       AppendDurable(SealJsonRecord(GrantRecordBody(next_seq_, epsilon, label))));
+  if (obs::EventLog* events = obs::EventLog::Get()) {
+    events->Emit("journal.append", {{"grant_seq", next_seq_},
+                                    {"label", label},
+                                    {"epsilon", epsilon}});
+  }
   ++next_seq_;
   return Status::OK();
 }

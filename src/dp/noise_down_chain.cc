@@ -4,6 +4,7 @@
 
 #include "dp/laplace_coupling.h"
 #include "dp/noise_down.h"
+#include "obs/event_log.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
@@ -61,6 +62,12 @@ Status NoiseDownChain::Reduce(double new_scale, BitGen& gen) {
   spent_ += increment;
   ++reductions_;
   IREDUCT_METRIC_COUNT("noise_down_chain.reductions", 1);
+  if (obs::EventLog* events = obs::EventLog::Get()) {
+    events->Emit("noise_down.reduce", {{"old_scale", old_scale},
+                                       {"new_scale", new_scale},
+                                       {"epsilon_delta", increment},
+                                       {"epsilon_spent", spent_}});
+  }
   IREDUCT_LOG(kDebug) << "noise-down chain reduced " << old_scale << " -> "
                       << new_scale << " (+" << increment
                       << " epsilon, total " << spent_ << ")";

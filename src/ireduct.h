@@ -41,6 +41,7 @@
 #include "eval/metrics.h"                  // IWYU pragma: export
 #include "eval/privacy_audit.h"            // IWYU pragma: export
 #include "eval/report.h"                   // IWYU pragma: export
+#include "eval/run_report.h"               // IWYU pragma: export
 #include "eval/sanity_bounds.h"            // IWYU pragma: export
 #include "eval/stats.h"                    // IWYU pragma: export
 #include "eval/table_printer.h"            // IWYU pragma: export
@@ -50,6 +51,8 @@
 #include "marginals/marginal_workload.h"   // IWYU pragma: export
 #include "marginals/postprocess.h"         // IWYU pragma: export
 #include "marginals/synthetic.h"           // IWYU pragma: export
+#include "obs/event_log.h"                 // IWYU pragma: export
+#include "obs/export_prometheus.h"         // IWYU pragma: export
 #include "obs/json.h"                      // IWYU pragma: export
 #include "obs/log.h"                       // IWYU pragma: export
 #include "obs/metrics.h"                   // IWYU pragma: export

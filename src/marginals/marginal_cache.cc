@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "marginals/marginal_evaluator.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 
 namespace ireduct {
@@ -33,12 +34,22 @@ void MarginalCache::TouchLocked(Entry* entry) {
 void MarginalCache::EvictToBudgetLocked() {
   while (byte_budget_ > 0 && bytes_ > byte_budget_ && !lru_.empty()) {
     const auto it = entries_.find(lru_.back());
-    bytes_ -= it->second.bytes;
+    const size_t freed = it->second.bytes;
+    bytes_ -= freed;
     entries_.erase(it);
     lru_.pop_back();
     ++evictions_;
     IREDUCT_METRIC_COUNT("marginals.cache_evictions", 1);
+    // Safe under mu_: the event log never calls back into the cache.
+    if (obs::EventLog* events = obs::EventLog::Get()) {
+      events->Emit("cache.evict",
+                   {{"freed_bytes", static_cast<uint64_t>(freed)},
+                    {"resident_bytes", static_cast<uint64_t>(bytes_)},
+                    {"entries", static_cast<uint64_t>(entries_.size())}});
+    }
   }
+  IREDUCT_METRIC_GAUGE_SET("marginals.cache_resident_bytes",
+                           static_cast<double>(bytes_));
 }
 
 Result<std::vector<Marginal>> MarginalCache::GetOrCompute(
@@ -139,6 +150,7 @@ void MarginalCache::Clear() {
   entries_.clear();
   lru_.clear();
   bytes_ = 0;
+  IREDUCT_METRIC_GAUGE_SET("marginals.cache_resident_bytes", 0.0);
 }
 
 }  // namespace ireduct

@@ -1,6 +1,7 @@
 #include "marginals/marginal_evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <unordered_set>
 
@@ -222,6 +223,7 @@ Result<std::vector<Marginal>> MarginalSetEvaluator::Compute(
   IREDUCT_SCOPED_TIMER(fused_timer, "marginals.fused_seconds");
   IREDUCT_METRIC_COUNT("marginals.fused_passes", 1);
   IREDUCT_METRIC_COUNT("marginals.fused_rows", n);
+  const auto pass_start = std::chrono::steady_clock::now();
 
   // One shard per worker, but never shards so small that the per-shard
   // accumulator allocation dominates. Shard *count* only affects
@@ -242,15 +244,40 @@ Result<std::vector<Marginal>> MarginalSetEvaluator::Compute(
     for (size_t c = 0; c < total_cells_; ++c) totals[c] = counts[c];
   } else {
     std::vector<std::vector<uint32_t>> shard_counts(num_shards);
+    // Each worker writes only its own slot, so the timing vector needs no
+    // lock; it is read after Wait() establishes the happens-before edge.
+    std::vector<double> shard_seconds(num_shards, 0);
     for (size_t s = 0; s < num_shards; ++s) {
       const size_t begin = n * s / num_shards;
       const size_t end = n * (s + 1) / num_shards;
-      pool->Submit([this, &dataset, rows, begin, end, &shard_counts, s] {
+      pool->Submit([this, &dataset, rows, begin, end, &shard_counts,
+                    &shard_seconds, s] {
+        const auto shard_start = std::chrono::steady_clock::now();
         shard_counts[s].assign(total_cells_, 0);
         CountShard(dataset, rows, begin, end, shard_counts[s].data());
+        shard_seconds[s] = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - shard_start)
+                               .count();
       });
     }
     pool->Wait();
+#if IREDUCT_ENABLE_TRACING
+    if (obs::MetricsRegistry::enabled()) {
+      double total_seconds = 0;
+      double max_seconds = 0;
+      for (const double s : shard_seconds) {
+        IREDUCT_METRIC_OBSERVE("marginals.shard_seconds", s);
+        total_seconds += s;
+        max_seconds = std::max(max_seconds, s);
+      }
+      const double mean_seconds = total_seconds / num_shards;
+      // max/mean ≈ 1 means even shards; > 1 quantifies straggler loss.
+      if (mean_seconds > 0) {
+        IREDUCT_METRIC_GAUGE_SET("marginals.shard_imbalance",
+                                 max_seconds / mean_seconds);
+      }
+    }
+#endif
     // Fixed shard order; with integer counts any order gives the same sum.
     for (size_t s = 0; s < num_shards; ++s) {
       const uint32_t* src = shard_counts[s].data();
@@ -271,6 +298,14 @@ Result<std::vector<Marginal>> MarginalSetEvaluator::Compute(
         Marginal m, Marginal::FromCounts(plan.spec, plan.domain_sizes,
                                          std::move(counts)));
     marginals.push_back(std::move(m));
+  }
+  const double pass_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pass_start)
+          .count();
+  if (pass_seconds > 0) {
+    IREDUCT_METRIC_GAUGE_SET("marginals.rows_per_second",
+                             static_cast<double>(n) / pass_seconds);
   }
   return marginals;
 }

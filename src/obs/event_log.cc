@@ -1,0 +1,198 @@
+#include "obs/event_log.h"
+
+#if IREDUCT_ENABLE_TRACING
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <utility>
+
+#include "common/fault.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace ireduct {
+namespace obs {
+
+namespace {
+std::string JsonToken(double v) {
+  // JSON has no non-finite numbers; quote them like JsonWriter::Double.
+  if (!std::isfinite(v)) return '"' + FormatDouble(v) + '"';
+  return FormatDouble(v);
+}
+}  // namespace
+
+EventField::EventField(std::string_view k, uint64_t v)
+    : key(k), json(std::to_string(v)) {}
+EventField::EventField(std::string_view k, int64_t v)
+    : key(k), json(std::to_string(v)) {}
+EventField::EventField(std::string_view k, int v)
+    : key(k), json(std::to_string(v)) {}
+EventField::EventField(std::string_view k, double v)
+    : key(k), json(JsonToken(v)) {}
+EventField::EventField(std::string_view k, std::string_view v)
+    : key(k), json('"' + EscapeJson(v) + '"') {}
+
+std::atomic<EventLog*> EventLog::installed_{nullptr};
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+EventLog* EventLog::Get() {
+  return installed_.load(std::memory_order_acquire);
+}
+
+void EventLog::Install(EventLog* log) {
+  installed_.store(log, std::memory_order_release);
+}
+
+void EventLog::Emit(std::string_view type,
+                    std::initializer_list<EventField> fields) {
+  std::string line;
+  bool dropped = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    JsonWriter json(&line);
+    json.BeginObject();
+    json.KV("seq", next_seq_);
+    json.KV("type", type);
+    for (const EventField& field : fields) {
+      json.Key(field.key);
+      json.RawValue(field.json);
+    }
+    if (wall_clock_) {
+      const auto now = std::chrono::system_clock::now().time_since_epoch();
+      json.KV("unix_ms",
+              static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(now)
+                      .count()));
+    }
+    json.EndObject();
+    ++next_seq_;
+    ++by_type_[std::string(type)];
+    if (lines_.size() == capacity_) {
+      lines_.pop_front();
+      ++dropped_;
+      dropped = true;
+    }
+    lines_.push_back(std::move(line));
+  }
+  IREDUCT_METRIC_COUNT("events.emitted", 1);
+  if (dropped) IREDUCT_METRIC_COUNT("events.dropped", 1);
+}
+
+void EventLog::set_wall_clock(bool on) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  wall_clock_ = on;
+}
+
+size_t EventLog::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+uint64_t EventLog::total_emitted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+uint64_t EventLog::total_dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t EventLog::CountType(std::string_view type) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_type_.find(type);
+  return it == by_type_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> EventLog::SnapshotLines() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {lines_.begin(), lines_.end()};
+}
+
+std::string EventLog::SnapshotJsonl() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::string& line : lines_) {
+    if (!out.empty()) out.push_back('\n');
+    out += line;
+  }
+  return out;
+}
+
+std::string EventLog::SummaryJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.KV("emitted", next_seq_);
+  json.KV("dropped", dropped_);
+  json.KV("buffered", static_cast<uint64_t>(lines_.size()));
+  json.Key("by_type");
+  json.BeginObject();
+  for (const auto& [type, count] : by_type_) json.KV(type, count);
+  json.EndObject();
+  json.EndObject();
+  return out;
+}
+
+void EventLog::Drain(std::string* out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (std::string& line : lines_) {
+    out->append(line);
+    out->push_back('\n');
+  }
+  lines_.clear();
+}
+
+Status EventLog::WriteFile(const std::string& path) {
+  // Serialize outside any write so a failure leaves the buffer intact:
+  // drained-on-success only.
+  std::string payload;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& line : lines_) {
+      payload += line;
+      payload.push_back('\n');
+    }
+  }
+  const FaultDecision fault = FaultInjector::Global().Hit("event_log.write");
+  if (fault.action == FaultAction::kFail) {
+    return Status::IoError("injected fault: event log write failed");
+  }
+  if (fault.action == FaultAction::kTruncate) {
+    // A crash mid-drain: a prefix of the stream reaches the disk. The
+    // buffer is NOT cleared — nothing was acknowledged — so the next
+    // drain (or the run report's own snapshot) still sees every event.
+    const size_t keep =
+        std::min<size_t>(fault.truncate_bytes, payload.size());
+    std::ofstream file(path, std::ios::binary | std::ios::app);
+    file.write(payload.data(), static_cast<std::streamsize>(keep));
+    file.flush();
+    return Status::IoError("injected fault: event log write torn after " +
+                           std::to_string(keep) + " bytes");
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::app);
+  if (!file) {
+    return Status::IoError("opening event log '" + path + "' for append");
+  }
+  file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!file.flush()) {
+    return Status::IoError("writing event log '" + path + "'");
+  }
+  Clear();
+  return Status::OK();
+}
+
+void EventLog::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  lines_.clear();
+}
+
+}  // namespace obs
+}  // namespace ireduct
+
+#endif  // IREDUCT_ENABLE_TRACING

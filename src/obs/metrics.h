@@ -32,6 +32,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ireduct {
@@ -62,6 +63,19 @@ class Gauge {
   std::atomic<double> value_{0};
 };
 
+/// `count` geometrically spaced upper bounds starting at `start` and
+/// multiplying by `factor` (> 1): {start, start*factor, ...}. The standard
+/// way to build histogram bounds for quantities with a wide dynamic range
+/// (bytes, rows) where log decades are too coarse or the wrong base.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+
+/// Shared bounds for byte-sized histograms (journal appends, checkpoint
+/// payloads): 64 B .. ~16 MiB in powers of 4. Call sites and
+/// RegisterStandardMetrics must agree on bounds — they only apply at first
+/// registration — so both use this one function.
+std::span<const double> ByteBucketBounds();
+
 /// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
 /// an implicit final +inf bucket. Also tracks count and sum for mean
 /// recovery.
@@ -78,6 +92,14 @@ class Histogram {
   std::vector<uint64_t> bucket_counts() const;
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Reads count and sum as a coherent pair: never returns a count that
+  /// includes an observation whose value is missing from sum (or vice
+  /// versa), unlike calling count() and sum() back to back while another
+  /// thread is in Observe. Bucket counts stay independently relaxed — a
+  /// snapshot may be one observation ahead of or behind the pair, which is
+  /// harmless for monitoring, but a torn count/sum pair would corrupt the
+  /// derived mean.
+  void SnapshotData(uint64_t* count, double* sum) const;
   void Reset();
 
  private:
@@ -85,6 +107,29 @@ class Histogram {
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0};
+  // Guards the (count_, sum_) pair in Observe/Reset/SnapshotData. A spin
+  // flag, not a mutex: the critical section is two relaxed stores, and
+  // Observe sits on hot paths where a futex wait would be a pessimisation.
+  mutable std::atomic_flag pair_lock_ = ATOMIC_FLAG_INIT;
+};
+
+/// Plain-data copy of one histogram, safe to hold after the registry lock
+/// is released.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;         // finite upper bounds
+  std::vector<uint64_t> bucket_counts;  // bounds.size() + 1, last = +inf
+  uint64_t count = 0;
+  double sum = 0;
+};
+
+/// Point-in-time copy of the whole registry, names sorted within each kind.
+/// The substrate for every exporter (JSON, Prometheus, run reports): taken
+/// once under the registry lock, then formatted lock-free.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
 };
 
 /// Owner of every metric in the process. Metrics are created on first
@@ -112,6 +157,9 @@ class MetricsRegistry {
   /// the default log-decade seconds buckets (1e-6 .. 10).
   Histogram& histogram(std::string_view name,
                        std::span<const double> upper_bounds = {});
+
+  /// Coherent point-in-time copy of every metric (see MetricsSnapshot).
+  MetricsSnapshot Snapshot() const;
 
   /// Deterministic JSON snapshot:
   /// {"counters":{...},"gauges":{...},"histograms":{...}}.
@@ -153,6 +201,14 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Pre-registers every metric the library emits (names, kinds, bucket
+/// bounds) in the global registry, so exporters and run reports show the
+/// full schema — zero-valued — even for subsystems a given run never
+/// exercised. Idempotent. Works in no-tracing builds too (the registry
+/// always exists; only the recording macros compile away), so reports keep
+/// a stable shape across build flavors.
+void RegisterStandardMetrics();
+
 }  // namespace obs
 }  // namespace ireduct
 
@@ -187,6 +243,20 @@ class ScopedTimer {
     }                                                                      \
   } while (false)
 
+// IREDUCT_METRIC_OBSERVE with explicit bucket bounds (a std::span<const
+// double> or anything convertible). Bounds apply on first registration
+// only, so every call site for a given name must pass the same bounds —
+// share a helper like ByteBucketBounds() rather than inlining literals.
+#define IREDUCT_METRIC_OBSERVE_BUCKETS(name, v, bounds)                    \
+  do {                                                                     \
+    if (::ireduct::obs::MetricsRegistry::enabled()) {                      \
+      static ::ireduct::obs::Histogram& ireduct_metric_histogram =         \
+          ::ireduct::obs::MetricsRegistry::Global().histogram(name,        \
+                                                             bounds);      \
+      ireduct_metric_histogram.Observe(v);                                 \
+    }                                                                      \
+  } while (false)
+
 // Times the enclosing scope into histogram `name` (seconds).
 #define IREDUCT_SCOPED_TIMER(var, name)                                    \
   ::ireduct::obs::ScopedTimer var(                                         \
@@ -202,6 +272,9 @@ class ScopedTimer {
   } while (false)
 #define IREDUCT_METRIC_OBSERVE(name, v) \
   do {                                  \
+  } while (false)
+#define IREDUCT_METRIC_OBSERVE_BUCKETS(name, v, bounds) \
+  do {                                                  \
   } while (false)
 #define IREDUCT_SCOPED_TIMER(var, name) \
   do {                                  \

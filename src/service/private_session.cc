@@ -13,6 +13,26 @@
 
 namespace ireduct {
 
+namespace {
+// Refreshes the session.epsilon_remaining gauge when the request scope
+// exits, whichever path (success, refusal, error) it exits through.
+class BudgetGaugeUpdater {
+ public:
+  explicit BudgetGaugeUpdater(const PrivacyAccountant* accountant)
+      : accountant_(accountant) {}
+  ~BudgetGaugeUpdater() {
+    (void)accountant_;  // the macro is empty in no-tracing builds
+    IREDUCT_METRIC_GAUGE_SET("session.epsilon_remaining",
+                             accountant_->remaining());
+  }
+  BudgetGaugeUpdater(const BudgetGaugeUpdater&) = delete;
+  BudgetGaugeUpdater& operator=(const BudgetGaugeUpdater&) = delete;
+
+ private:
+  const PrivacyAccountant* accountant_;
+};
+}  // namespace
+
 Result<PrivateQuerySession> PrivateQuerySession::Create(
     const Dataset* dataset, double epsilon_budget, uint64_t seed) {
   if (dataset == nullptr) {
@@ -85,6 +105,8 @@ Result<double> PrivateQuerySession::CountQuery(const ConjunctiveQuery& query,
   obs::TraceSpan span("session.count_query");
   span.Arg("epsilon", epsilon);
   IREDUCT_METRIC_COUNT("session.count_queries", 1);
+  IREDUCT_SCOPED_TIMER(request_timer, "session.request_seconds");
+  const BudgetGaugeUpdater budget_gauge(accountant_.get());
   if (!(epsilon > 0) || !std::isfinite(epsilon)) {
     return Status::InvalidArgument("epsilon must be positive finite");
   }
@@ -117,6 +139,8 @@ Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
   span.Arg("epsilon", epsilon);
   span.Arg("marginals", static_cast<double>(specs.size()));
   IREDUCT_METRIC_COUNT("session.marginal_releases", 1);
+  IREDUCT_SCOPED_TIMER(request_timer, "session.request_seconds");
+  const BudgetGaugeUpdater budget_gauge(accountant_.get());
   if (!(epsilon > 0) || !std::isfinite(epsilon)) {
     return Status::InvalidArgument("epsilon must be positive finite");
   }
@@ -187,6 +211,8 @@ Result<NoiseDownChain> PrivateQuerySession::StartRefinableCount(
   // coupling slack 1).
   span.Arg("epsilon", initial_scale > 0 ? 1.0 / initial_scale : 0.0);
   IREDUCT_METRIC_COUNT("session.refinable_counts", 1);
+  IREDUCT_SCOPED_TIMER(request_timer, "session.request_seconds");
+  const BudgetGaugeUpdater budget_gauge(accountant_.get());
   IREDUCT_ASSIGN_OR_RETURN(const double truth,
                            EvaluateQuery(*dataset_, query));
   NoiseDownChainOptions options;

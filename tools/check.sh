@@ -15,8 +15,15 @@
 #                             # marginal releases end-to-end
 #   tools/check.sh threads    # ThreadSanitizer build of the concurrent
 #                             # evaluation paths: thread pool, fused
-#                             # marginal evaluator, marginal cache, and
-#                             # the parallel trial runner
+#                             # marginal evaluator, marginal cache,
+#                             # metrics registry, and the parallel trial
+#                             # runner
+#   tools/check.sh obs        # Telemetry smoke: runs the event-log /
+#                             # exposition / run-report tests, drives
+#                             # ireduct_tool with --report-out/--events-out/
+#                             # --prom-out and validates the artifacts, and
+#                             # proves the report survives a fault-injected
+#                             # event drain and a no-tracing build
 #   tools/check.sh format     # clang-format style gate over src/tests/
 #                             # tools/bench/examples (skips locally when
 #                             # clang-format is missing; CI enforces it)
@@ -35,10 +42,10 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 case "$mode" in
-  default|san|no-tracing|perf|registry|threads|format|ci) ;;
+  default|san|no-tracing|perf|registry|threads|obs|format|ci) ;;
   *)
     echo "usage: tools/check.sh" \
-         "[san|no-tracing|perf|registry|threads|format|ci]" >&2
+         "[san|no-tracing|perf|registry|threads|obs|format|ci]" >&2
     exit 2
     ;;
 esac
@@ -90,13 +97,52 @@ if [ "$mode" = threads ]; then
   # discovery. IREDUCT_THREADS forces the pooled paths on.
   cmake --preset tsan
   tsan_tests="thread_pool_test marginal_evaluator_test marginal_cache_test \
-              experiment_test ireduct_batch_test"
+              experiment_test ireduct_batch_test obs_metrics_test \
+              event_log_test"
   # shellcheck disable=SC2086  # word splitting is the point
   cmake --build --preset tsan -j "$(nproc)" --target $tsan_tests
   for t in $tsan_tests; do
     echo "== TSan: $t =="
     IREDUCT_THREADS=4 ./build-tsan/tests/"$t"
   done
+  exit 0
+fi
+
+if [ "$mode" = obs ]; then
+  # Telemetry smoke: unit-test the pipeline, then prove the end-to-end
+  # artifacts (--report-out / --events-out / --prom-out) carry what the
+  # docs promise — and that the run report still works with tracing
+  # compiled out.
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "$out_dir"' EXIT
+  obs_tests="obs_metrics_test event_log_test export_prometheus_test \
+             run_report_test"
+  cmake --preset default
+  # shellcheck disable=SC2086  # word splitting is the point
+  cmake --build --preset default -j "$(nproc)" \
+    --target ireduct_tool $obs_tests
+  for t in $obs_tests; do
+    echo "== obs: $t =="
+    ./build/tests/"$t"
+  done
+  ./build/tools/ireduct_tool marginals --rows 2000 --seed 7 \
+    --epsilon 0.5 --mechanism ireduct --out-dir "$out_dir" \
+    --report-out "$out_dir/report.json" \
+    --events-out "$out_dir/events.jsonl" \
+    --prom-out "$out_dir/metrics.prom" > /dev/null
+  grep -q '"report_version"' "$out_dir/report.json"
+  grep -q '"overall_error"' "$out_dir/report.json"
+  grep -q '^# TYPE ' "$out_dir/metrics.prom"
+  grep -q '"type":"ireduct.round"' "$out_dir/events.jsonl"
+  echo "obs smoke [default]: report + events + exposition OK"
+  cmake --preset no-tracing
+  cmake --build --preset no-tracing -j "$(nproc)" --target ireduct_tool
+  ./build-no-tracing/tools/ireduct_tool marginals --rows 2000 --seed 7 \
+    --epsilon 0.5 --mechanism ireduct --out-dir "$out_dir" \
+    --report-out "$out_dir/report-nt.json" > /dev/null
+  grep -q '"report_version"' "$out_dir/report-nt.json"
+  grep -q '"overall_error"' "$out_dir/report-nt.json"
+  echo "obs smoke [no-tracing]: run report still written"
   exit 0
 fi
 

@@ -50,6 +50,16 @@
 //   --metrics-out FILE  write the process metrics snapshot JSON (counters,
 //                       gauges — including privacy.epsilon_spent —, and
 //                       histograms)
+//   --events-out FILE   write the structured event stream as JSONL, one
+//                       event per line ({"seq":N,"type":"ireduct.round",...});
+//                       see docs/OBSERVABILITY.md for the per-type schema
+//   --prom-out FILE     write the metrics registry in Prometheus/OpenMetrics
+//                       text exposition format (scrapeable via node_exporter
+//                       textfile collector or any file-based pipeline)
+//   --report-out FILE   write the unified run report JSON: run fields,
+//                       per-query relative-error stats, the ε ledger, the
+//                       metrics snapshot, and the event stream + summary,
+//                       all in one deterministic document
 #include <sys/stat.h>
 
 #include <algorithm>
@@ -263,7 +273,8 @@ int CmdListMechanisms() {
   return 0;
 }
 
-int CmdMarginals(const std::map<std::string, std::string>& flags) {
+int CmdMarginals(const std::map<std::string, std::string>& flags,
+                 RunReport* report) {
   auto dataset = MakeCensus(flags);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
@@ -295,6 +306,18 @@ int CmdMarginals(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   const std::string mechanism = spec->name();
+
+  report->SetRunField("command", "marginals");
+  report->SetRunField("mechanism", spec->ToString());
+  report->SetRunField("kind", FlagOr(flags, "kind", "brazil"));
+  report->SetRunField("rows", static_cast<uint64_t>(dataset->num_rows()));
+  report->SetRunField("k", static_cast<uint64_t>(k));
+  report->SetRunField(
+      "seed", static_cast<uint64_t>(std::strtoull(
+                  FlagOr(flags, "seed", "1").c_str(), nullptr, 10)));
+  report->SetRunField("epsilon", epsilon);
+  report->SetRunField("delta", delta);
+  report->SetRunField("steps", static_cast<uint64_t>(steps));
 
   // --journal switches the run to crash-safe mode: write-ahead ledger
   // journal + periodic checkpoints, resumable with --resume 1.
@@ -343,6 +366,7 @@ int CmdMarginals(const std::map<std::string, std::string>& flags) {
       recorder->SetOtherData("privacy_ledger",
                              crash_safe.accountant->ExportLedgerJson());
     }
+    report->AttachLedger(*crash_safe.accountant);
   } else if (out->is_private() && out->epsilon_spent > 0) {
     // Mirror the release through an accountant so the run carries a
     // ledger: the privacy.epsilon_spent gauge tracks the charge, and the
@@ -365,8 +389,12 @@ int CmdMarginals(const std::map<std::string, std::string>& flags) {
         recorder->SetOtherData("privacy_ledger",
                                accountant->ExportLedgerJson());
       }
+      report->AttachLedger(*accountant);
     }
   }
+
+  report->SetRunField("epsilon_spent", out->epsilon_spent);
+  report->SetErrors(mw->workload(), out->answers, delta);
 
   const std::string dir = FlagOr(flags, "out-dir", ".");
   auto noisy = mw->ToMarginals(out->answers);
@@ -480,7 +508,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: ireduct_tool generate|marginals|compare|"
                "list-mechanisms [--flag value ...]\n[--log-level L] "
-               "[--trace-out F] [--metrics-out F] work with every command."
+               "[--trace-out F] [--metrics-out F] [--events-out F] "
+               "[--prom-out F] [--report-out F] work with every command."
                "\n(see the header comment of tools/ireduct_tool.cc for "
                "details)\n");
   return 2;
@@ -523,6 +552,9 @@ int main(int argc, char** argv) {
   }
   const std::string trace_out = TakeFlag(&flags, "trace-out");
   const std::string metrics_out = TakeFlag(&flags, "metrics-out");
+  const std::string events_out = TakeFlag(&flags, "events-out");
+  const std::string prom_out = TakeFlag(&flags, "prom-out");
+  const std::string report_out = TakeFlag(&flags, "report-out");
   // Static so instrumentation can reach it for the whole run; installed
   // only when a trace was asked for, so tracing stays off otherwise.
   static obs::TraceRecorder recorder;
@@ -534,12 +566,27 @@ int main(int argc, char** argv) {
 #endif
     obs::TraceRecorder::Install(&recorder);
   }
+  // Same lifetime story as the trace recorder: events flow only while a
+  // log is installed, and only the edge that asked for an artifact pays.
+  static obs::EventLog event_log;
+  if (!events_out.empty() || !report_out.empty()) {
+#if !IREDUCT_ENABLE_TRACING
+    std::fprintf(stderr,
+                 "note: built with IREDUCT_ENABLE_TRACING=OFF; the event "
+                 "stream will be empty\n");
+#endif
+    obs::EventLog::Install(&event_log);
+  }
+  // Pre-register the full metric schema so artifacts list every metric the
+  // build knows about, not just the ones this particular run touched.
+  obs::RegisterStandardMetrics();
 
+  RunReport report(command);
   int rc;
   if (command == "generate") {
     rc = CmdGenerate(flags);
   } else if (command == "marginals") {
-    rc = CmdMarginals(flags);
+    rc = CmdMarginals(flags, &report);
   } else if (command == "compare") {
     rc = CmdCompare(flags);
   } else {
@@ -570,6 +617,39 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
+  // The report snapshots the event stream *before* --events-out drains it,
+  // so a failed (or fault-injected) drain cannot corrupt the report.
+  if (!report_out.empty()) {
+    report.AttachMetrics();
+    if (obs::EventLog* events = obs::EventLog::Get()) {
+      report.AttachEvents(*events);
+    }
+    if (Status s = report.WriteFile(report_out); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote run report to %s\n", report_out.c_str());
+  }
+  if (!events_out.empty()) {
+    const size_t buffered = event_log.size();
+    if (Status s = event_log.WriteFile(events_out); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+#if !IREDUCT_ENABLE_TRACING
+    // The stub drains nothing; still leave the (empty) artifact behind so
+    // downstream tooling finds the file it asked for.
+    std::ofstream(events_out, std::ios::trunc);
+#endif
+    std::printf("wrote %zu events to %s\n", buffered, events_out.c_str());
+  }
+  if (!prom_out.empty()) {
+    if (Status s = obs::WritePrometheusFile(prom_out); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote prometheus exposition to %s\n", prom_out.c_str());
   }
   return rc;
 }
