@@ -4,8 +4,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <string>
+#include <thread>
 
 #include "common/env.h"
+#include "common/simd.h"
 #include "eval/metrics.h"
 #include "eval/run_report.h"
 #include "obs/event_log.h"
@@ -210,6 +213,42 @@ TrialAggregate MeasureOverallError(const Workload& workload,
   });
 }
 
+namespace {
+
+// First "model name" line of /proc/cpuinfo, or "unknown" off-Linux.
+std::string CpuModelName() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void WriteHostInfo(obs::JsonWriter& writer) {
+  writer.Key("host");
+  writer.BeginObject();
+  writer.KV("cpu_model", CpuModelName());
+  writer.KV("hardware_concurrency",
+            static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  writer.KV("simd_detected", simd::TierName(simd::DetectedTier()));
+  writer.KV("simd_active", simd::TierName(simd::ActiveTier()));
+#ifdef IREDUCT_BENCH_MARCH_FLAGS
+  writer.KV("march_flags", IREDUCT_BENCH_MARCH_FLAGS);
+#else
+  writer.KV("march_flags", "unknown");
+#endif
+  writer.EndObject();
+}
+
 void RegisterStandardMetrics() {
   // The library owns the canonical schema; benches just make sure it is
   // registered before snapshotting so untouched metrics still show up.
@@ -242,6 +281,7 @@ void EmitMetricsSnapshot(const std::string& bench_name) {
   obs::JsonWriter json(&blob);
   json.BeginObject();
   json.KV("bench", bench_name);
+  WriteHostInfo(json);
   json.Key("metrics");
   json.RawValue(registry.SnapshotJson());
   json.EndObject();

@@ -35,6 +35,7 @@
 #include "data/census_generator.h"
 #include "eval/experiment.h"
 #include "marginals/marginal_workload.h"
+#include "obs/json.h"
 
 namespace ireduct {
 namespace bench {
@@ -112,6 +113,12 @@ int Trials();
 
 /// IREDUCT_STEPS environment knob.
 int IReductSteps();
+
+/// Writes a "host" object into an open JSON object: CPU model (from
+/// /proc/cpuinfo), hardware concurrency, detected and active SIMD tiers,
+/// and the -march flags the build used. Every BENCH_*.json carries it so
+/// perf trajectories are comparable across machines and build configs.
+void WriteHostInfo(obs::JsonWriter& writer);
 
 /// Pre-registers the standard mechanism-work metrics (iReduct iterations,
 /// NoiseDown resample draws, privacy budget spent, bench runs) so every

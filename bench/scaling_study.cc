@@ -118,6 +118,7 @@ bool RunEngineScalingSection() {
   obs::JsonWriter writer(&json);
   writer.BeginObject();
   writer.KV("bench", "ireduct_engine_scaling");
+  bench::WriteHostInfo(writer);
   writer.Key("points");
   writer.BeginArray();
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algorithms/selection.h"
+#include "common/arena.h"
 #include "common/fault.h"
 #include "common/thread_pool.h"
 #include "dp/incremental_sensitivity.h"
@@ -271,10 +272,18 @@ Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
     pool = std::make_unique<ThreadPool>(params.num_threads);
   }
 
-  std::vector<AdmittedMove> round;
-  std::vector<uint64_t> substream_seeds;
+  // Round scratch from an arena: the admitted-move list and the per-move
+  // substream seeds are fixed-capacity (batch_size) trivially-destructible
+  // buffers, bump-allocated once for the whole run — the rounds themselves
+  // perform zero heap allocations for them. round_status stays a vector
+  // (Status is not trivially destructible) but is hoisted and its capacity
+  // is reused across rounds.
+  Arena round_arena;
+  AdmittedMove* const round_buf =
+      round_arena.Alloc<AdmittedMove>(params.batch_size);
+  uint64_t* const seed_buf = round_arena.Alloc<uint64_t>(params.batch_size);
+  size_t round_size = 0;
   std::vector<Status> round_status;
-  round.reserve(params.batch_size);
   uint64_t completed_rounds = resume != nullptr ? resume->round : 0;
   const uint64_t fingerprint =
       params.checkpoint.enabled() ? FingerprintWorkload(workload) : 0;
@@ -286,14 +295,14 @@ Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
   for (;;) {
     const uint64_t round_start_us =
         recorder != nullptr ? recorder->NowMicros() : 0;
-    round.clear();
+    round_size = 0;
 
     // Selection: pop admissible groups in score order until the round is
     // full. Rejected pops retire their group (Figure 4 lines 13-16); the
     // rejection does not consume a batch slot.
     {
       IREDUCT_SCOPED_TIMER(pick_timer, "ireduct.pick_seconds");
-      while (round.size() < params.batch_size) {
+      while (round_size < params.batch_size) {
         const size_t g = heap.PopBest();
         if (g == kNoGroup) break;
         const double old_scale = out.group_scales[g];
@@ -314,15 +323,15 @@ Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
         }
         gs_tracker.Commit(g, new_scale);
         out.group_scales[g] = new_scale;
-        round.push_back(AdmittedMove{g, old_scale, new_scale, gs});
+        round_buf[round_size++] = AdmittedMove{g, old_scale, new_scale, gs};
       }
     }
-    if (round.empty()) break;
+    if (round_size == 0) break;
 
     if (!batched) {
       // Sequential Figure 4: resample with the caller's generator directly,
       // matching the naive engine's draw order exactly.
-      const AdmittedMove& mv = round.front();
+      const AdmittedMove& mv = round_buf[0];
       IREDUCT_RETURN_NOT_OK(
           ResampleGroup(workload, workload.group(mv.group), params.reducer,
                         mv.old_scale, mv.new_scale, out.answers, gen));
@@ -330,25 +339,24 @@ Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
       // Batched round: derive one RNG substream per admitted group, in
       // admission order, *before* any parallel work — the draws each group
       // sees are then independent of thread count and scheduling.
-      substream_seeds.clear();
-      for (size_t i = 0; i < round.size(); ++i) {
-        substream_seeds.push_back(gen());
+      for (size_t i = 0; i < round_size; ++i) {
+        seed_buf[i] = gen();
       }
-      round_status.assign(round.size(), Status::OK());
+      round_status.assign(round_size, Status::OK());
       auto resample_one = [&](size_t i) {
-        const AdmittedMove& mv = round[i];
-        BitGen sub_gen(substream_seeds[i]);
+        const AdmittedMove& mv = round_buf[i];
+        BitGen sub_gen(seed_buf[i]);
         round_status[i] =
             ResampleGroup(workload, workload.group(mv.group), params.reducer,
                           mv.old_scale, mv.new_scale, out.answers, sub_gen);
       };
-      if (pool != nullptr && round.size() > 1) {
-        for (size_t i = 0; i < round.size(); ++i) {
+      if (pool != nullptr && round_size > 1) {
+        for (size_t i = 0; i < round_size; ++i) {
           pool->Submit([&resample_one, i] { resample_one(i); });
         }
         pool->Wait();
       } else {
-        for (size_t i = 0; i < round.size(); ++i) resample_one(i);
+        for (size_t i = 0; i < round_size; ++i) resample_one(i);
       }
       for (const Status& s : round_status) {
         IREDUCT_RETURN_NOT_OK(s);
@@ -357,7 +365,8 @@ Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
     }
 
     // Re-score every refined group; bookkeeping and trace per move.
-    for (const AdmittedMove& mv : round) {
+    for (size_t i = 0; i < round_size; ++i) {
+      const AdmittedMove& mv = round_buf[i];
       heap.Update(mv.group, out.answers, out.group_scales);
       const QueryGroup& group = workload.group(mv.group);
       out.resample_calls += group.size();
@@ -388,10 +397,10 @@ Result<MechanismOutput> RunIReductIncremental(const Workload& workload,
 
     ++completed_rounds;
     if (obs::EventLog* events = obs::EventLog::Get()) {
-      const double gs_now = round.back().gs_after;
+      const double gs_now = round_buf[round_size - 1].gs_after;
       events->Emit("ireduct.round",
                    {{"round", completed_rounds},
-                    {"moves", static_cast<uint64_t>(round.size())},
+                    {"moves", static_cast<uint64_t>(round_size)},
                     {"gs", gs_now},
                     {"epsilon_delta", gs_now - gs_before_round},
                     {"epsilon", params.epsilon}});

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "algorithms/selection.h"
+#include "common/arena.h"
 #include "common/fault.h"
 #include "dp/incremental_sensitivity.h"
 #include "dp/laplace_mechanism.h"
@@ -124,6 +125,9 @@ Result<MechanismOutput> RunIResamp(const Workload& workload,
   uint64_t completed_rounds = resume != nullptr ? resume->round : 0;
   const uint64_t fingerprint =
       params.checkpoint.enabled() ? FingerprintWorkload(workload) : 0;
+  // Scratch for the batched refinement draws; Reset keeps capacity, so
+  // after the first large round no heap allocation happens per round.
+  Arena round_arena;
   for (;;) {
     const size_t g = heap.PopBest();
     if (g == kNoGroup) break;
@@ -152,15 +156,37 @@ Result<MechanismOutput> RunIResamp(const Workload& workload,
     nominal[g] = new_nominal;
 
     // Lines 12-17: fresh sample per query, folded into the running
-    // minimum-variance estimate.
+    // minimum-variance estimate. Large groups draw through the vectorized
+    // batch kernels with arena-staged buffers (zero heap traffic per
+    // round); small groups keep the per-element sampler. Both paths are
+    // deterministic functions of the generator state, so the released
+    // answers depend only on the seed and the round sequence.
     const QueryGroup& group = workload.group(g);
     const double w = 1.0 / (new_nominal * new_nominal);
-    for (uint32_t i = group.begin; i < group.end; ++i) {
-      const double fresh =
-          workload.true_answer(i) + gen.Laplace(new_nominal);
-      weighted_sum[i] += fresh * w;
-      weight[i] += w;
-      out.answers[i] = weighted_sum[i] / weight[i];
+    const size_t group_size = group.end - group.begin;
+    if (group_size >= 16) {
+      round_arena.Reset();
+      std::span<double> scales{round_arena.Alloc<double>(group_size),
+                               group_size};
+      std::span<double> noise{round_arena.Alloc<double>(group_size),
+                              group_size};
+      for (double& s : scales) s = new_nominal;
+      gen.LaplaceBatch(scales, noise);
+      for (uint32_t i = group.begin; i < group.end; ++i) {
+        const double fresh =
+            workload.true_answer(i) + noise[i - group.begin];
+        weighted_sum[i] += fresh * w;
+        weight[i] += w;
+        out.answers[i] = weighted_sum[i] / weight[i];
+      }
+    } else {
+      for (uint32_t i = group.begin; i < group.end; ++i) {
+        const double fresh =
+            workload.true_answer(i) + gen.Laplace(new_nominal);
+        weighted_sum[i] += fresh * w;
+        weight[i] += w;
+        out.answers[i] = weighted_sum[i] / weight[i];
+      }
     }
     heap.Update(g, out.answers, nominal);
     out.resample_calls += group.size();

@@ -1,0 +1,131 @@
+// Monotonic arena for per-round scratch in the hot loops.
+//
+// The iReduct/iResamp rounds and the sharded counting pass used to allocate
+// and free the same-shaped vectors every iteration; the allocator round
+// trips showed up directly in the fig08/09 profile. An Arena instead bumps
+// a pointer through a retained chunk: Alloc is a pointer add on the steady
+// state, Reset() rewinds to empty while *keeping the capacity*, so a loop
+// that Resets at the top of each round performs zero heap allocations after
+// warm-up.
+//
+// Lifetime rules (also in docs/PERFORMANCE.md):
+//  * Alloc'd memory is valid until the next Reset() or the Arena's
+//    destruction — never hand it across a Reset boundary.
+//  * Only trivially copyable, trivially destructible types: nothing runs
+//    destructors. Alloc returns uninitialized storage; AllocZeroed clears.
+//  * An Arena is single-threaded. Concurrent shards each use their own
+//    (e.g. one thread_local arena per worker); a function that Resets a
+//    thread_local arena must not hold allocations from an enclosing frame
+//    of the same thread — keep usage call-local.
+//
+// Growth that outruns the current chunk falls back to extra chunks; the
+// next Reset coalesces everything into one chunk of the high-water size, so
+// a mis-sized warm-up round costs one extra allocation, not one per round.
+// Chunk allocations and reserved bytes are exported through obs/metrics
+// ("arena.chunk_allocs", "arena.reserved_bytes") so regressions in
+// allocation discipline are visible in every run report.
+#ifndef IREDUCT_COMMON_ARENA_H_
+#define IREDUCT_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ireduct {
+
+class Arena {
+ public:
+  explicit Arena(size_t initial_bytes = 0) {
+    if (initial_bytes > 0) AddChunk(initial_bytes);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `n` objects of T, aligned for T.
+  template <typename T>
+  T* Alloc(size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena storage runs no constructors or destructors");
+    return static_cast<T*>(AllocBytes(n * sizeof(T), alignof(T)));
+  }
+
+  /// Zero-initialized span of `n` objects of T.
+  template <typename T>
+  std::span<T> AllocZeroed(size_t n) {
+    T* p = Alloc<T>(n);
+    std::memset(static_cast<void*>(p), 0, n * sizeof(T));
+    return {p, n};
+  }
+
+  /// Rewinds to empty, keeping capacity. If the last cycle spilled into
+  /// overflow chunks, re-reserves one chunk of the combined size so the
+  /// next cycle is single-chunk.
+  void Reset() {
+    if (chunks_.size() > 1 || (used_ > 0 && chunks_.empty())) {
+      const size_t total = reserved_;
+      chunks_.clear();
+      reserved_ = 0;
+      AddChunk(total);
+    }
+    cursor_ = chunks_.empty() ? nullptr : chunks_.front().data.get();
+    remaining_ = chunks_.empty() ? 0 : chunks_.front().size;
+    used_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset.
+  size_t bytes_used() const { return used_; }
+  /// Total capacity across chunks (the high-water footprint).
+  size_t bytes_reserved() const { return reserved_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  void* AllocBytes(size_t bytes, size_t align) {
+    const size_t pad =
+        (align - reinterpret_cast<size_t>(cursor_) % align) % align;
+    if (pad + bytes > remaining_) {
+      // Double the footprint (at least) so repeated spills converge fast.
+      AddChunk(bytes > reserved_ ? bytes + reserved_ : reserved_);
+      return AllocBytes(bytes, align);
+    }
+    cursor_ += pad;
+    void* p = cursor_;
+    cursor_ += bytes;
+    remaining_ -= pad + bytes;
+    used_ += pad + bytes;
+    return p;
+  }
+
+  void AddChunk(size_t bytes) {
+    constexpr size_t kMinChunk = 4096;
+    Chunk c;
+    c.size = bytes < kMinChunk ? kMinChunk : bytes;
+    c.data = std::make_unique<std::byte[]>(c.size);
+    reserved_ += c.size;
+    IREDUCT_METRIC_COUNT("arena.chunk_allocs", 1);
+    IREDUCT_METRIC_COUNT("arena.reserved_bytes", c.size);
+    cursor_ = c.data.get();
+    remaining_ = c.size;
+    chunks_.push_back(std::move(c));
+  }
+
+  std::vector<Chunk> chunks_;
+  std::byte* cursor_ = nullptr;
+  size_t remaining_ = 0;
+  size_t used_ = 0;
+  size_t reserved_ = 0;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_COMMON_ARENA_H_

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/simd_kernels.h"
 
 namespace ireduct {
 
@@ -110,6 +111,33 @@ BitGen BitGen::FromState(const std::array<uint64_t, 4>& state) {
 }
 
 BitGen BitGen::Fork() { return BitGen((*this)()); }
+
+namespace {
+
+// Four lane substreams in fixed fork order: exactly simd::kBatchLanes
+// parent draws, whatever the batch size.
+simd::LaneStates ForkLanes(BitGen& gen) {
+  simd::LaneStates states;
+  for (auto& lane : states) lane = gen.Fork().SaveState();
+  return states;
+}
+
+}  // namespace
+
+void BitGen::LaplaceBatch(std::span<const double> scales,
+                          std::span<double> out) {
+  IREDUCT_DCHECK(scales.size() == out.size());
+  if (out.empty()) return;
+  const simd::LaneStates states = ForkLanes(*this);
+  simd::BatchLaplace(states, scales.data(), out.data(), out.size());
+}
+
+void BitGen::ExponentialBatch(double mean, std::span<double> out) {
+  IREDUCT_DCHECK(mean > 0);
+  if (out.empty()) return;
+  const simd::LaneStates states = ForkLanes(*this);
+  simd::BatchExponential(states, mean, out.data(), out.size());
+}
 
 bool BitGen::Bernoulli(double p) {
   if (p <= 0) return false;

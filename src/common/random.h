@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 namespace ireduct {
 
@@ -75,6 +76,20 @@ class BitGen {
   /// single- and multi-threaded runs are bit-identical. Advances this
   /// stream by exactly one draw.
   BitGen Fork();
+
+  /// Fills `out[i] = Laplace(scales[i])` through the vectorized batch
+  /// kernels (common/simd_kernels.h). The batch is drawn from four Fork()
+  /// substreams (lane i % 4), so this stream advances by exactly
+  /// kBatchLanes = 4 draws regardless of the batch size — a *different*
+  /// stream than calling Laplace() per element, but deterministic: the
+  /// output depends only on this generator's state and `scales`, never on
+  /// the SIMD tier, thread count, or machine. Requires
+  /// scales.size() == out.size() and every scale > 0.
+  void LaplaceBatch(std::span<const double> scales, std::span<double> out);
+
+  /// Batch analogue of Exponential(mean) under the same four-substream
+  /// contract as LaplaceBatch. Requires mean > 0.
+  void ExponentialBatch(double mean, std::span<double> out);
 
  private:
   uint64_t s_[4];

@@ -1,0 +1,87 @@
+// Vectorized kernels behind the runtime tier dispatch in common/simd.h.
+//
+// Two kernel families:
+//
+//  * Batch sampling — BatchLaplace / BatchExponential draw n variates from
+//    four xoshiro256++ substreams (LaneStates, one 4-word state per lane).
+//    Element i consumes a draw from lane i mod 4 and all four lanes advance
+//    once per 4-element block, including the final partial block, so the
+//    output is a function of the lane states alone: the same for every
+//    tier, every thread count, and every machine. The *ScalarRef variants
+//    always run the pinned scalar instantiation regardless of dispatch;
+//    parity tests compare the dispatched output against them bit for bit.
+//
+//  * Counting — CountPlan folds a row range of uint16 attribute codes into
+//    a single marginal's count table (cell = stride0 * col0 + col1). With
+//    `lane_scratch` provided, increments round-robin across four private
+//    count buffers (breaking the store-to-load dependency chain that
+//    serializes increments on Zipf-hot cells) which are then merged in
+//    fixed lane order; counts are integers, so any increment placement
+//    yields identical totals.
+//
+// All kernels are instantiated per tier from the shared pack templates in
+// common/simd_lanes.h; see that header for the bit-identity argument.
+#ifndef IREDUCT_COMMON_SIMD_KERNELS_H_
+#define IREDUCT_COMMON_SIMD_KERNELS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ireduct {
+namespace simd {
+
+/// Number of RNG substreams the batch samplers consume. Fixed by the
+/// stream contract, not by the register width of any tier.
+inline constexpr size_t kBatchLanes = 4;
+
+/// xoshiro256++ states for the four sampling substreams, lane-major:
+/// states[lane][word]. Populated from BitGen::Fork in lane order.
+using LaneStates = std::array<std::array<uint64_t, 4>, kBatchLanes>;
+
+/// out[i] = Laplace(scales[i]) drawn from lane i % 4. Dispatches to the
+/// active tier; bit-identical to BatchLaplaceScalarRef on every tier.
+void BatchLaplace(const LaneStates& states, const double* scales, double* out,
+                  size_t n);
+
+/// Pinned scalar reference for BatchLaplace (ignores dispatch).
+void BatchLaplaceScalarRef(const LaneStates& states, const double* scales,
+                           double* out, size_t n);
+
+/// out[i] = Exponential(mean) drawn from lane i % 4.
+void BatchExponential(const LaneStates& states, double mean, double* out,
+                      size_t n);
+
+/// Pinned scalar reference for BatchExponential (ignores dispatch).
+void BatchExponentialScalarRef(const LaneStates& states, double mean,
+                               double* out, size_t n);
+
+/// One marginal's counting pass over a row range.
+struct CountPlanArgs {
+  const uint16_t* col0 = nullptr;  // first attribute's codes (required)
+  const uint16_t* col1 = nullptr;  // second attribute's codes; null = arity 1
+  const uint32_t* row_idx = nullptr;  // row subset; null = dense range
+  size_t begin = 0;                   // row range [begin, end)
+  size_t end = 0;
+  size_t stride0 = 1;       // cell = stride0 * col0[r] (+ col1[r])
+  uint32_t* counts = nullptr;  // plan-local table, `cells` entries, +='d into
+  size_t cells = 0;
+  // Optional scratch of kBatchLanes * cells uint32s (need not be zeroed;
+  // the kernel clears it). When provided, increments are striped across
+  // four private buffers and merged — the profitable mode once the row
+  // range is large relative to `cells`. When null, increments go straight
+  // into `counts`.
+  uint32_t* lane_scratch = nullptr;
+};
+
+/// Counts the range into args.counts. Dispatches to the active tier; total
+/// counts are identical in every mode and tier (integer increments).
+void CountPlan(const CountPlanArgs& args);
+
+/// Pinned scalar reference for CountPlan (ignores dispatch).
+void CountPlanScalarRef(const CountPlanArgs& args);
+
+}  // namespace simd
+}  // namespace ireduct
+
+#endif  // IREDUCT_COMMON_SIMD_KERNELS_H_

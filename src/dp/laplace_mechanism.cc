@@ -2,7 +2,27 @@
 
 #include <cmath>
 
+#include "common/arena.h"
+
 namespace ireduct {
+
+namespace {
+
+// Below this size the per-element sampler is both faster (no substream
+// setup) and keeps the historical draw sequence; at or above it the batch
+// kernels win and the release switches to the four-substream batch stream
+// (see BitGen::LaplaceBatch — still deterministic, just a different
+// function of the seed).
+constexpr size_t kBatchThreshold = 16;
+
+// Round scratch for the noise staging buffers. Call-local lifetime only:
+// every allocation below is dead by return, so Reset-at-entry is safe.
+Arena& ScratchArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace
 
 Result<std::vector<double>> AddLaplaceNoise(std::span<const double> values,
                                             std::span<const double> scales,
@@ -15,9 +35,15 @@ Result<std::vector<double>> AddLaplaceNoise(std::span<const double> values,
       return Status::InvalidArgument("noise scales must be positive finite");
     }
   }
-  std::vector<double> noisy(values.size());
-  for (size_t i = 0; i < values.size(); ++i) {
-    noisy[i] = values[i] + gen.Laplace(scales[i]);
+  const size_t n = values.size();
+  std::vector<double> noisy(n);
+  if (n >= kBatchThreshold) {
+    gen.LaplaceBatch(scales, noisy);
+    for (size_t i = 0; i < n; ++i) noisy[i] += values[i];
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      noisy[i] = values[i] + gen.Laplace(scales[i]);
+    }
   }
   return noisy;
 }
@@ -28,7 +54,13 @@ Result<std::vector<double>> LaplaceNoise(const Workload& workload,
   if (group_scales.size() != workload.num_groups()) {
     return Status::InvalidArgument("one scale per group required");
   }
-  const std::vector<double> per_query = workload.PerQueryScales(group_scales);
+  // Stage the per-query expansion in the arena instead of allocating a
+  // fresh vector every NoiseDown round.
+  Arena& arena = ScratchArena();
+  arena.Reset();
+  std::span<double> per_query =
+      arena.AllocZeroed<double>(workload.num_queries());
+  workload.PerQueryScalesInto(group_scales, per_query);
   return AddLaplaceNoise(workload.true_answers(), per_query, gen);
 }
 

@@ -102,14 +102,20 @@ double Workload::GeneralizedSensitivity(
 
 std::vector<double> Workload::PerQueryScales(
     std::span<const double> group_scales) const {
-  IREDUCT_DCHECK(group_scales.size() == groups_.size());
   std::vector<double> scales(num_queries());
+  PerQueryScalesInto(group_scales, scales);
+  return scales;
+}
+
+void Workload::PerQueryScalesInto(std::span<const double> group_scales,
+                                  std::span<double> out) const {
+  IREDUCT_DCHECK(group_scales.size() == groups_.size());
+  IREDUCT_DCHECK(out.size() == num_queries());
   for (size_t g = 0; g < groups_.size(); ++g) {
     for (uint32_t i = groups_[g].begin; i < groups_[g].end; ++i) {
-      scales[i] = group_scales[g];
+      out[i] = group_scales[g];
     }
   }
-  return scales;
 }
 
 }  // namespace ireduct

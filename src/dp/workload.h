@@ -107,6 +107,10 @@ class Workload {
   /// Expands per-group scales to a per-query scale vector.
   std::vector<double> PerQueryScales(
       std::span<const double> group_scales) const;
+  /// Same expansion into caller-owned storage (e.g. arena scratch);
+  /// out.size() must equal num_queries().
+  void PerQueryScalesInto(std::span<const double> group_scales,
+                          std::span<double> out) const;
   std::vector<double> PerQueryScales(
       std::initializer_list<double> group_scales) const {
     return PerQueryScales(

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <thread>
 #include <unordered_set>
 
+#include "common/arena.h"
 #include "common/logging.h"
+#include "common/simd_kernels.h"
 #include "obs/metrics.h"
 
 namespace ireduct {
@@ -90,6 +93,10 @@ Result<MarginalSetEvaluator> MarginalSetEvaluator::Create(
       return Status::InvalidArgument("fused marginal table too large");
     }
     offset += plan.cells;
+    if (plan.terms.size() <= 2) {
+      evaluator.max_kernel_cells_ =
+          std::max(evaluator.max_kernel_cells_, plan.cells);
+    }
     plan.spec = std::move(spec);
     evaluator.plans_.push_back(std::move(plan));
   }
@@ -106,93 +113,54 @@ void MarginalSetEvaluator::CountShard(const Dataset& dataset,
   cols.reserve(columns_.size());
   for (uint32_t c : columns_) cols.push_back(dataset.column(c).data());
   const uint32_t* row_idx = rows.empty() ? nullptr : rows.data();
+  const size_t nrows = end - begin;
 
-  // Plan-major with same-arity plans processed two at a time. Census data
-  // is Zipf-skewed, so consecutive rows keep hitting the same hot cells and
-  // each ++table[cell] stalls on the store of the previous one; running two
-  // plans' tables in one loop gives the core two independent increment
-  // chains to overlap — something the per-marginal path cannot do. The
-  // 1- and 2-attribute loops (every spec of the paper's tasks) are
-  // specialized to keep them tight; cell totals are integers, so the
-  // interleaving cannot change any count.
-  size_t p = 0;
-  while (p < plans_.size()) {
-    const SpecPlan& a = plans_[p];
-    const size_t arity = a.terms.size();
-    const bool paired = (arity == 1 || arity == 2) && p + 1 < plans_.size() &&
-                        plans_[p + 1].terms.size() == arity;
-    uint32_t* const ta = counts + a.offset;
-    if (paired && arity == 1) {
-      const SpecPlan& b = plans_[p + 1];
-      uint32_t* const tb = counts + b.offset;
-      const uint16_t* const a0 = cols[a.terms[0].first];
-      const uint16_t* const b0 = cols[b.terms[0].first];
-      if (row_idx == nullptr) {
-        for (size_t i = begin; i < end; ++i) {
-          ++ta[a0[i]];
-          ++tb[b0[i]];
-        }
-      } else {
-        for (size_t i = begin; i < end; ++i) {
-          const size_t r = row_idx[i];
-          ++ta[a0[r]];
-          ++tb[b0[r]];
-        }
-      }
-      p += 2;
-    } else if (paired && arity == 2) {
-      const SpecPlan& b = plans_[p + 1];
-      uint32_t* const tb = counts + b.offset;
-      const uint16_t* const a0 = cols[a.terms[0].first];
-      const uint16_t* const a1 = cols[a.terms[1].first];
-      const uint16_t* const b0 = cols[b.terms[0].first];
-      const uint16_t* const b1 = cols[b.terms[1].first];
-      const size_t as0 = a.terms[0].second;
-      const size_t bs0 = b.terms[0].second;
-      if (row_idx == nullptr) {
-        for (size_t i = begin; i < end; ++i) {
-          ++ta[as0 * a0[i] + a1[i]];
-          ++tb[bs0 * b0[i] + b1[i]];
-        }
-      } else {
-        for (size_t i = begin; i < end; ++i) {
-          const size_t r = row_idx[i];
-          ++ta[as0 * a0[r] + a1[r]];
-          ++tb[bs0 * b0[r] + b1[r]];
-        }
-      }
-      p += 2;
-    } else if (arity == 1) {
-      const uint16_t* const a0 = cols[a.terms[0].first];
-      if (row_idx == nullptr) {
-        for (size_t i = begin; i < end; ++i) ++ta[a0[i]];
-      } else {
-        for (size_t i = begin; i < end; ++i) ++ta[a0[row_idx[i]]];
-      }
-      ++p;
-    } else if (arity == 2) {
-      const uint16_t* const a0 = cols[a.terms[0].first];
-      const uint16_t* const a1 = cols[a.terms[1].first];
-      const size_t as0 = a.terms[0].second;
-      if (row_idx == nullptr) {
-        for (size_t i = begin; i < end; ++i) ++ta[as0 * a0[i] + a1[i]];
-      } else {
-        for (size_t i = begin; i < end; ++i) {
-          const size_t r = row_idx[i];
-          ++ta[as0 * a0[r] + a1[r]];
-        }
-      }
-      ++p;
+  // Lane scratch for the striped counting kernels, sized for the widest
+  // arity<=2 plan and reused across plans. Call-local lifetime: the
+  // scratch is dead once the plan's merge into `counts` finishes, so
+  // Reset-at-entry is safe even when one pool worker runs several shards.
+  thread_local Arena scratch_arena;
+  scratch_arena.Reset();
+  uint32_t* lane_scratch = nullptr;
+  if (max_kernel_cells_ > 0) {
+    lane_scratch =
+        scratch_arena.Alloc<uint32_t>(simd::kBatchLanes * max_kernel_cells_);
+  }
+
+  // Plan-major: every 1- and 2-attribute plan (all of the paper's tasks)
+  // goes through the dispatched counting kernel. Census data is
+  // Zipf-skewed, so consecutive rows keep hitting the same hot cells and a
+  // naive ++table[cell] serializes on store-to-load forwarding; the kernel
+  // stripes increments across four private tables (and on AVX2 computes
+  // the cell indices 16 rows at a time) and merges in fixed lane order.
+  // Counts are integers, so striping cannot change any total. Striping
+  // only pays when the row range dwarfs the table; small shards count
+  // directly into `counts`.
+  for (const SpecPlan& plan : plans_) {
+    const size_t arity = plan.terms.size();
+    uint32_t* const table = counts + plan.offset;
+    if (arity == 1 || arity == 2) {
+      simd::CountPlanArgs args;
+      args.col0 = cols[plan.terms[0].first];
+      args.col1 = arity == 2 ? cols[plan.terms[1].first] : nullptr;
+      args.row_idx = row_idx;
+      args.begin = begin;
+      args.end = end;
+      args.stride0 = plan.terms[0].second;
+      args.counts = table;
+      args.cells = plan.cells;
+      const bool striped = nrows >= 4 * plan.cells && plan.cells > 1;
+      args.lane_scratch = striped ? lane_scratch : nullptr;
+      simd::CountPlan(args);
     } else {
       for (size_t i = begin; i < end; ++i) {
         const size_t r = row_idx == nullptr ? i : row_idx[i];
         size_t cell = 0;
-        for (const auto& [col, stride] : a.terms) {
+        for (const auto& [col, stride] : plan.terms) {
           cell += stride * cols[col][r];
         }
-        ++ta[cell];
+        ++table[cell];
       }
-      ++p;
     }
   }
 }
@@ -226,15 +194,24 @@ Result<std::vector<Marginal>> MarginalSetEvaluator::Compute(
   const auto pass_start = std::chrono::steady_clock::now();
 
   // One shard per worker, but never shards so small that the per-shard
-  // accumulator allocation dominates. Shard *count* only affects
-  // wall-clock: cell counts are integers, so merging shard blocks in any
-  // grouping yields the same totals and the final double tables are
+  // accumulator allocation dominates — and never more shards than the
+  // machine has cores. A pool can legitimately be wider than the CPU
+  // (callers size pools for their workload, not this pass), but extra
+  // shards on an oversubscribed machine are pure overhead: each one is a
+  // full accumulator block to allocate, fill, and merge with zero added
+  // parallelism. That overhead is exactly what pushed the fig08/09
+  // end-to-end run below 1x on single-core CI runners. Shard *count* only
+  // affects wall-clock: cell counts are integers, so merging shard blocks
+  // in any grouping yields the same totals and the final double tables are
   // bit-identical to the sequential pass.
   size_t num_shards = 1;
   if (pool != nullptr && pool->num_threads() > 1) {
     constexpr size_t kMinRowsPerShard = 1024;
-    num_shards = std::min<size_t>(pool->num_threads(),
-                                  std::max<size_t>(1, n / kMinRowsPerShard));
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = pool->num_threads();
+    num_shards = std::min<size_t>(
+        std::min<size_t>(pool->num_threads(), hw),
+        std::max<size_t>(1, n / kMinRowsPerShard));
   }
 
   std::vector<uint64_t> totals(total_cells_, 0);

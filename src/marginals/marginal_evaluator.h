@@ -77,6 +77,9 @@ class MarginalSetEvaluator {
   std::vector<uint32_t> columns_;  // sorted union of referenced attributes
   size_t total_cells_ = 0;
   size_t num_schema_attributes_ = 0;
+  // Largest cell count among kernel-eligible (arity <= 2) plans; sizes the
+  // per-shard lane scratch for the striped counting kernels.
+  size_t max_kernel_cells_ = 0;
 };
 
 }  // namespace ireduct

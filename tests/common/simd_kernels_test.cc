@@ -1,0 +1,295 @@
+#include "common/simd_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/simd.h"
+#include "eval/stats.h"
+
+namespace ireduct {
+namespace simd {
+namespace {
+
+// Lane states exactly as BitGen::LaplaceBatch builds them: four Fork
+// substreams in lane order.
+LaneStates StatesFromSeed(uint64_t seed) {
+  BitGen gen(seed);
+  LaneStates states;
+  for (auto& lane : states) lane = gen.Fork().SaveState();
+  return states;
+}
+
+std::vector<double> VariedScales(size_t n) {
+  std::vector<double> scales(n);
+  for (size_t i = 0; i < n; ++i) {
+    scales[i] = 0.25 + static_cast<double>(i % 7);
+  }
+  return scales;
+}
+
+// Bitwise comparison: double equality would let a +0.0 / -0.0 divergence
+// (or a NaN) slip through the parity bar.
+void ExpectBitEqual(const std::vector<double>& got,
+                    const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(got[i]),
+              std::bit_cast<uint64_t>(want[i]))
+        << what << " diverges from the scalar reference at element " << i
+        << " (got " << got[i] << ", want " << want[i] << ")";
+  }
+}
+
+// Sets IREDUCT_SIMD for the enclosing scope and re-resolves dispatch;
+// restores the previous environment (and dispatch) on destruction.
+class ScopedSimdOverride {
+ public:
+  explicit ScopedSimdOverride(const char* value) {
+    const char* prev = std::getenv("IREDUCT_SIMD");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    ::setenv("IREDUCT_SIMD", value, 1);
+    ResetDispatchForTesting();
+  }
+  ~ScopedSimdOverride() {
+    if (had_prev_) {
+      ::setenv("IREDUCT_SIMD", prev_.c_str(), 1);
+    } else {
+      ::unsetenv("IREDUCT_SIMD");
+    }
+    ResetDispatchForTesting();
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+// Batch sizes chosen to hit the empty batch, sub-lane-count batches, exact
+// multiples of the 4-lane block, and large odd tails.
+const size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 16, 63, 1000, 1001};
+
+TEST(SimdKernelsTest, BatchLaplaceMatchesScalarRefBitForBit) {
+  for (const uint64_t seed : {1ull, 42ull, 9001ull}) {
+    for (const size_t n : kSizes) {
+      const LaneStates states = StatesFromSeed(seed);
+      const std::vector<double> scales = VariedScales(n);
+      std::vector<double> got(n), want(n);
+      BatchLaplace(states, scales.data(), got.data(), n);
+      BatchLaplaceScalarRef(states, scales.data(), want.data(), n);
+      ExpectBitEqual(got, want, "BatchLaplace");
+    }
+  }
+}
+
+TEST(SimdKernelsTest, BatchExponentialMatchesScalarRefBitForBit) {
+  for (const uint64_t seed : {1ull, 42ull, 9001ull}) {
+    for (const size_t n : kSizes) {
+      const LaneStates states = StatesFromSeed(seed);
+      std::vector<double> got(n), want(n);
+      BatchExponential(states, 2.5, got.data(), n);
+      BatchExponentialScalarRef(states, 2.5, want.data(), n);
+      ExpectBitEqual(got, want, "BatchExponential");
+    }
+  }
+}
+
+// Every lane advances once per 4-element block including the padded tail,
+// so a batch's outputs are a prefix of any longer batch from the same
+// states — the batch size never changes which variate lands at index i.
+TEST(SimdKernelsTest, BatchOutputIsPrefixStableAcrossLengths) {
+  const LaneStates states = StatesFromSeed(7);
+  const std::vector<double> scales = VariedScales(1001);
+  std::vector<double> full(1001);
+  BatchLaplace(states, scales.data(), full.data(), full.size());
+  for (const size_t n : {1ul, 5ul, 64ul, 999ul}) {
+    std::vector<double> part(n);
+    BatchLaplace(states, scales.data(), part.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(std::bit_cast<uint64_t>(part[i]),
+                std::bit_cast<uint64_t>(full[i]))
+          << "batch of " << n << " diverges at " << i;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ForcedScalarOverrideDispatchesScalarTier) {
+  ScopedSimdOverride off("off");
+  EXPECT_EQ(ActiveTier(), Tier::kScalar);
+
+  const LaneStates states = StatesFromSeed(3);
+  const std::vector<double> scales = VariedScales(257);
+  std::vector<double> got(257), want(257);
+  BatchLaplace(states, scales.data(), got.data(), got.size());
+  BatchLaplaceScalarRef(states, scales.data(), want.data(), want.size());
+  ExpectBitEqual(got, want, "forced-scalar BatchLaplace");
+}
+
+TEST(SimdKernelsTest, OverrideCapsButNeverExceedsDetection) {
+  {
+    ScopedSimdOverride cap("scalar");
+    EXPECT_EQ(ActiveTier(), Tier::kScalar);
+  }
+  {
+    ScopedSimdOverride cap("sse2");
+    EXPECT_LE(static_cast<int>(ActiveTier()),
+              static_cast<int>(Tier::kSse2));
+  }
+  {
+    // avx2 is a cap, not a demand: detection still rules.
+    ScopedSimdOverride cap("avx2");
+    EXPECT_LE(static_cast<int>(ActiveTier()),
+              static_cast<int>(DetectedTier()));
+  }
+  EXPECT_LE(static_cast<int>(ActiveTier()),
+            static_cast<int>(DetectedTier()));
+}
+
+// The batch consumes exactly kBatchLanes Fork draws from the parent
+// regardless of the batch size — the resume/checkpoint contract.
+TEST(SimdKernelsTest, LaplaceBatchAdvancesParentByExactlyFourDraws) {
+  for (const size_t n : {1ul, 5ul, 1000ul}) {
+    BitGen batched(123), manual(123);
+    std::vector<double> scales(n, 2.0), out(n);
+    batched.LaplaceBatch(scales, out);
+    for (size_t i = 0; i < kBatchLanes; ++i) manual.Fork();
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(batched(), manual()) << "after batch of " << n;
+    }
+  }
+}
+
+// The batch stream is distinct from the per-element Laplace stream, but it
+// must still be a Laplace(scale) sample: check the first two moments.
+TEST(SimdKernelsTest, BatchLaplaceMatchesDistributionMoments) {
+  constexpr size_t kSamples = 200'000;
+  const double scale = 3.0;
+  BitGen gen(2011);
+  std::vector<double> scales(kSamples, scale), sample(kSamples);
+  gen.LaplaceBatch(scales, sample);
+  const SampleSummary s = Summarize(sample);
+  EXPECT_NEAR(s.mean, 0.0, 0.05);
+  EXPECT_NEAR(s.variance, 2 * scale * scale, 0.5);
+}
+
+TEST(SimdKernelsTest, BatchExponentialMatchesDistributionMoments) {
+  constexpr size_t kSamples = 200'000;
+  const double mean = 2.5;
+  BitGen gen(2012);
+  std::vector<double> sample(kSamples);
+  gen.ExponentialBatch(mean, sample);
+  const SampleSummary s = Summarize(sample);
+  EXPECT_NEAR(s.mean, mean, 0.05);
+  EXPECT_NEAR(s.variance, mean * mean, 0.25);
+  EXPECT_GE(s.min, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Counting kernels.
+
+struct CountFixture {
+  std::vector<uint16_t> col0, col1;
+  std::vector<uint32_t> odd_rows;
+  size_t d0 = 13, d1 = 9;
+
+  explicit CountFixture(size_t rows) {
+    BitGen gen(99);
+    col0.resize(rows);
+    col1.resize(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      col0[r] = static_cast<uint16_t>(gen.UniformInt(d0));
+      col1[r] = static_cast<uint16_t>(gen.UniformInt(d1));
+      if (r % 2 == 1) odd_rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+};
+
+CountPlanArgs Arity2Args(const CountFixture& f, std::vector<uint32_t>& counts,
+                         std::vector<uint32_t>* scratch) {
+  CountPlanArgs args;
+  args.col0 = f.col0.data();
+  args.col1 = f.col1.data();
+  args.begin = 0;
+  args.end = f.col0.size();
+  args.stride0 = f.d1;
+  args.cells = f.d0 * f.d1;
+  counts.assign(args.cells, 0);
+  args.counts = counts.data();
+  if (scratch != nullptr) {
+    scratch->resize(kBatchLanes * args.cells);
+    args.lane_scratch = scratch->data();
+  }
+  return args;
+}
+
+TEST(SimdKernelsTest, CountPlanStripedMatchesDirectArity2) {
+  const CountFixture f(10'000);
+  std::vector<uint32_t> direct, striped, scratch;
+  CountPlanScalarRef(Arity2Args(f, direct, nullptr));
+  CountPlan(Arity2Args(f, striped, &scratch));
+  EXPECT_EQ(striped, direct);
+  uint64_t total = 0;
+  for (uint32_t c : direct) total += c;
+  EXPECT_EQ(total, f.col0.size());
+}
+
+TEST(SimdKernelsTest, CountPlanMatchesOnRowSubsets) {
+  const CountFixture f(10'000);
+  std::vector<uint32_t> direct, dispatched, scratch;
+  CountPlanArgs ref = Arity2Args(f, direct, nullptr);
+  ref.row_idx = f.odd_rows.data();
+  ref.begin = 0;
+  ref.end = f.odd_rows.size();
+  CountPlanScalarRef(ref);
+  CountPlanArgs got = Arity2Args(f, dispatched, &scratch);
+  got.row_idx = f.odd_rows.data();
+  got.begin = 0;
+  got.end = f.odd_rows.size();
+  CountPlan(got);
+  EXPECT_EQ(dispatched, direct);
+}
+
+TEST(SimdKernelsTest, CountPlanArity1AndAccumulateSemantics) {
+  const CountFixture f(4'096);
+  std::vector<uint32_t> direct(f.d0, 7), dispatched(f.d0, 7), scratch;
+  CountPlanArgs args;
+  args.col0 = f.col0.data();
+  args.begin = 17;  // non-zero offset exercises the range handling
+  args.end = f.col0.size() - 5;
+  args.stride0 = 1;
+  args.cells = f.d0;
+
+  args.counts = direct.data();
+  CountPlanScalarRef(args);
+
+  args.counts = dispatched.data();
+  scratch.resize(kBatchLanes * args.cells);
+  args.lane_scratch = scratch.data();
+  CountPlan(args);
+
+  // Both paths must have *added to* the pre-existing 7s, not overwritten.
+  EXPECT_EQ(dispatched, direct);
+  uint64_t total = 0;
+  for (uint32_t c : direct) total += c;
+  EXPECT_EQ(total, (args.end - args.begin) + 7 * f.d0);
+}
+
+TEST(SimdKernelsTest, CountPlanForcedScalarMatchesDispatch) {
+  const CountFixture f(20'000);
+  std::vector<uint32_t> fast, slow, scratch_a, scratch_b;
+  CountPlan(Arity2Args(f, fast, &scratch_a));
+  {
+    ScopedSimdOverride off("off");
+    CountPlan(Arity2Args(f, slow, &scratch_b));
+  }
+  EXPECT_EQ(fast, slow);
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace ireduct

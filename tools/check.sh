@@ -7,7 +7,12 @@
 #   tools/check.sh perf       # Release perf smoke: iReduct engine scaling
 #                             # bench at small m, asserting naive/incremental
 #                             # parity and that the incremental fast path
-#                             # actually engaged (see docs/PERFORMANCE.md)
+#                             # actually engaged (see docs/PERFORMANCE.md),
+#                             # plus the SIMD kernel micro benches — on AVX2
+#                             # hardware the dispatched batch-Laplace kernel
+#                             # must beat the pinned scalar reference, and
+#                             # the counting kernel the per-marginal
+#                             # reference loop, by >= 2x (KERNEL_MIN_SPEEDUP)
 #   tools/check.sh registry   # Mechanism-registry smoke: builds ireduct_tool
 #                             # under the default and no-tracing presets,
 #                             # asserts --list-mechanisms enumerates the
@@ -29,8 +34,8 @@
 #                             # clang-format is missing; CI enforces it)
 #   tools/check.sh ci         # local reproduction of the CI pipeline:
 #                             # format + default + registry + evaluator
-#                             # parity smoke (EVAL_MIN_SPEEDUP=0 — CI
-#                             # asserts correctness, never speed)
+#                             # parity smoke with the fig08/09 speedup
+#                             # gate at its default (>= 3x)
 #
 # Each mode maps to the CMakePresets.json preset of the same name, so the
 # builds land in separate directories and never fight over a cache. The
@@ -77,14 +82,16 @@ if [ "$mode" = ci ]; then
   # The full local reproduction of the CI pipeline, minus the sanitizer
   # builds (run those with `san` / `threads` when touching memory or
   # concurrency): style gate, Release build + tests, registry smoke, and
-  # the evaluator parity smoke with timing thresholds disabled — CI
-  # checks correctness everywhere and speed nowhere.
+  # the evaluator parity smoke. The fig08/09 speedup gate runs at its
+  # default (>= 3x): the measured ratio is architectural (five setups
+  # amortized through one cached evaluation), so it holds even on slow
+  # shared machines.
   "$0" format
   "$0" default
   "$0" registry
   cmake --build --preset default -j "$(nproc)" --target eval_scaling
   (cd build/bench &&
-   EVAL_MIN_SPEEDUP=0 EVAL_ROWS=20000 EVAL_THREADS=1,2 CENSUS_ROWS=20000 \
+   EVAL_ROWS=20000 EVAL_THREADS=1,2 CENSUS_ROWS=200000 \
      ./eval_scaling)
   echo "ci: all gates passed"
   exit 0
@@ -178,12 +185,54 @@ fi
 cmake --preset "$preset"
 
 if [ "$mode" = perf ]; then
-  cmake --build --preset "$preset" -j "$(nproc)" --target scaling_study
+  cmake --build --preset "$preset" -j "$(nproc)" \
+    --target scaling_study micro_primitives
   # Small-m sweep keeps the smoke under a few seconds; the bench itself
   # exits nonzero on engine-parity or fast-path failures.
   (cd build/bench &&
    SCALING_IREDUCT_ONLY=1 SCALING_M=100,1000 NAIVE_MAX_M=1000 \
      ./scaling_study)
+  # SIMD kernel micro benches: the dispatched batch-Laplace kernel vs its
+  # pinned scalar reference, and the dispatched counting kernel vs the
+  # per-marginal reference loop (Marginal::Compute). The >= 2x gate
+  # (KERNEL_MIN_SPEEDUP) only applies on AVX2 hardware with dispatch
+  # unrestricted — elsewhere the kernels fall back toward the references
+  # and the run is informational.
+  (cd build/bench &&
+   ./micro_primitives \
+     --benchmark_filter='BM_BatchLaplace|BM_CountPlan' \
+     --benchmark_out=BENCH_KERNELS.json --benchmark_out_format=json)
+  if grep -q avx2 /proc/cpuinfo 2>/dev/null &&
+     [ -z "${IREDUCT_SIMD:-}" ]; then
+    awk -v min="${KERNEL_MIN_SPEEDUP:-2}" '
+      BEGIN {
+        pair["BM_BatchLaplaceKernel/65536"] = "BM_BatchLaplaceScalarRef/65536"
+        pair["BM_CountPlanKernel"] = "BM_CountPlanReferenceLoop"
+      }
+      /"name":/ { gsub(/[",]/, ""); name = $2 }
+      /"real_time":/ && !(name in t) { gsub(/,/, ""); t[name] = $2 + 0 }
+      END {
+        ok = 1
+        for (kern in pair) {
+          ref = pair[kern]
+          if (!(kern in t) || !(ref in t) || t[kern] <= 0) {
+            printf "KERNEL GATE: missing bench %s or %s\n", kern, ref
+            ok = 0
+            continue
+          }
+          s = t[ref] / t[kern]
+          printf "kernel speedup %s: %.2fx (ref %.0f ns, simd %.0f ns)\n",
+                 kern, s, t[ref], t[kern]
+          if (s < min) {
+            printf "KERNEL GATE FAILURE: %s %.2fx < %.1fx\n", kern, s, min
+            ok = 0
+          }
+        }
+        exit ok ? 0 : 1
+      }' build/bench/BENCH_KERNELS.json
+  else
+    echo "perf: no AVX2 (or IREDUCT_SIMD set) — kernel gate skipped"
+  fi
   exit 0
 fi
 
