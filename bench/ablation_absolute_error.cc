@@ -2,11 +2,13 @@
 // of Section 7's related work) vs iReduct — when does each structure pay?
 //
 // Part A — prefix-range workload over the Age histogram. Range queries
-// overlap heavily (the prefix set has sensitivity ~n), which is exactly
-// the structure the hierarchy exploits: it answers any range from O(log n)
-// noisy nodes. Expectation: the hierarchy wins absolute AND relative
-// error; iReduct's reallocation cannot compensate for an n-vs-log n
-// sensitivity gap.
+// overlap heavily, which is exactly the structure the hierarchy exploits:
+// it answers any range from O(log n) noisy nodes. Since the workload now
+// carries a linear view, the strategy mechanisms answer it through the
+// histogram domain (W·x̂) via the shared runner — the full matrix
+// mechanism, not a bespoke tree walk. Expectation: the hierarchy wins
+// absolute AND relative error; iReduct's reallocation cannot compensate
+// for an n-vs-log n sensitivity gap.
 //
 // Part B — the paper's own task: the *cells* of all nine 1D marginals.
 // Point counts have no range structure to exploit; a per-marginal
@@ -21,16 +23,16 @@
 #include <vector>
 
 #include "algorithms/dwork.h"
-#include "algorithms/hierarchical.h"
 #include "algorithms/ireduct.h"
+#include "algorithms/mechanism_registry.h"
 #include "algorithms/oracle.h"
-#include "algorithms/wavelet.h"
 #include "bench_util.h"
 #include "eval/metrics.h"
 #include "eval/table_printer.h"
 #include "marginals/marginal.h"
 #include "common/logging.h"
 #include "queries/range_workload.h"
+#include "queries/strategy.h"
 
 namespace {
 
@@ -59,29 +61,17 @@ void PartAPrefixRanges(const Dataset& dataset) {
     dwork_abs += MeanAbsoluteError(*workload, dw->answers) / trials;
     dwork_rel += OverallError(*workload, dw->answers, delta) / trials;
 
-    auto tree = HierarchicalHistogram::Publish(
-        histogram, HierarchicalParams{epsilon}, gen);
+    auto tree = MechanismRegistry::Global().Run(
+        *workload, "hierarchical:epsilon=0.5", gen);
     IREDUCT_CHECK(tree.ok());
-    std::vector<double> tree_answers;
-    for (const BinRange& r : prefixes) {
-      auto answer = tree->RangeCount(r.lo, r.hi);
-      IREDUCT_CHECK(answer.ok());
-      tree_answers.push_back(*answer);
-    }
-    tree_abs += MeanAbsoluteError(*workload, tree_answers) / trials;
-    tree_rel += OverallError(*workload, tree_answers, delta) / trials;
+    tree_abs += MeanAbsoluteError(*workload, tree->answers) / trials;
+    tree_rel += OverallError(*workload, tree->answers, delta) / trials;
 
-    auto wavelet =
-        WaveletHistogram::Publish(histogram, WaveletParams{epsilon}, gen);
+    auto wavelet = MechanismRegistry::Global().Run(
+        *workload, "wavelet:epsilon=0.5", gen);
     IREDUCT_CHECK(wavelet.ok());
-    std::vector<double> wavelet_answers;
-    for (const BinRange& r : prefixes) {
-      auto answer = wavelet->RangeCount(r.lo, r.hi);
-      IREDUCT_CHECK(answer.ok());
-      wavelet_answers.push_back(*answer);
-    }
-    wavelet_abs += MeanAbsoluteError(*workload, wavelet_answers) / trials;
-    wavelet_rel += OverallError(*workload, wavelet_answers, delta) / trials;
+    wavelet_abs += MeanAbsoluteError(*workload, wavelet->answers) / trials;
+    wavelet_rel += OverallError(*workload, wavelet->answers, delta) / trials;
 
     IReductParams p;
     p.epsilon = epsilon;
@@ -124,16 +114,18 @@ void PartBMarginalCells() {
     IREDUCT_CHECK(dw.ok());
     dwork_rel += OverallError(w, dw->answers, delta) / trials;
 
-    // Per-marginal hierarchy with a uniform ε/|M| split; its consistent
-    // leaves are the published cells.
+    // Per-marginal tree strategy with a uniform ε/|M| split; its
+    // consistent leaves are the published cells (move semantics:
+    // tuple_factor 2, the legacy hierarchical calibration).
     std::vector<double> tree_answers;
     const double eps_each = epsilon / mw.num_marginals();
     for (size_t m = 0; m < mw.num_marginals(); ++m) {
-      auto tree = HierarchicalHistogram::Publish(
-          mw.marginal(m).counts(), HierarchicalParams{eps_each}, gen);
-      IREDUCT_CHECK(tree.ok());
-      const std::vector<double> leaves = tree->BinCounts();
-      tree_answers.insert(tree_answers.end(), leaves.begin(), leaves.end());
+      const Strategy tree = Strategy::Tree(mw.marginal(m).num_cells());
+      auto leaves = tree.Publish(mw.marginal(m).counts(), eps_each, 2.0,
+                                 tree.row_multipliers(), gen);
+      IREDUCT_CHECK(leaves.ok());
+      tree_answers.insert(tree_answers.end(), leaves->begin(),
+                          leaves->end());
     }
     tree_rel += OverallError(w, tree_answers, delta) / trials;
 
@@ -153,8 +145,8 @@ void PartBMarginalCells() {
 
   TablePrinter table({"mechanism", "overall_rel_err"});
   table.AddRow({"Dwork (flat)", TablePrinter::Cell(dwork_rel, 5)});
-  table.AddRow({"Hierarchical per marginal", TablePrinter::Cell(tree_rel,
-                                                                5)});
+  table.AddRow({"Tree strategy per marginal", TablePrinter::Cell(tree_rel,
+                                                                 5)});
   table.AddRow({"iReduct", TablePrinter::Cell(ireduct_rel, 5)});
   table.AddRow({"Oracle (non-private)", TablePrinter::Cell(oracle_rel, 5)});
   std::cout << "Part B: cells of all nine 1D marginals (Brazil, eps=0.01) "

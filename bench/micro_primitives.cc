@@ -6,10 +6,9 @@
 #include <algorithm>
 #include <vector>
 
-#include "algorithms/hierarchical.h"
 #include "algorithms/ireduct.h"
 #include "algorithms/selection.h"
-#include "algorithms/wavelet.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/simd.h"
 #include "common/simd_kernels.h"
@@ -24,6 +23,9 @@
 #include "marginals/marginal_evaluator.h"
 #include "marginals/marginal_set.h"
 #include "marginals/marginal_workload.h"
+#include "queries/linear_workload.h"
+#include "queries/range_workload.h"
+#include "queries/strategy.h"
 
 namespace {
 
@@ -373,30 +375,70 @@ void BM_PickGroupHeapCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_PickGroupHeapCycle)->Arg(256)->Arg(4096)->Arg(65536);
 
-void BM_HierarchicalPublish(benchmark::State& state) {
+void BM_TreeStrategyPublish(benchmark::State& state) {
   const size_t bins = static_cast<size_t>(state.range(0));
   std::vector<double> counts(bins);
   for (size_t b = 0; b < bins; ++b) counts[b] = 1000.0 / (1 + b);
+  const Strategy tree = Strategy::Tree(bins);
   BitGen gen(6);
   for (auto _ : state) {
-    auto h = HierarchicalHistogram::Publish(counts,
-                                            HierarchicalParams{0.5}, gen);
+    auto h = tree.Publish(counts, 0.5, 2.0, tree.row_multipliers(), gen);
     benchmark::DoNotOptimize(h);
   }
 }
-BENCHMARK(BM_HierarchicalPublish)->Arg(64)->Arg(1024);
+BENCHMARK(BM_TreeStrategyPublish)->Arg(64)->Arg(1024);
 
-void BM_WaveletPublish(benchmark::State& state) {
+void BM_HaarStrategyPublish(benchmark::State& state) {
   const size_t bins = static_cast<size_t>(state.range(0));
   std::vector<double> counts(bins);
   for (size_t b = 0; b < bins; ++b) counts[b] = 1000.0 / (1 + b);
+  const Strategy haar = Strategy::Haar(bins);
   BitGen gen(7);
   for (auto _ : state) {
-    auto h = WaveletHistogram::Publish(counts, WaveletParams{0.5}, gen);
+    auto h = haar.Publish(counts, 0.5, 2.0, haar.row_multipliers(), gen);
     benchmark::DoNotOptimize(h);
   }
 }
-BENCHMARK(BM_WaveletPublish)->Arg(64)->Arg(1024);
+BENCHMARK(BM_HaarStrategyPublish)->Arg(64)->Arg(1024);
+
+// Sparse workload-matrix mat-vec: the per-trial cost of answering a
+// prefix workload through the linear view (W·x̂ after reconstruction).
+void BM_SparseMatVecPrefix(benchmark::State& state) {
+  const size_t bins = static_cast<size_t>(state.range(0));
+  std::vector<double> histogram(bins);
+  for (size_t b = 0; b < bins; ++b) histogram[b] = 1000.0 / (1 + b);
+  auto lw = RangeLinearWorkload(histogram, PrefixRanges(bins));
+  IREDUCT_CHECK(lw.ok());
+  std::vector<double> out(lw->num_queries());
+  for (auto _ : state) {
+    lw->matrix().MatVec(lw->histogram(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(lw->matrix().nnz()));
+}
+BENCHMARK(BM_SparseMatVecPrefix)->Arg(64)->Arg(256)->Arg(1024);
+
+// Least-squares reconstruction alone (no noise draw): the tree BLUE and
+// the inverse Haar at natural scales.
+void BM_StrategyReconstruct(benchmark::State& state) {
+  const size_t bins = static_cast<size_t>(state.range(1));
+  std::vector<double> counts(bins);
+  for (size_t b = 0; b < bins; ++b) counts[b] = 1000.0 / (1 + b);
+  const Strategy s =
+      state.range(0) == 0 ? Strategy::Tree(bins) : Strategy::Haar(bins);
+  const std::vector<double> rows = s.RowAnswers(counts);
+  const std::vector<double> scales(s.num_rows(), 3.0);
+  for (auto _ : state) {
+    auto x = s.Reconstruct(rows, scales);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_StrategyReconstruct)
+    ->Args({0, 256})
+    ->Args({0, 4096})
+    ->Args({1, 256})
+    ->Args({1, 4096});
 
 void BM_MakeMutuallyConsistent(benchmark::State& state) {
   // A 1D+2D marginal set over a small synthetic table, perturbed.

@@ -1,0 +1,223 @@
+// The strategy-matrix mechanism family vs the paper's relative-error
+// mechanisms, on both workload shapes the library serves:
+//
+//   Task A — 101 prefix ranges over the Age histogram (Brazil). The
+//     workload carries a linear view, so every matrix mechanism answers
+//     through the histogram domain (noise strategy A, reconstruct,
+//     W·x̂); overlapping ranges are where tree/wavelet strategies earn
+//     their keep and where iReduct's per-query scales pay the exact
+//     column-bound sensitivity instead of the old additive one.
+//
+//   Task B — the Age, Gender and Age×Gender marginals lowered onto
+//     their joint domain (MarginalWorkload::ToLinear): 0/1 cell
+//     indicators under move semantics. Point counts have no range
+//     structure, so the identity strategy and iReduct's direct
+//     reallocation should front-run the tree here.
+//
+// Rows report overall relative error (Definition 6) over TRIALS seeded
+// runs. Results land in BENCH_STRATEGY.json in the working directory
+// (host-stamped, one entry per task × mechanism) — the artifact the CI
+// parity-smoke job uploads.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algorithms/ireduct.h"
+#include "algorithms/iresamp.h"
+#include "algorithms/mechanism_registry.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "eval/table_printer.h"
+#include "marginals/marginal.h"
+#include "marginals/marginal_set.h"
+#include "marginals/marginal_workload.h"
+#include "obs/json.h"
+#include "queries/linear_workload.h"
+#include "queries/range_workload.h"
+
+namespace {
+
+using namespace ireduct;
+using namespace ireduct::bench;
+
+std::string Spec(const std::string& base, double epsilon) {
+  std::ostringstream os;
+  os.precision(17);
+  os << base << (base.find(':') == std::string::npos ? ":" : ",")
+     << "epsilon=" << epsilon;
+  return os.str();
+}
+
+MechanismFn Registry(const std::string& spec) {
+  return [spec](const Workload& w, BitGen& gen) ->
+         Result<std::vector<double>> {
+    IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out,
+                             MechanismRegistry::Global().Run(w, spec, gen));
+    return std::move(out.answers);
+  };
+}
+
+struct TaskResult {
+  std::string mechanism;
+  TrialAggregate error;
+};
+
+// The comparison suite: the four matrix-mechanism strategies (natural
+// and greedy-tuned scales) against the paper's own relative-error
+// machinery and the flat baseline.
+std::vector<std::pair<std::string, MechanismFn>> Suite(
+    double epsilon, double delta, double lambda_max, double lambda_delta) {
+  std::vector<std::pair<std::string, MechanismFn>> suite;
+  suite.emplace_back("matrix:identity",
+                     Registry(Spec("matrix:strategy=identity", epsilon)));
+  suite.emplace_back("matrix:tree",
+                     Registry(Spec("matrix:strategy=tree", epsilon)));
+  suite.emplace_back("matrix:wavelet",
+                     Registry(Spec("matrix:strategy=wavelet", epsilon)));
+  suite.emplace_back(
+      "matrix_greedy:tree",
+      Registry(Spec("matrix_greedy:strategy=tree", epsilon)));
+  suite.emplace_back(
+      "ireduct", [=](const Workload& w, BitGen& gen) ->
+                 Result<std::vector<double>> {
+        IReductParams p;
+        p.epsilon = epsilon;
+        p.delta = delta;
+        p.lambda_max = lambda_max;
+        p.lambda_delta = lambda_delta;
+        IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out, RunIReduct(w, p, gen));
+        return std::move(out.answers);
+      });
+  suite.emplace_back(
+      "iresamp", [=](const Workload& w, BitGen& gen) ->
+                 Result<std::vector<double>> {
+        IResampParams p;
+        p.epsilon = epsilon;
+        p.delta = delta;
+        p.lambda_max = lambda_max;
+        IREDUCT_ASSIGN_OR_RETURN(MechanismOutput out, RunIResamp(w, p, gen));
+        return std::move(out.answers);
+      });
+  suite.emplace_back("dwork", Registry(Spec("dwork", epsilon)));
+  return suite;
+}
+
+std::vector<TaskResult> RunTask(
+    const std::string& title, const Workload& workload, double epsilon,
+    double delta, double lambda_max, double lambda_delta,
+    uint64_t base_seed) {
+  std::vector<TaskResult> results;
+  TablePrinter table({"mechanism", "overall_rel_err", "stddev"});
+  for (auto& [name, fn] :
+       Suite(epsilon, delta, lambda_max, lambda_delta)) {
+    const TrialAggregate agg =
+        MeasureOverallError(workload, fn, delta, base_seed);
+    table.AddRow({name, TablePrinter::Cell(agg.mean, 5),
+                  TablePrinter::Cell(agg.stddev, 3)});
+    results.push_back(TaskResult{name, agg});
+  }
+  std::cout << title << "\n\n";
+  table.Print(std::cout);
+  std::cout << '\n';
+  return results;
+}
+
+void WriteTask(obs::JsonWriter& writer, const std::string& task,
+               double epsilon, double delta, size_t num_queries,
+               const std::vector<TaskResult>& results) {
+  writer.BeginObject();
+  writer.KV("task", task);
+  writer.Key("epsilon");
+  writer.Double(epsilon);
+  writer.Key("delta");
+  writer.Double(delta);
+  writer.Key("num_queries");
+  writer.UInt(num_queries);
+  writer.Key("mechanisms");
+  writer.BeginArray();
+  for (const TaskResult& r : results) {
+    writer.BeginObject();
+    writer.KV("name", r.mechanism);
+    writer.Key("overall_error");
+    writer.Double(r.error.mean);
+    writer.Key("stddev");
+    writer.Double(r.error.stddev);
+    writer.Key("trials");
+    writer.UInt(static_cast<uint64_t>(r.error.trials));
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+}  // namespace
+
+int main() {
+  RegisterStandardMetrics();
+  const Dataset& dataset = GetCensus(CensusKind::kBrazil);
+  const double n = static_cast<double>(dataset.num_rows());
+  const double delta = 1e-4 * n;
+
+  std::string json;
+  obs::JsonWriter writer(&json);
+  writer.BeginObject();
+  writer.KV("bench", "strategy_comparison");
+  WriteHostInfo(writer);
+  writer.Key("tasks");
+  writer.BeginArray();
+
+  // Task A: prefix ranges over the Age histogram, exact column-bound
+  // sensitivity and a linear view for the matrix mechanisms.
+  {
+    auto age = Marginal::Compute(dataset, MarginalSpec{{kAge}});
+    IREDUCT_CHECK(age.ok());
+    const std::vector<double> histogram(age->counts().begin(),
+                                        age->counts().end());
+    auto workload =
+        BuildRangeWorkload(histogram, PrefixRanges(histogram.size()));
+    IREDUCT_CHECK(workload.ok());
+    const double epsilon = 0.5;
+    const double lambda_max = 2.0 * workload->Sensitivity() / epsilon;
+    const auto results = RunTask(
+        "Task A: prefix ranges over the Age histogram (Brazil, eps=0.5)",
+        *workload, epsilon, delta, lambda_max,
+        lambda_max / std::max(IReductSteps(), 100), 8100);
+    WriteTask(writer, "prefix_ranges_age", epsilon, delta,
+              workload->num_queries(), results);
+  }
+
+  // Task B: Age/Gender marginals on their joint domain.
+  {
+    auto marginals = ComputeMarginals(
+        dataset, std::vector<MarginalSpec>{MarginalSpec{{kAge}},
+                                           MarginalSpec{{kGender}},
+                                           MarginalSpec{{kAge, kGender}}});
+    IREDUCT_CHECK(marginals.ok());
+    auto mw = MarginalWorkload::Create(std::move(*marginals));
+    IREDUCT_CHECK(mw.ok());
+    auto linear = mw->ToLinear(dataset);
+    IREDUCT_CHECK(linear.ok());
+    auto workload = linear->ToWorkload();
+    IREDUCT_CHECK(workload.ok());
+    const double epsilon = 0.05;
+    const double lambda_max = n / 10;
+    const auto results = RunTask(
+        "Task B: Age/Gender marginal cells on the joint domain (Brazil, "
+        "eps=0.05)",
+        *workload, epsilon, delta, lambda_max,
+        lambda_max / std::max(IReductSteps(), 100), 8200);
+    WriteTask(writer, "marginal_cells_age_gender", epsilon, delta,
+              workload->num_queries(), results);
+  }
+
+  writer.EndArray();
+  writer.EndObject();
+  std::ofstream out("BENCH_STRATEGY.json");
+  out << json << "\n";
+  std::cout << "Wrote BENCH_STRATEGY.json\n";
+  EmitMetricsSnapshot("strategy_comparison");
+  return 0;
+}

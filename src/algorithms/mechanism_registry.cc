@@ -5,13 +5,12 @@
 
 #include "algorithms/dwork.h"
 #include "algorithms/geometric.h"
-#include "algorithms/hierarchical.h"
 #include "algorithms/ireduct.h"
 #include "algorithms/iresamp.h"
 #include "algorithms/oracle.h"
 #include "algorithms/proportional.h"
+#include "algorithms/strategy_mechanism.h"
 #include "algorithms/two_phase.h"
-#include "algorithms/wavelet.h"
 #include "obs/json.h"
 
 namespace ireduct {
@@ -585,19 +584,20 @@ class IReductMechanism : public Mechanism {
   }
 };
 
-// The two absolute-error histogram baselines (Section 7's related work)
-// view the workload's answer vector as one 1D histogram with
-// equal-cardinality neighbor semantics — one tuple moving between two
-// bins. Group structure is kept only for reporting: every group gets the
-// publisher's nominal leaf noise scale.
+// The strategy-matrix family (algorithms/strategy_mechanism.h): one
+// shared runner serves the hierarchical and wavelet baselines (which
+// view the workload's answer vector as a 1D histogram when no linear
+// view is attached — bit-identical to the deleted bespoke publishers)
+// and the general matrix mechanism over linear workloads.
 class HierarchicalMechanism : public Mechanism {
  public:
   MechanismInfo Describe() const override {
     return MechanismInfo{
         "hierarchical",
         "Hierarchical",
-        "Consistent noisy binary tree over the answers viewed as a 1D "
-        "histogram (Hay et al.); absolute-error baseline.",
+        "Consistent noisy binary tree (Hay et al.) via the shared "
+        "strategy runner; answers a linear view's histogram domain when "
+        "attached, else the answer vector as a 1D histogram.",
         MechanismPrivacy::kPrivate,
         {{"epsilon", "1", "total privacy budget"}}};
   }
@@ -605,20 +605,11 @@ class HierarchicalMechanism : public Mechanism {
   Result<MechanismOutput> Run(const Workload& workload,
                               const MechanismSpec& spec,
                               BitGen& gen) const override {
-    HierarchicalParams params;
-    IREDUCT_ASSIGN_OR_RETURN(params.epsilon,
-                             spec.GetDouble("epsilon", params.epsilon));
-    IREDUCT_ASSIGN_OR_RETURN(
-        HierarchicalHistogram hist,
-        HierarchicalHistogram::Publish(workload.true_answers(), params, gen));
-    MechanismOutput out;
-    out.answers = hist.BinCounts();
-    // Nominal per-node scale S/ε with S = 2·height; consistency then only
-    // shrinks variance, so this is a conservative reporting scale.
-    out.group_scales.assign(workload.num_groups(),
-                            2.0 * hist.height() / params.epsilon);
-    out.epsilon_spent = hist.epsilon_spent();
-    return out;
+    StrategyMechanismConfig config;
+    config.strategy = "tree";
+    IREDUCT_ASSIGN_OR_RETURN(config.epsilon,
+                             spec.GetDouble("epsilon", config.epsilon));
+    return RunStrategyMechanism(workload, config, gen);
   }
 };
 
@@ -628,8 +619,9 @@ class WaveletMechanism : public Mechanism {
     return MechanismInfo{
         "wavelet",
         "Wavelet",
-        "Privelet: noisy Haar transform of the answers viewed as a 1D "
-        "histogram (Xiao et al.); absolute-error baseline.",
+        "Privelet noisy Haar transform (Xiao et al.) via the shared "
+        "strategy runner; answers a linear view's histogram domain when "
+        "attached, else the answer vector as a 1D histogram.",
         MechanismPrivacy::kPrivate,
         {{"epsilon", "1", "total privacy budget"}}};
   }
@@ -637,22 +629,106 @@ class WaveletMechanism : public Mechanism {
   Result<MechanismOutput> Run(const Workload& workload,
                               const MechanismSpec& spec,
                               BitGen& gen) const override {
-    WaveletParams params;
-    IREDUCT_ASSIGN_OR_RETURN(params.epsilon,
-                             spec.GetDouble("epsilon", params.epsilon));
+    StrategyMechanismConfig config;
+    config.strategy = "wavelet";
+    IREDUCT_ASSIGN_OR_RETURN(config.epsilon,
+                             spec.GetDouble("epsilon", config.epsilon));
+    return RunStrategyMechanism(workload, config, gen);
+  }
+};
+
+// Spec parsing shared by the two matrix-mechanism entries.
+Result<StrategyMechanismConfig> ParseStrategyConfig(
+    const MechanismSpec& spec, bool greedy_default) {
+  StrategyMechanismConfig config;
+  config.strategy = spec.GetString("strategy", "tree");
+  if (config.strategy != "identity" && config.strategy != "tree" &&
+      config.strategy != "wavelet") {
+    return Status::InvalidArgument(
+        "strategy must be identity, tree or wavelet (got '" +
+        config.strategy + "')");
+  }
+  IREDUCT_ASSIGN_OR_RETURN(config.epsilon,
+                           spec.GetDouble("epsilon", config.epsilon));
+  const std::string tune =
+      spec.GetString("tune", greedy_default ? "greedy" : "none");
+  if (tune == "greedy") {
+    config.greedy = true;
+  } else if (tune == "none") {
+    config.greedy = false;
+  } else {
+    return Status::InvalidArgument("tune must be none or greedy (got '" +
+                                   tune + "')");
+  }
+  IREDUCT_ASSIGN_OR_RETURN(
+      config.epsilon1_fraction,
+      spec.GetDouble("epsilon1_fraction", config.epsilon1_fraction));
+  IREDUCT_ASSIGN_OR_RETURN(config.relative_floor,
+                           spec.GetDouble("delta", config.relative_floor));
+  IREDUCT_ASSIGN_OR_RETURN(
+      const int64_t passes, spec.GetInt("tune_passes", config.tune_passes));
+  if (passes < 0) {
+    return Status::InvalidArgument("tune_passes must be >= 0");
+  }
+  config.tune_passes = static_cast<int>(passes);
+  return config;
+}
+
+class MatrixMechanism : public Mechanism {
+ public:
+  MechanismInfo Describe() const override {
+    return MechanismInfo{
+        "matrix",
+        "Matrix",
+        "Matrix mechanism (Li-Miklau): noise a strategy matrix over the "
+        "workload's linear view and reconstruct by least squares.",
+        MechanismPrivacy::kPrivate,
+        {{"epsilon", "1", "total privacy budget"},
+         {"strategy", "tree", "strategy matrix: identity, tree or wavelet"},
+         {"tune", "none", "scale tuning: none or greedy (relative error)"},
+         {"epsilon1_fraction", "0.3",
+          "phase-1 budget share for the greedy rough answers"},
+         {"delta", "1",
+          "relative-error floor for the greedy query weights"},
+         {"tune_passes", "8", "greedy coordinate-descent passes"}}};
+  }
+
+  Result<MechanismOutput> Run(const Workload& workload,
+                              const MechanismSpec& spec,
+                              BitGen& gen) const override {
     IREDUCT_ASSIGN_OR_RETURN(
-        WaveletHistogram hist,
-        WaveletHistogram::Publish(workload.true_answers(), params, gen));
-    MechanismOutput out;
-    out.answers = hist.BinCounts();
-    // Nominal coefficient scale θ = 2·(1 + log₂ m)/ε at unit weight.
-    size_t padded = 1;
-    while (padded < workload.num_queries()) padded *= 2;
-    const double levels = std::log2(static_cast<double>(padded)) + 1;
-    out.group_scales.assign(workload.num_groups(),
-                            2.0 * levels / params.epsilon);
-    out.epsilon_spent = hist.epsilon_spent();
-    return out;
+        const StrategyMechanismConfig config,
+        ParseStrategyConfig(spec, /*greedy_default=*/false));
+    return RunStrategyMechanism(workload, config, gen);
+  }
+};
+
+class MatrixGreedyMechanism : public Mechanism {
+ public:
+  MechanismInfo Describe() const override {
+    return MechanismInfo{
+        "matrix_greedy",
+        "MatrixGreedy",
+        "Matrix mechanism with greedy per-row scale tuning minimizing "
+        "expected relative error (phase-1 rough answers set the query "
+        "weights).",
+        MechanismPrivacy::kPrivate,
+        {{"epsilon", "1", "total privacy budget"},
+         {"strategy", "tree", "strategy matrix: identity, tree or wavelet"},
+         {"tune", "greedy", "scale tuning: none or greedy"},
+         {"epsilon1_fraction", "0.3",
+          "phase-1 budget share for the rough answers"},
+         {"delta", "1", "relative-error floor for the query weights"},
+         {"tune_passes", "8", "greedy coordinate-descent passes"}}};
+  }
+
+  Result<MechanismOutput> Run(const Workload& workload,
+                              const MechanismSpec& spec,
+                              BitGen& gen) const override {
+    IREDUCT_ASSIGN_OR_RETURN(
+        const StrategyMechanismConfig config,
+        ParseStrategyConfig(spec, /*greedy_default=*/true));
+    return RunStrategyMechanism(workload, config, gen);
   }
 };
 
@@ -676,6 +752,8 @@ MechanismRegistry& MechanismRegistry::Global() {
     (void)r->Register(std::make_unique<GeometricMechanism>());
     (void)r->Register(std::make_unique<HierarchicalMechanism>());
     (void)r->Register(std::make_unique<WaveletMechanism>());
+    (void)r->Register(std::make_unique<MatrixMechanism>());
+    (void)r->Register(std::make_unique<MatrixGreedyMechanism>());
     return r;
   }();
   return *registry;

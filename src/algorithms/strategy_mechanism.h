@@ -1,0 +1,55 @@
+// The shared strategy-mechanism runner: one code path serving every
+// strategy-matrix mechanism (identity / tree / wavelet / greedy-tuned),
+// replacing the two bespoke publishers that algorithms/hierarchical.cc
+// and algorithms/wavelet.cc used to be.
+//
+// Given a workload, the runner resolves the domain to noise:
+//   - with a linear view attached (Workload::linear, see
+//     queries/linear_workload.h) it noises the *histogram* domain with
+//     strategy A and answers W·A⁺·y — the full matrix mechanism;
+//   - without one it treats the answer vector itself as a 1D histogram
+//     under move semantics, exactly like the legacy adapters (and
+//     bit-identically so, locked by tests/algorithms/
+//     strategy_golden_test.cc).
+//
+// The greedy variant spends a phase-1 fraction of ε on rough answers,
+// weights each query by 1/max(|rough|, floor)² and tunes the per-row
+// noise multipliers with GreedyTuneScales — minimizing expected
+// *relative* error, the paper's own metric (Definition 6).
+#ifndef IREDUCT_ALGORITHMS_STRATEGY_MECHANISM_H_
+#define IREDUCT_ALGORITHMS_STRATEGY_MECHANISM_H_
+
+#include <string>
+
+#include "algorithms/mechanism.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+
+struct StrategyMechanismConfig {
+  /// Strategy family: "identity", "tree" or "wavelet".
+  std::string strategy = "tree";
+  /// Total privacy budget ε (phase 1 + publication when greedy).
+  double epsilon = 1.0;
+  /// Greedy relative-error scale tuning (phase-1 rough answers + per-row
+  /// multiplier descent) instead of the strategy's natural scales.
+  bool greedy = false;
+  /// Fraction of ε spent on the phase-1 rough answers (greedy only).
+  double epsilon1_fraction = 0.3;
+  /// Floor δ for the relative-error weights 1/max(|rough|, δ)².
+  double relative_floor = 1.0;
+  /// Coordinate-descent passes of GreedyTuneScales.
+  int tune_passes = 8;
+};
+
+/// Runs one strategy mechanism over `workload`. All randomness comes
+/// from `gen`; the spent budget is exactly `config.epsilon`.
+Result<MechanismOutput> RunStrategyMechanism(
+    const Workload& workload, const StrategyMechanismConfig& config,
+    BitGen& gen);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_ALGORITHMS_STRATEGY_MECHANISM_H_

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "common/status.h"
 
 namespace ireduct {
+
+class LinearWorkload;  // queries/linear_workload.h
 
 /// A contiguous run of queries that share one noise scale and jointly
 /// contribute `sensitivity_coeff / scale` to the generalized sensitivity.
@@ -117,6 +120,20 @@ class Workload {
         std::span<const double>(group_scales.begin(), group_scales.size()));
   }
 
+  /// Optional linear-query view of this workload: a sparse matrix W over a
+  /// domain histogram whose product reproduces `true_answers()` (see
+  /// queries/linear_workload.h). Strategy-based mechanisms consult it to
+  /// noise the histogram domain instead of the answer vector; every other
+  /// mechanism ignores it. Null when no view is attached. The dp/ layer
+  /// only stores the pointer — it never dereferences it — so no dependency
+  /// on queries/ is introduced.
+  void SetLinear(std::shared_ptr<const LinearWorkload> linear) {
+    linear_ = std::move(linear);
+  }
+  const std::shared_ptr<const LinearWorkload>& linear() const {
+    return linear_;
+  }
+
  private:
   Workload(std::vector<double> true_answers, std::vector<QueryGroup> groups);
 
@@ -124,6 +141,7 @@ class Workload {
   std::vector<QueryGroup> groups_;
   std::vector<uint32_t> group_of_;
   SensitivityFn custom_sensitivity_;  // null: additive Σ c_g/λ_g
+  std::shared_ptr<const LinearWorkload> linear_;  // null: no linear view
 };
 
 }  // namespace ireduct

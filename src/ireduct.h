@@ -8,7 +8,6 @@
 
 #include "algorithms/dwork.h"              // IWYU pragma: export
 #include "algorithms/geometric.h"          // IWYU pragma: export
-#include "algorithms/hierarchical.h"       // IWYU pragma: export
 #include "algorithms/ireduct.h"            // IWYU pragma: export
 #include "algorithms/iresamp.h"            // IWYU pragma: export
 #include "algorithms/mechanism.h"          // IWYU pragma: export
@@ -16,8 +15,8 @@
 #include "algorithms/oracle.h"             // IWYU pragma: export
 #include "algorithms/proportional.h"       // IWYU pragma: export
 #include "algorithms/selection.h"          // IWYU pragma: export
+#include "algorithms/strategy_mechanism.h" // IWYU pragma: export
 #include "algorithms/two_phase.h"          // IWYU pragma: export
-#include "algorithms/wavelet.h"            // IWYU pragma: export
 #include "classifier/cross_validation.h"   // IWYU pragma: export
 #include "classifier/naive_bayes.h"        // IWYU pragma: export
 #include "common/random.h"                 // IWYU pragma: export
@@ -57,8 +56,10 @@
 #include "obs/log.h"                       // IWYU pragma: export
 #include "obs/metrics.h"                   // IWYU pragma: export
 #include "obs/trace.h"                     // IWYU pragma: export
+#include "queries/linear_workload.h"       // IWYU pragma: export
 #include "queries/predicate.h"             // IWYU pragma: export
 #include "queries/range_workload.h"        // IWYU pragma: export
+#include "queries/strategy.h"              // IWYU pragma: export
 #include "service/private_session.h"       // IWYU pragma: export
 
 #endif  // IREDUCT_IREDUCT_H_

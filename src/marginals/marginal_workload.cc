@@ -1,5 +1,9 @@
 #include "marginals/marginal_workload.h"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+
 namespace ireduct {
 
 namespace {
@@ -48,6 +52,96 @@ Result<std::vector<Marginal>> MarginalWorkload::ToMarginals(
     offset += m.num_cells();
   }
   return noisy;
+}
+
+Result<LinearWorkload> MarginalWorkload::ToLinear(const Dataset& dataset,
+                                                  size_t max_cells) const {
+  // Union of attributes across all marginals, sorted.
+  std::vector<uint32_t> attrs;
+  for (const Marginal& m : marginals_) {
+    attrs.insert(attrs.end(), m.spec().attributes.begin(),
+                 m.spec().attributes.end());
+  }
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  const Schema& schema = dataset.schema();
+  for (uint32_t a : attrs) {
+    if (a >= schema.num_attributes()) {
+      return Status::OutOfRange("marginal attribute " + std::to_string(a) +
+                                " not in the dataset schema");
+    }
+  }
+  for (const Marginal& m : marginals_) {
+    for (size_t k = 0; k < m.spec().attributes.size(); ++k) {
+      if (m.domain_sizes()[k] !=
+          schema.attribute(m.spec().attributes[k]).domain_size) {
+        return Status::InvalidArgument(
+            "marginal domain sizes do not match the dataset schema");
+      }
+    }
+  }
+
+  // Joint domain shape (row-major, first attribute varies slowest).
+  std::vector<size_t> dims(attrs.size());
+  size_t cells = 1;
+  for (size_t k = 0; k < attrs.size(); ++k) {
+    dims[k] = schema.attribute(attrs[k]).domain_size;
+    if (dims[k] == 0 || cells > max_cells / dims[k]) {
+      return Status::InvalidArgument(
+          "joint domain of the marginal union exceeds max_cells (" +
+          std::to_string(max_cells) + ")");
+    }
+    cells *= dims[k];
+  }
+  std::vector<size_t> strides(attrs.size());
+  size_t stride = 1;
+  for (size_t k = attrs.size(); k-- > 0;) {
+    strides[k] = stride;
+    stride *= dims[k];
+  }
+
+  // The joint histogram: one pass over the dataset.
+  std::vector<double> histogram(cells, 0.0);
+  for (size_t row = 0; row < dataset.num_rows(); ++row) {
+    size_t idx = 0;
+    for (size_t k = 0; k < attrs.size(); ++k) {
+      idx += size_t{dataset.value(row, attrs[k])} * strides[k];
+    }
+    histogram[idx] += 1.0;
+  }
+
+  // One 0/1 row per marginal cell, selecting the joint cells that
+  // project onto it.
+  SparseMatrix::Builder builder(workload_.num_queries(), cells);
+  uint32_t offset = 0;
+  for (const Marginal& m : marginals_) {
+    const size_t arity = m.spec().attributes.size();
+    std::vector<size_t> pos(arity);  // attribute position within `attrs`
+    for (size_t k = 0; k < arity; ++k) {
+      pos[k] = static_cast<size_t>(
+          std::lower_bound(attrs.begin(), attrs.end(),
+                           m.spec().attributes[k]) -
+          attrs.begin());
+    }
+    std::vector<size_t> mstrides(arity);
+    size_t ms = 1;
+    for (size_t k = arity; k-- > 0;) {
+      mstrides[k] = ms;
+      ms *= m.domain_sizes()[k];
+    }
+    for (size_t j = 0; j < cells; ++j) {
+      size_t cell = 0;
+      for (size_t k = 0; k < arity; ++k) {
+        cell += ((j / strides[pos[k]]) % dims[pos[k]]) * mstrides[k];
+      }
+      builder.Add(offset + static_cast<uint32_t>(cell),
+                  static_cast<uint32_t>(j), 1.0);
+    }
+    offset += static_cast<uint32_t>(m.num_cells());
+  }
+  IREDUCT_ASSIGN_OR_RETURN(SparseMatrix w, std::move(builder).Build());
+  return LinearWorkload::Create(std::move(w), std::move(histogram),
+                                NeighborModel::kMove);
 }
 
 }  // namespace ireduct

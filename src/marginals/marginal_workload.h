@@ -6,12 +6,14 @@
 #ifndef IREDUCT_MARGINALS_MARGINAL_WORKLOAD_H_
 #define IREDUCT_MARGINALS_MARGINAL_WORKLOAD_H_
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
 #include "common/result.h"
 #include "dp/workload.h"
 #include "marginals/marginal.h"
+#include "queries/linear_workload.h"
 
 namespace ireduct {
 
@@ -29,6 +31,19 @@ class MarginalWorkload {
   /// answers (`answers.size()` must equal the workload's query count).
   Result<std::vector<Marginal>> ToMarginals(
       std::span<const double> answers) const;
+
+  /// Lowers the marginal set to cell-indicator linear queries over the
+  /// *joint* domain of the union of all marginals' attributes: one pass
+  /// over `dataset` builds the joint histogram, and every marginal cell
+  /// becomes a 0/1 row selecting the joint cells that project onto it
+  /// (move semantics — one moved tuple changes two cells per marginal).
+  /// The linear workload's Answers() equal this workload's
+  /// true_answers() exactly; strategy mechanisms can then noise the
+  /// joint domain instead of the flattened cells. Refused when the
+  /// joint domain exceeds `max_cells` (the product of attribute domain
+  /// sizes grows combinatorially — this is a small-schema tool).
+  Result<LinearWorkload> ToLinear(const Dataset& dataset,
+                                  size_t max_cells = size_t{1} << 20) const;
 
  private:
   MarginalWorkload(std::vector<Marginal> marginals, Workload workload)

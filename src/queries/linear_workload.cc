@@ -1,0 +1,182 @@
+#include "queries/linear_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/numeric.h"
+
+namespace ireduct {
+
+void SparseMatrix::Builder::Add(uint32_t row, uint32_t col, double value) {
+  entries_.push_back(Entry{row, col, value});
+}
+
+Result<SparseMatrix> SparseMatrix::Builder::Build() && {
+  for (const Entry& e : entries_) {
+    if (e.row >= rows_ || e.col >= cols_) {
+      return Status::OutOfRange("sparse entry (" + std::to_string(e.row) +
+                                ", " + std::to_string(e.col) +
+                                ") outside matrix shape");
+    }
+    if (!std::isfinite(e.value)) {
+      return Status::InvalidArgument("sparse entries must be finite");
+    }
+  }
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.row != b.row ? a.row < b.row : a.col < b.col;
+                   });
+  SparseMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(rows_ + 1, 0);
+  m.cols_idx_.reserve(entries_.size());
+  m.values_.reserve(entries_.size());
+  size_t i = 0;
+  for (size_t r = 0; r < rows_; ++r) {
+    while (i < entries_.size() && entries_[i].row == r) {
+      double value = entries_[i].value;
+      const uint32_t col = entries_[i].col;
+      ++i;
+      while (i < entries_.size() && entries_[i].row == r &&
+             entries_[i].col == col) {
+        value += entries_[i].value;
+        ++i;
+      }
+      if (value != 0.0) {
+        m.cols_idx_.push_back(col);
+        m.values_.push_back(value);
+      }
+    }
+    m.row_ptr_[r + 1] = static_cast<uint32_t>(m.cols_idx_.size());
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::Identity(size_t n) {
+  SparseMatrix m;
+  m.rows_ = n;
+  m.cols_ = n;
+  m.row_ptr_.resize(n + 1);
+  m.cols_idx_.resize(n);
+  m.values_.assign(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    m.row_ptr_[i] = static_cast<uint32_t>(i);
+    m.cols_idx_[i] = static_cast<uint32_t>(i);
+  }
+  m.row_ptr_[n] = static_cast<uint32_t>(n);
+  return m;
+}
+
+void SparseMatrix::MatVec(std::span<const double> x,
+                          std::span<double> out) const {
+  for (size_t r = 0; r < rows_; ++r) {
+    KahanSum acc;
+    for (uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc.Add(values_[k] * x[cols_idx_[k]]);
+    }
+    out[r] = acc.value();
+  }
+}
+
+void SparseMatrix::TMatVec(std::span<const double> y,
+                           std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double yr = y[r];
+    if (yr == 0.0) continue;
+    for (uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out[cols_idx_[k]] += values_[k] * yr;
+    }
+  }
+}
+
+void SparseMatrix::ColumnAbsSums(std::span<const double> row_weights,
+                                 std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double w = row_weights.empty() ? 1.0 : row_weights[r];
+    for (uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out[cols_idx_[k]] += std::abs(values_[k]) * w;
+    }
+  }
+}
+
+Result<LinearWorkload> LinearWorkload::Create(SparseMatrix w,
+                                              std::vector<double> histogram,
+                                              NeighborModel model) {
+  if (w.rows() == 0) {
+    return Status::InvalidArgument("linear workload needs at least one query");
+  }
+  if (w.cols() != histogram.size()) {
+    return Status::InvalidArgument(
+        "workload matrix has " + std::to_string(w.cols()) +
+        " columns but the histogram has " + std::to_string(histogram.size()) +
+        " bins");
+  }
+  for (double v : histogram) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("histogram bins must be finite");
+    }
+  }
+  return LinearWorkload(std::move(w), std::move(histogram), model);
+}
+
+std::vector<double> LinearWorkload::Answers() const {
+  std::vector<double> out(w_.rows());
+  w_.MatVec(histogram_, out);
+  return out;
+}
+
+double LinearWorkload::TupleSensitivity(
+    std::span<const double> per_query_scales) const {
+  for (double s : per_query_scales) {
+    if (!(s > 0)) return std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> inv(w_.rows());
+  for (size_t i = 0; i < inv.size(); ++i) inv[i] = 1.0 / per_query_scales[i];
+  std::vector<double> col(w_.cols());
+  w_.ColumnAbsSums(inv, col);
+  double max_col = 0;
+  for (double c : col) max_col = std::max(max_col, c);
+  return tuple_factor() * max_col;
+}
+
+double LinearWorkload::MaxColumnL1() const {
+  std::vector<double> col(w_.cols());
+  w_.ColumnAbsSums({}, col);
+  double max_col = 0;
+  for (double c : col) max_col = std::max(max_col, c);
+  return max_col;
+}
+
+Result<Workload> LinearWorkload::ToWorkload() const {
+  auto self = std::make_shared<const LinearWorkload>(*this);
+  const size_t m = num_queries();
+  std::vector<QueryGroup> groups;
+  groups.reserve(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    double max_abs = 0;
+    for (double v : w_.row_values(i)) max_abs = std::max(max_abs, std::abs(v));
+    groups.push_back(
+        QueryGroup{"q" + std::to_string(i), i, i + 1,
+                   tuple_factor() * std::max(max_abs, 1e-300)});
+  }
+  // Singleton groups: group scales == per-query scales, so the closure can
+  // hand them to TupleSensitivity directly.
+  IREDUCT_ASSIGN_OR_RETURN(
+      Workload workload,
+      Workload::CreateWithSensitivityFn(
+          Answers(), std::move(groups),
+          [self](std::span<const double> scales) {
+            return self->TupleSensitivity(scales);
+          }));
+  workload.SetLinear(self);
+  return workload;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,165 @@
+// Linear-query algebra over domain histograms (the matrix-mechanism
+// setting of Li–Miklau and Li–Hay–Rastogi–Miklau–McGregor).
+//
+// A linear workload is a sparse matrix W (m queries × n domain bins)
+// applied to a histogram x: the true answers are W·x, computed in one
+// pass over the histogram. Its per-tuple sensitivity is a *column*
+// property of W:
+//
+//   add/remove semantics — one tuple appears in or vanishes from bin b,
+//   so query i changes by |W_ib| and the exact generalized sensitivity
+//   at per-query scales Λ is   GS = max_b Σ_i |W_ib| / λ_i
+//   (the maximum weighted column L1 norm);
+//
+//   move semantics — one tuple moves from bin b to b', changing query i
+//   by |W_ib − W_ib'|; 2·max_b Σ_i |W_ib| / λ_i is a valid bound that is
+//   exact whenever no query mixes the two bins (e.g. disjoint cell
+//   indicators, where it reduces to the 2/min λ rule of
+//   DisjointHistogramWorkload).
+//
+// This replaces the grouped workload model's additive Σ c_g/λ_g bound,
+// which over-counts heavily overlapping queries (a sliding-window
+// workload over m windows of width k has additive bound m/λ but exact
+// column bound (k+1)/λ). `ToWorkload` packages the exact bound as a
+// `Workload::SensitivityFn` and attaches the linear view to the
+// workload so strategy mechanisms (queries/strategy.h) can recover W
+// and the histogram.
+#ifndef IREDUCT_QUERIES_LINEAR_WORKLOAD_H_
+#define IREDUCT_QUERIES_LINEAR_WORKLOAD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+
+/// Immutable sparse matrix in compressed-sparse-row form. Built through
+/// `Builder`, which accepts entries in any order and merges duplicates.
+class SparseMatrix {
+ public:
+  /// An empty 0×0 matrix; assign from Builder::Build or Identity.
+  SparseMatrix() = default;
+
+  class Builder {
+   public:
+    Builder(size_t rows, size_t cols) : rows_(rows), cols_(cols) {}
+
+    /// Stages one entry; duplicate (row, col) pairs are summed by Build.
+    void Add(uint32_t row, uint32_t col, double value);
+
+    /// Validates indices / finiteness and assembles the CSR arrays.
+    Result<SparseMatrix> Build() &&;
+
+   private:
+    struct Entry {
+      uint32_t row;
+      uint32_t col;
+      double value;
+    };
+    size_t rows_;
+    size_t cols_;
+    std::vector<Entry> entries_;
+  };
+
+  /// The n×n identity.
+  static SparseMatrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// Column indices / values of row r (parallel spans, sorted by column).
+  std::span<const uint32_t> row_cols(size_t r) const {
+    return std::span<const uint32_t>(cols_idx_)
+        .subspan(row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]);
+  }
+  std::span<const double> row_values(size_t r) const {
+    return std::span<const double>(values_)
+        .subspan(row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]);
+  }
+
+  /// out = M·x (Kahan-compensated per row). x.size() == cols(),
+  /// out.size() == rows().
+  void MatVec(std::span<const double> x, std::span<double> out) const;
+
+  /// out = Mᵀ·y. y.size() == rows(), out.size() == cols().
+  void TMatVec(std::span<const double> y, std::span<double> out) const;
+
+  /// out[b] = Σ_r |M_rb| · row_weights[r]; an empty weight span means all
+  /// ones. out.size() == cols().
+  void ColumnAbsSums(std::span<const double> row_weights,
+                     std::span<double> out) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<uint32_t> row_ptr_;   // rows_ + 1
+  std::vector<uint32_t> cols_idx_;  // nnz, sorted within each row
+  std::vector<double> values_;      // nnz
+};
+
+/// Which notion of "neighboring dataset" calibrates the per-tuple
+/// sensitivity of a linear workload (see the header comment).
+enum class NeighborModel {
+  kAddRemove,  // one tuple added or removed; column bound is exact
+  kMove,       // equal cardinality, one tuple moves between two bins
+};
+
+/// An immutable linear workload: W, the histogram it queries, and the
+/// neighbor model its sensitivity is calibrated to.
+class LinearWorkload {
+ public:
+  /// Validates shapes (W.cols() == histogram.size(), at least one query)
+  /// and finiteness.
+  static Result<LinearWorkload> Create(SparseMatrix w,
+                                       std::vector<double> histogram,
+                                       NeighborModel model);
+
+  size_t num_queries() const { return w_.rows(); }
+  size_t domain_size() const { return histogram_.size(); }
+  const SparseMatrix& matrix() const { return w_; }
+  std::span<const double> histogram() const { return histogram_; }
+  NeighborModel neighbor_model() const { return model_; }
+
+  /// 2 under move semantics, 1 under add/remove — the multiplier turning
+  /// a max weighted column norm into the per-tuple sensitivity bound.
+  double tuple_factor() const {
+    return model_ == NeighborModel::kMove ? 2.0 : 1.0;
+  }
+
+  /// True answers W·x in one histogram pass.
+  std::vector<double> Answers() const;
+
+  /// Exact (add/remove) or disjoint-exact (move) generalized sensitivity
+  /// at per-query noise scales: tuple_factor · max_b Σ_i |W_ib| / λ_i.
+  /// Non-positive scales yield +infinity.
+  double TupleSensitivity(std::span<const double> per_query_scales) const;
+
+  /// Unweighted max column L1 norm of W (TupleSensitivity at unit scales
+  /// divided by tuple_factor).
+  double MaxColumnL1() const;
+
+  /// Packages this workload for the mechanism layer: one singleton
+  /// QueryGroup per query with the per-query additive coefficient
+  /// tuple_factor · max_b |W_ib| (mechanism heuristics read it), the
+  /// exact column-norm bound installed as the workload's SensitivityFn,
+  /// and a shared copy of *this attached via Workload::SetLinear so
+  /// strategy mechanisms can recover W and the histogram.
+  Result<Workload> ToWorkload() const;
+
+ private:
+  LinearWorkload(SparseMatrix w, std::vector<double> histogram,
+                 NeighborModel model)
+      : w_(std::move(w)), histogram_(std::move(histogram)), model_(model) {}
+
+  SparseMatrix w_;
+  std::vector<double> histogram_;
+  NeighborModel model_;
+};
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_QUERIES_LINEAR_WORKLOAD_H_

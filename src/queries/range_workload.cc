@@ -17,18 +17,45 @@ Result<double> RangeCountAnswer(std::span<const double> histogram,
   return acc.value();
 }
 
-Result<Workload> BuildRangeWorkload(std::span<const double> histogram,
-                                    std::span<const BinRange> ranges) {
+Result<LinearWorkload> RangeLinearWorkload(std::span<const double> histogram,
+                                           std::span<const BinRange> ranges) {
   if (ranges.empty()) {
     return Status::InvalidArgument("need at least one range query");
   }
-  std::vector<double> answers;
-  answers.reserve(ranges.size());
-  for (const BinRange& r : ranges) {
-    IREDUCT_ASSIGN_OR_RETURN(double answer, RangeCountAnswer(histogram, r));
-    answers.push_back(answer);
+  SparseMatrix::Builder builder(ranges.size(), histogram.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    const BinRange& r = ranges[i];
+    if (r.lo > r.hi || r.hi >= histogram.size()) {
+      return Status::OutOfRange("invalid bin range");
+    }
+    for (uint32_t b = r.lo; b <= r.hi; ++b) {
+      builder.Add(static_cast<uint32_t>(i), b, 1.0);
+    }
   }
-  return Workload::PerQuery(std::move(answers), /*sensitivity_coeff=*/1.0);
+  IREDUCT_ASSIGN_OR_RETURN(SparseMatrix w, std::move(builder).Build());
+  return LinearWorkload::Create(
+      std::move(w), std::vector<double>(histogram.begin(), histogram.end()),
+      NeighborModel::kAddRemove);
+}
+
+Result<Workload> BuildRangeWorkload(std::span<const double> histogram,
+                                    std::span<const BinRange> ranges,
+                                    RangeSensitivity sensitivity) {
+  if (ranges.empty()) {
+    return Status::InvalidArgument("need at least one range query");
+  }
+  if (sensitivity == RangeSensitivity::kAdditive) {
+    std::vector<double> answers;
+    answers.reserve(ranges.size());
+    for (const BinRange& r : ranges) {
+      IREDUCT_ASSIGN_OR_RETURN(double answer, RangeCountAnswer(histogram, r));
+      answers.push_back(answer);
+    }
+    return Workload::PerQuery(std::move(answers), /*sensitivity_coeff=*/1.0);
+  }
+  IREDUCT_ASSIGN_OR_RETURN(LinearWorkload linear,
+                           RangeLinearWorkload(histogram, ranges));
+  return linear.ToWorkload();
 }
 
 std::vector<BinRange> PrefixRanges(size_t bins) {
@@ -36,6 +63,19 @@ std::vector<BinRange> PrefixRanges(size_t bins) {
   ranges.reserve(bins);
   for (uint32_t b = 0; b < bins; ++b) {
     ranges.push_back(BinRange{0, b});
+  }
+  return ranges;
+}
+
+std::vector<BinRange> SlidingWindowRanges(size_t bins, size_t width,
+                                          size_t count) {
+  std::vector<BinRange> ranges;
+  ranges.reserve(count);
+  const size_t w = std::min(std::max<size_t>(width, 1), bins);
+  const size_t starts = bins - w + 1;
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t lo = static_cast<uint32_t>(i % starts);
+    ranges.push_back(BinRange{lo, static_cast<uint32_t>(lo + w - 1)});
   }
   return ranges;
 }

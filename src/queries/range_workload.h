@@ -3,10 +3,19 @@
 // family the absolute-error baselines of Section 7 target).
 //
 // Each query counts the tuples whose (binned) attribute value falls in an
-// inclusive bin range. Changing one tuple moves it between two bins, so a
-// single range count changes by at most 1; the grouped-workload model's
-// additive generalized sensitivity Σ 1/λ_q is therefore a valid (possibly
-// conservative, for heavily overlapping ranges) budget bound.
+// inclusive bin range. Under add/remove neighbor semantics (one tuple
+// appears in or vanishes from bin b) the exact per-tuple sensitivity of
+// the workload at per-query scales Λ is the max weighted column L1 norm
+// of its 0/1 workload matrix:
+//   GS(Λ) = max_b Σ_{i : b ∈ range_i} 1/λ_i
+// — the bound `BuildRangeWorkload` now installs via a LinearWorkload
+// view (queries/linear_workload.h). The historical additive bound
+// Σ_i 1/λ_i over-counts whenever no single bin is covered by every
+// query: it is exact for `PrefixRanges` (bin 0 lies in every prefix)
+// but ~m/(k+1)× too large for m sliding windows of width k. The legacy
+// bound stays available through `RangeSensitivity::kAdditive` for
+// comparison (see tests/queries/range_workload_test.cc's regression
+// test).
 #ifndef IREDUCT_QUERIES_RANGE_WORKLOAD_H_
 #define IREDUCT_QUERIES_RANGE_WORKLOAD_H_
 
@@ -17,6 +26,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "dp/workload.h"
+#include "queries/linear_workload.h"
 
 namespace ireduct {
 
@@ -30,14 +40,39 @@ struct BinRange {
 Result<double> RangeCountAnswer(std::span<const double> histogram,
                                 const BinRange& range);
 
-/// Builds a batch workload with one singleton group per range query
-/// (per-tuple sensitivity 1 each).
-Result<Workload> BuildRangeWorkload(std::span<const double> histogram,
-                                    std::span<const BinRange> ranges);
+/// The sparse 0/1 workload matrix of `ranges` over `histogram`, under
+/// add/remove neighbor semantics. Storage is O(Σ range lengths).
+Result<LinearWorkload> RangeLinearWorkload(std::span<const double> histogram,
+                                           std::span<const BinRange> ranges);
+
+/// Which generalized-sensitivity bound `BuildRangeWorkload` installs.
+enum class RangeSensitivity {
+  /// Exact per-tuple bound from the workload-matrix column L1 norm
+  /// (default). The workload carries a custom SensitivityFn and a
+  /// LinearWorkload view, so strategy mechanisms can answer it through
+  /// the histogram domain.
+  kExactColumn,
+  /// The historical additive Σ 1/λ bound (one singleton group of
+  /// coefficient 1 per query, no linear view) — conservative for
+  /// overlapping ranges; kept for regression comparison.
+  kAdditive,
+};
+
+/// Builds a batch workload with one singleton group per range query.
+Result<Workload> BuildRangeWorkload(
+    std::span<const double> histogram, std::span<const BinRange> ranges,
+    RangeSensitivity sensitivity = RangeSensitivity::kExactColumn);
 
 /// All prefix ranges [0, b] — the classic cumulative-distribution query
 /// set used to compare against hierarchical methods.
 std::vector<BinRange> PrefixRanges(size_t bins);
+
+/// `count` sliding windows of width `width` (clamped to the domain):
+/// [0, w-1], [1, w], ... wrapping back to 0 when the right edge leaves
+/// the domain. The canonical workload where the exact column bound
+/// beats the additive one by ~count/width.
+std::vector<BinRange> SlidingWindowRanges(size_t bins, size_t width,
+                                          size_t count);
 
 /// `count` random ranges with lengths geometrically spread between 1 and
 /// `bins`, drawn with `gen` — a mixed workload exercising both point-like

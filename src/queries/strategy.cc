@@ -1,0 +1,466 @@
+#include "queries/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/numeric.h"
+
+namespace ireduct {
+
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+size_t PadPow2(size_t n) {
+  size_t m = 1;
+  while (m < n) m *= 2;
+  return m;
+}
+
+// Work cap for the dense/per-column reconstruction loops.
+constexpr size_t kVarianceWorkCap = size_t{1} << 26;
+
+}  // namespace
+
+Result<std::vector<double>> HaarTransform(std::span<const double> values) {
+  if (!IsPowerOfTwo(values.size())) {
+    return Status::InvalidArgument("length must be a power of two");
+  }
+  const size_t m = values.size();
+  // Subtree averages in heap order: avg[v] for v in [1, 2m); leaves at
+  // [m, 2m).
+  std::vector<double> avg(2 * m);
+  for (size_t i = 0; i < m; ++i) avg[m + i] = values[i];
+  for (size_t v = m - 1; v >= 1; --v) {
+    avg[v] = (avg[2 * v] + avg[2 * v + 1]) / 2;
+  }
+  std::vector<double> coeffs(m);
+  coeffs[0] = avg[1];
+  for (size_t v = 1; v < m; ++v) {
+    coeffs[v] = (avg[2 * v] - avg[2 * v + 1]) / 2;
+  }
+  return coeffs;
+}
+
+Result<std::vector<double>> HaarReconstruct(
+    std::span<const double> coefficients) {
+  if (!IsPowerOfTwo(coefficients.size())) {
+    return Status::InvalidArgument("length must be a power of two");
+  }
+  const size_t m = coefficients.size();
+  // Descend: node v's subtree average a splits into left a + d_v and
+  // right a - d_v.
+  std::vector<double> avg(2 * m);
+  avg[1] = coefficients[0];
+  for (size_t v = 1; v < m; ++v) {
+    avg[2 * v] = avg[v] + coefficients[v];
+    avg[2 * v + 1] = avg[v] - coefficients[v];
+  }
+  return std::vector<double>(avg.begin() + m, avg.end());
+}
+
+Strategy Strategy::Identity(size_t n) {
+  Strategy s;
+  s.kind_ = Kind::kIdentity;
+  s.n_ = n;
+  s.padded_ = n;
+  s.matrix_ = SparseMatrix::Identity(n);
+  s.multipliers_.assign(n, 1.0);
+  return s;
+}
+
+Strategy Strategy::Tree(size_t n) {
+  Strategy s;
+  s.kind_ = Kind::kTree;
+  s.n_ = n;
+  s.padded_ = PadPow2(n);
+  const size_t m = s.padded_;
+  SparseMatrix::Builder builder(2 * m - 1, n);
+  for (uint32_t bin = 0; bin < n; ++bin) {
+    for (size_t v = m + bin; v >= 1; v /= 2) {
+      builder.Add(static_cast<uint32_t>(v - 1), bin, 1.0);
+    }
+  }
+  s.matrix_ = std::move(builder).Build().value();
+  s.multipliers_.assign(2 * m - 1, 1.0);
+  return s;
+}
+
+Strategy Strategy::Haar(size_t n) {
+  Strategy s;
+  s.kind_ = Kind::kHaar;
+  s.n_ = n;
+  s.padded_ = PadPow2(n);
+  const size_t m = s.padded_;
+  SparseMatrix::Builder builder(m, n);
+  for (uint32_t bin = 0; bin < n; ++bin) {
+    builder.Add(0, bin, 1.0 / m);
+    size_t v = m + bin;
+    double leaves = 2.0;  // subtree leaf count of the node being climbed to
+    while (v > 1) {
+      const size_t parent = v / 2;
+      const double sign = (v % 2 == 0) ? 1.0 : -1.0;
+      builder.Add(static_cast<uint32_t>(parent), bin, sign / leaves);
+      v = parent;
+      leaves *= 2;
+    }
+  }
+  s.matrix_ = std::move(builder).Build().value();
+  // Natural multipliers are the Privelet weights 1/W(c), walked with the
+  // same level bookkeeping as the legacy publisher.
+  s.multipliers_.assign(m, 0.0);
+  s.multipliers_[0] = 1.0 / m;
+  size_t level_size = 1;
+  size_t subtree_leaves = m;
+  for (size_t v = 1; v < m; ++v) {
+    if (v >= 2 * level_size) {
+      level_size *= 2;
+      subtree_leaves /= 2;
+    }
+    s.multipliers_[v] = 1.0 / subtree_leaves;
+  }
+  return s;
+}
+
+Result<Strategy> Strategy::Explicit(SparseMatrix a) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("explicit strategy must be non-empty");
+  }
+  if (a.cols() > kExplicitDomainCap) {
+    return Status::InvalidArgument(
+        "explicit strategy domain too large for dense reconstruction (" +
+        std::to_string(a.cols()) + " > " +
+        std::to_string(kExplicitDomainCap) + ")");
+  }
+  Strategy s;
+  s.kind_ = Kind::kExplicit;
+  s.n_ = a.cols();
+  s.padded_ = a.cols();
+  s.multipliers_.assign(a.rows(), 1.0);
+  s.matrix_ = std::move(a);
+  return s;
+}
+
+double Strategy::BaseScale(double epsilon, double tuple_factor,
+                           std::span<const double> multipliers) const {
+  std::vector<double> inv(multipliers.size());
+  for (size_t j = 0; j < inv.size(); ++j) inv[j] = 1.0 / multipliers[j];
+  std::vector<double> col(n_);
+  matrix_.ColumnAbsSums(inv, col);
+  double max_col = 0;
+  for (double c : col) max_col = std::max(max_col, c);
+  return tuple_factor * max_col / epsilon;
+}
+
+std::vector<double> Strategy::RowAnswers(std::span<const double> x) const {
+  switch (kind_) {
+    case Kind::kIdentity:
+      return std::vector<double>(x.begin(), x.end());
+    case Kind::kTree: {
+      const size_t m = padded_;
+      // True node counts in heap order (root = 1), padded with zeros —
+      // the exact summation order of the legacy publisher.
+      std::vector<double> truth(2 * m, 0.0);
+      for (size_t b = 0; b < x.size(); ++b) truth[m + b] = x[b];
+      for (size_t v = m; v-- > 1;) {
+        truth[v] = truth[2 * v] + truth[2 * v + 1];
+      }
+      return std::vector<double>(truth.begin() + 1, truth.end());
+    }
+    case Kind::kHaar: {
+      std::vector<double> padded(padded_, 0.0);
+      for (size_t b = 0; b < x.size(); ++b) padded[b] = x[b];
+      return HaarTransform(padded).value();
+    }
+    case Kind::kExplicit: {
+      std::vector<double> out(matrix_.rows());
+      matrix_.MatVec(x, out);
+      return out;
+    }
+  }
+  return {};
+}
+
+Result<std::vector<double>> Strategy::Reconstruct(
+    std::span<const double> noisy_rows, std::span<const double> scales) const {
+  if (noisy_rows.size() != num_rows() || scales.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "reconstruct needs one noisy answer and scale per strategy row");
+  }
+  for (double s : scales) {
+    if (!(s > 0) || !std::isfinite(s)) {
+      return Status::InvalidArgument("row scales must be positive finite");
+    }
+  }
+  switch (kind_) {
+    case Kind::kIdentity:
+      return std::vector<double>(noisy_rows.begin(), noisy_rows.end());
+    case Kind::kHaar: {
+      IREDUCT_ASSIGN_OR_RETURN(std::vector<double> leaves,
+                               HaarReconstruct(noisy_rows));
+      leaves.resize(n_);
+      return leaves;
+    }
+    case Kind::kTree: {
+      const size_t m = padded_;
+      const size_t nodes = 2 * m;
+      std::vector<double> noisy(nodes, 0.0);
+      std::vector<double> var(nodes, 0.0);
+      for (size_t v = 1; v < nodes; ++v) {
+        noisy[v] = noisy_rows[v - 1];
+        var[v] = 2.0 * scales[v - 1] * scales[v - 1];
+      }
+      // Upward pass: per-node BLUE z[v] combining the node's own noisy
+      // count with its children's subtree estimates; V[v] tracks the
+      // estimate's variance. Reduces bit-identically to the legacy
+      // uniform-scale passes (w = 2V/(σ²+2V)).
+      std::vector<double> z = noisy;
+      std::vector<double> sub_var = var;
+      for (size_t v = m; v-- > 1;) {
+        const double vc = sub_var[2 * v] + sub_var[2 * v + 1];
+        const double w = vc / (var[v] + vc);
+        z[v] = w * noisy[v] + (1 - w) * (z[2 * v] + z[2 * v + 1]);
+        sub_var[v] = var[v] * vc / (var[v] + vc);
+      }
+      // Downward pass: enforce children-sum-to-parent, spreading each
+      // residual over the children in proportion to their variances
+      // (an even split at equal variance, matching the legacy pass).
+      std::vector<double> consistent(nodes, 0.0);
+      consistent[1] = z[1];
+      for (size_t v = 1; v < m; ++v) {
+        const double residual = consistent[v] - z[2 * v] - z[2 * v + 1];
+        const double wl =
+            sub_var[2 * v] / (sub_var[2 * v] + sub_var[2 * v + 1]);
+        consistent[2 * v] = z[2 * v] + residual * wl;
+        consistent[2 * v + 1] = z[2 * v + 1] + residual * (1 - wl);
+      }
+      return std::vector<double>(consistent.begin() + m,
+                                 consistent.begin() + m + n_);
+    }
+    case Kind::kExplicit: {
+      // Weighted normal equations AᵀΣ⁻¹A·x = AᵀΣ⁻¹y with Σ ∝ diag(scale²),
+      // solved by dense Cholesky. Requires full column rank.
+      const size_t n = n_;
+      std::vector<double> ata(n * n, 0.0);
+      std::vector<double> atb(n, 0.0);
+      for (size_t j = 0; j < matrix_.rows(); ++j) {
+        const double wgt = 1.0 / (scales[j] * scales[j]);
+        const auto cols = matrix_.row_cols(j);
+        const auto vals = matrix_.row_values(j);
+        for (size_t a = 0; a < cols.size(); ++a) {
+          atb[cols[a]] += wgt * vals[a] * noisy_rows[j];
+          for (size_t b = 0; b < cols.size(); ++b) {
+            ata[size_t{cols[a]} * n + cols[b]] += wgt * vals[a] * vals[b];
+          }
+        }
+      }
+      // In-place Cholesky ata = L·Lᵀ (lower triangle).
+      for (size_t k = 0; k < n; ++k) {
+        double pivot = ata[k * n + k];
+        for (size_t i = 0; i < k; ++i) {
+          pivot -= ata[k * n + i] * ata[k * n + i];
+        }
+        if (!(pivot > 0) || !std::isfinite(pivot)) {
+          return Status::FailedPrecondition(
+              "explicit strategy is column-rank-deficient: least-squares "
+              "reconstruction is not unique");
+        }
+        const double lkk = std::sqrt(pivot);
+        ata[k * n + k] = lkk;
+        for (size_t r = k + 1; r < n; ++r) {
+          double s = ata[r * n + k];
+          for (size_t i = 0; i < k; ++i) {
+            s -= ata[r * n + i] * ata[k * n + i];
+          }
+          ata[r * n + k] = s / lkk;
+        }
+      }
+      // Solve L·u = atb, then Lᵀ·x = u.
+      std::vector<double> x(n);
+      for (size_t r = 0; r < n; ++r) {
+        double s = atb[r];
+        for (size_t i = 0; i < r; ++i) s -= ata[r * n + i] * x[i];
+        x[r] = s / ata[r * n + r];
+      }
+      for (size_t r = n; r-- > 0;) {
+        double s = x[r];
+        for (size_t i = r + 1; i < n; ++i) s -= ata[i * n + r] * x[i];
+        x[r] = s / ata[r * n + r];
+      }
+      return x;
+    }
+  }
+  return Status::Internal("unknown strategy kind");
+}
+
+Result<std::vector<double>> Strategy::Publish(
+    std::span<const double> histogram, double epsilon, double tuple_factor,
+    std::span<const double> multipliers, BitGen& gen,
+    std::vector<double>* scales_out) const {
+  if (histogram.size() != n_) {
+    return Status::InvalidArgument("histogram size does not match strategy");
+  }
+  if (!(epsilon > 0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive finite");
+  }
+  if (!(tuple_factor > 0)) {
+    return Status::InvalidArgument("tuple factor must be positive");
+  }
+  if (multipliers.size() != num_rows()) {
+    return Status::InvalidArgument("need one multiplier per strategy row");
+  }
+  for (double t : multipliers) {
+    if (!(t > 0) || !std::isfinite(t)) {
+      return Status::InvalidArgument("multipliers must be positive finite");
+    }
+  }
+  const double base = BaseScale(epsilon, tuple_factor, multipliers);
+  std::vector<double> rows = RowAnswers(histogram);
+  std::vector<double> scales(rows.size());
+  for (size_t j = 0; j < rows.size(); ++j) {
+    scales[j] = multipliers[j] * base;
+    rows[j] += gen.Laplace(scales[j]);
+  }
+  if (scales_out != nullptr) *scales_out = scales;
+  return Reconstruct(rows, scales);
+}
+
+Result<std::vector<double>> StrategyQueryVariances(
+    const Strategy& strategy, const SparseMatrix& w,
+    std::span<const double> scales) {
+  if (w.cols() != strategy.domain_size()) {
+    return Status::InvalidArgument(
+        "workload domain does not match strategy domain");
+  }
+  if (scales.size() != strategy.num_rows()) {
+    return Status::InvalidArgument("need one scale per strategy row");
+  }
+  const size_t p = strategy.num_rows();
+  if (p * (strategy.domain_size() + w.rows()) > kVarianceWorkCap) {
+    return Status::InvalidArgument(
+        "strategy too large for a per-query variance profile");
+  }
+  std::vector<double> var(w.rows(), 0.0);
+  std::vector<double> unit(p, 0.0);
+  std::vector<double> mr(w.rows());
+  for (size_t j = 0; j < p; ++j) {
+    unit[j] = 1.0;
+    // Column j of the reconstruction operator A⁺ (Reconstruct is linear).
+    IREDUCT_ASSIGN_OR_RETURN(std::vector<double> r,
+                             strategy.Reconstruct(unit, scales));
+    unit[j] = 0.0;
+    w.MatVec(r, mr);
+    for (size_t i = 0; i < mr.size(); ++i) {
+      const double t = mr[i] * scales[j];
+      var[i] += 2.0 * t * t;
+    }
+  }
+  return var;
+}
+
+Result<GreedyTuneResult> GreedyTuneScales(
+    const Strategy& strategy, const SparseMatrix& w,
+    std::span<const double> query_weights, int passes) {
+  if (w.cols() != strategy.domain_size()) {
+    return Status::InvalidArgument(
+        "workload domain does not match strategy domain");
+  }
+  if (query_weights.size() != w.rows()) {
+    return Status::InvalidArgument("need one weight per workload query");
+  }
+  for (double qw : query_weights) {
+    if (!(qw >= 0) || !std::isfinite(qw)) {
+      return Status::InvalidArgument("query weights must be >= 0 and finite");
+    }
+  }
+  if (passes < 0) {
+    return Status::InvalidArgument("passes must be >= 0");
+  }
+  const size_t p = strategy.num_rows();
+  const size_t n = strategy.domain_size();
+  if (p * (n + w.rows()) > kVarianceWorkCap) {
+    return Status::InvalidArgument("strategy too large for greedy tuning");
+  }
+  const std::span<const double> nat = strategy.row_multipliers();
+
+  // s_j = Σ_i ω_i·M_ij² with the reconstruction operator frozen at the
+  // natural multipliers (valid as relative scales — the shipped
+  // reconstructions depend only on scale ratios).
+  std::vector<double> s(p, 0.0);
+  {
+    std::vector<double> unit(p, 0.0);
+    std::vector<double> mr(w.rows());
+    for (size_t j = 0; j < p; ++j) {
+      unit[j] = 1.0;
+      IREDUCT_ASSIGN_OR_RETURN(std::vector<double> r,
+                               strategy.Reconstruct(unit, nat));
+      unit[j] = 0.0;
+      w.MatVec(r, mr);
+      KahanSum acc;
+      for (size_t i = 0; i < mr.size(); ++i) {
+        acc.Add(query_weights[i] * mr[i] * mr[i]);
+      }
+      s[j] = acc.value();
+    }
+  }
+
+  GreedyTuneResult result;
+  result.multipliers.assign(nat.begin(), nat.end());
+  std::vector<double>& t = result.multipliers;
+
+  // colsum[b] = Σ_j |A_jb|/t_j, maintained incrementally per move.
+  std::vector<double> inv(p);
+  for (size_t j = 0; j < p; ++j) inv[j] = 1.0 / t[j];
+  std::vector<double> colsum(n);
+  strategy.matrix().ColumnAbsSums(inv, colsum);
+  auto max_col = [&] {
+    double m = 0;
+    for (double c : colsum) m = std::max(m, c);
+    return m;
+  };
+  double sum_st2 = 0;  // Σ s_j·t_j²
+  for (size_t j = 0; j < p; ++j) sum_st2 += s[j] * t[j] * t[j];
+  double mc = max_col();
+  double objective = mc * mc * sum_st2;
+  result.initial_objective = objective;
+
+  for (int pass = 0; pass < passes; ++pass) {
+    bool improved = false;
+    for (size_t j = 0; j < p; ++j) {
+      for (const double gamma : {0.5, 2.0}) {
+        const double tj_new = t[j] * gamma;
+        if (tj_new < nat[j] / 64 || tj_new > nat[j] * 64) continue;
+        const double inv_new = 1.0 / tj_new;
+        const double d_inv = inv_new - inv[j];
+        for (size_t k = 0; k < strategy.matrix().row_cols(j).size(); ++k) {
+          colsum[strategy.matrix().row_cols(j)[k]] +=
+              std::abs(strategy.matrix().row_values(j)[k]) * d_inv;
+        }
+        const double mc_new = max_col();
+        const double sum_new =
+            sum_st2 + s[j] * (tj_new * tj_new - t[j] * t[j]);
+        const double obj_new = mc_new * mc_new * sum_new;
+        if (obj_new < objective * (1 - 1e-12)) {
+          t[j] = tj_new;
+          inv[j] = inv_new;
+          sum_st2 = sum_new;
+          objective = obj_new;
+          ++result.accepted_moves;
+          improved = true;
+        } else {
+          for (size_t k = 0; k < strategy.matrix().row_cols(j).size(); ++k) {
+            colsum[strategy.matrix().row_cols(j)[k]] -=
+                std::abs(strategy.matrix().row_values(j)[k]) * d_inv;
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  result.final_objective = objective;
+  return result;
+}
+
+}  // namespace ireduct

@@ -1,0 +1,161 @@
+// Strategy matrices: the matrix-mechanism core (Li–Miklau). Instead of
+// noising a workload W directly, a mechanism answers a *strategy* A over
+// the same domain histogram x — rows chosen so that (a) per-tuple
+// sensitivity stays small and (b) every workload query is a
+// low-variance combination of strategy rows — then reconstructs
+//   x̂ = A⁺·y   (weighted least squares over the noisy rows y),
+//   answers = W·x̂.
+//
+// Three strategies ship, each the exact linear-algebra form of a
+// previously bespoke publisher:
+//
+//   identity — A = I. Laplace noise per bin; reconstruction is the
+//     identity. The classic histogram mechanism.
+//   tree     — A = the node-sum matrix of a complete binary tree over
+//     the (power-of-two padded) domain, uniform noise per node,
+//     reconstructed by the two-pass consistency BLUE (Hay et al.) —
+//     which *is* the weighted-least-squares solution for tree
+//     matrices. Bit-identical to the old algorithms/hierarchical.cc.
+//   haar     — A = the Haar wavelet basis with per-level noise scales
+//     (Privelet, Xiao et al.). A is square and invertible, so least
+//     squares is the inverse transform. Bit-identical to the old
+//     algorithms/wavelet.cc.
+//
+// `Explicit` accepts any full-column-rank sparse A (dense normal
+// equations; small domains). Every strategy also materializes its
+// matrix, so scale calibration is pure column algebra:
+//   λ_j = t_j · base,  base = tuple_factor · max_b Σ_j |A_jb|/t_j / ε
+// gives generalized sensitivity exactly ε for any positive row
+// multipliers t — the knob `GreedyTuneScales` turns to minimize
+// expected *relative* error per query.
+#ifndef IREDUCT_QUERIES_STRATEGY_H_
+#define IREDUCT_QUERIES_STRATEGY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "queries/linear_workload.h"
+
+namespace ireduct {
+
+/// Haar-transforms a power-of-two-length vector. Returns coefficients laid
+/// out as: [0] the overall average, [1 .. m-1] the detail coefficients in
+/// heap order (node v has children 2v and 2v+1; node v's detail is half
+/// the difference between its left and right subtree averages).
+/// (Moved from the deleted algorithms/wavelet.h.)
+Result<std::vector<double>> HaarTransform(std::span<const double> values);
+
+/// Inverse of HaarTransform.
+Result<std::vector<double>> HaarReconstruct(
+    std::span<const double> coefficients);
+
+/// An immutable strategy matrix with its natural per-row noise
+/// multipliers and a least-squares reconstruction operator.
+class Strategy {
+ public:
+  enum class Kind { kIdentity, kTree, kHaar, kExplicit };
+
+  /// A = I over `n` bins.
+  static Strategy Identity(size_t n);
+  /// Binary-tree node sums over `n` bins (padded to a power of two;
+  /// rows are heap nodes 1..2m-1 in heap order).
+  static Strategy Tree(size_t n);
+  /// Haar wavelet rows over `n` bins (padded; row 0 is the average,
+  /// rows 1..m-1 the detail coefficients in heap order).
+  static Strategy Haar(size_t n);
+  /// Any explicit strategy; must have at least one row and column.
+  /// Reconstruction solves dense weighted normal equations, so the
+  /// domain is capped (kExplicitDomainCap) and A must have full column
+  /// rank (checked at Reconstruct time via the Cholesky pivots).
+  static Result<Strategy> Explicit(SparseMatrix a);
+
+  static constexpr size_t kExplicitDomainCap = 2048;
+
+  Kind kind() const { return kind_; }
+  /// Unpadded domain size n (columns of the materialized matrix).
+  size_t domain_size() const { return n_; }
+  /// Number of noisy rows released (tree: 2m-1, haar: m, identity: n).
+  size_t num_rows() const { return matrix_.rows(); }
+  /// The materialized strategy matrix over the unpadded domain. Used for
+  /// column-norm calibration and tuning; answering and reconstruction go
+  /// through the kind-specialized fast paths.
+  const SparseMatrix& matrix() const { return matrix_; }
+
+  /// Natural per-row noise multipliers t_j: all 1 for identity/tree/
+  /// explicit, 1/W(c) for the Haar rows (the Privelet weights).
+  std::span<const double> row_multipliers() const { return multipliers_; }
+
+  /// base so that λ_j = t_j · base yields per-tuple sensitivity exactly
+  /// `epsilon`: tuple_factor · max_b Σ_j |A_jb| / t_j / epsilon.
+  double BaseScale(double epsilon, double tuple_factor,
+                   std::span<const double> multipliers) const;
+
+  /// y = A·x in the exact operation order of the legacy publishers
+  /// (tree: bottom-up heap sums over the padded histogram; haar: the
+  /// HaarTransform recurrence). x.size() must equal domain_size().
+  std::vector<double> RowAnswers(std::span<const double> x) const;
+
+  /// Weighted-least-squares estimate x̂ of the histogram from noisy row
+  /// answers with per-row Laplace scales (variances 2·scale²). Exact
+  /// inverse for the square strategies; the tree uses the generalized
+  /// two-pass BLUE (variance-weighted, reducing bit-identically to the
+  /// legacy passes at uniform scales); explicit strategies solve dense
+  /// normal equations. Linear in `noisy_rows`.
+  Result<std::vector<double>> Reconstruct(
+      std::span<const double> noisy_rows,
+      std::span<const double> scales) const;
+
+  /// Draws Laplace noise row by row (the legacy draw order) at scales
+  /// λ_j = multipliers[j] · BaseScale(epsilon, tuple_factor, multipliers)
+  /// and reconstructs. Returns the noisy histogram estimate x̂; when
+  /// `scales_out` is non-null it receives the per-row scales used.
+  Result<std::vector<double>> Publish(std::span<const double> histogram,
+                                      double epsilon, double tuple_factor,
+                                      std::span<const double> multipliers,
+                                      BitGen& gen,
+                                      std::vector<double>* scales_out =
+                                          nullptr) const;
+
+ private:
+  Strategy() = default;
+
+  Kind kind_ = Kind::kIdentity;
+  size_t n_ = 0;         // unpadded domain
+  size_t padded_ = 0;    // power-of-two padding (tree/haar)
+  SparseMatrix matrix_;  // rows × n_
+  std::vector<double> multipliers_;
+};
+
+/// Per-query variance profile of answers = W·A⁺·y under per-row Laplace
+/// scales: var_i = 2·Σ_j (M_ij·scale_j)², M = W·A⁺. Computed by
+/// reconstructing unit row vectors (one column of A⁺ per strategy row);
+/// refused above an internal work cap for very large strategies.
+Result<std::vector<double>> StrategyQueryVariances(
+    const Strategy& strategy, const SparseMatrix& w,
+    std::span<const double> scales);
+
+/// Greedy multiplicative coordinate descent over the row multipliers t,
+/// minimizing the expected weighted squared error
+///   F(t) = maxcol(t)² · Σ_j s_j·t_j²,  s_j = Σ_i query_weights_i·M_ij²
+/// — the ε-independent shape of Σ_i ω_i·var_i under the BaseScale
+/// calibration. With ω_i = 1/max(|rough answer_i|, δ)² this is expected
+/// *relative* error, the paper's own metric. M is frozen at the natural
+/// multipliers (the reconstruction operator's scale dependence is second
+/// order for the shipped strategies; exact for identity/haar).
+struct GreedyTuneResult {
+  std::vector<double> multipliers;
+  double initial_objective = 0;
+  double final_objective = 0;
+  int accepted_moves = 0;
+};
+Result<GreedyTuneResult> GreedyTuneScales(const Strategy& strategy,
+                                          const SparseMatrix& w,
+                                          std::span<const double> query_weights,
+                                          int passes);
+
+}  // namespace ireduct
+
+#endif  // IREDUCT_QUERIES_STRATEGY_H_

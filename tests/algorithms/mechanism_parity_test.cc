@@ -11,14 +11,13 @@
 
 #include "algorithms/dwork.h"
 #include "algorithms/geometric.h"
-#include "algorithms/hierarchical.h"
 #include "algorithms/ireduct.h"
 #include "algorithms/iresamp.h"
 #include "algorithms/mechanism_registry.h"
 #include "algorithms/oracle.h"
 #include "algorithms/proportional.h"
+#include "algorithms/strategy_mechanism.h"
 #include "algorithms/two_phase.h"
-#include "algorithms/wavelet.h"
 #include "common/random.h"
 #include "dp/workload.h"
 
@@ -195,37 +194,59 @@ TEST(MechanismParityTest, IReductExactCouplingObjectiveMaxRel) {
 }
 
 TEST(MechanismParityTest, Hierarchical) {
-  const Workload w = TestWorkload();
-  for (const uint64_t seed : kSeeds) {
-    BitGen direct_gen(seed);
-    auto direct = HierarchicalHistogram::Publish(
-        w.true_answers(), HierarchicalParams{0.5}, direct_gen);
-    ASSERT_TRUE(direct.ok());
-    BitGen registry_gen(seed);
-    auto registry = MechanismRegistry::Global().Run(
-        w, "hierarchical:epsilon=0.5", registry_gen);
-    ASSERT_TRUE(registry.ok()) << registry.status();
-    ExpectBitIdentical(direct->BinCounts(), registry->answers,
-                       "hierarchical answers @seed " + std::to_string(seed));
-    EXPECT_EQ(registry->epsilon_spent, direct->epsilon_spent());
-  }
+  CheckSpecAgainst("hierarchical:epsilon=0.5",
+                   [](const Workload& w, BitGen& gen) {
+                     StrategyMechanismConfig config;
+                     config.strategy = "tree";
+                     config.epsilon = 0.5;
+                     return RunStrategyMechanism(w, config, gen);
+                   });
 }
 
 TEST(MechanismParityTest, Wavelet) {
-  const Workload w = TestWorkload();
-  for (const uint64_t seed : kSeeds) {
-    BitGen direct_gen(seed);
-    auto direct = WaveletHistogram::Publish(w.true_answers(),
-                                            WaveletParams{0.5}, direct_gen);
-    ASSERT_TRUE(direct.ok());
-    BitGen registry_gen(seed);
-    auto registry = MechanismRegistry::Global().Run(
-        w, "wavelet:epsilon=0.5", registry_gen);
-    ASSERT_TRUE(registry.ok()) << registry.status();
-    ExpectBitIdentical(direct->BinCounts(), registry->answers,
-                       "wavelet answers @seed " + std::to_string(seed));
-    EXPECT_EQ(registry->epsilon_spent, direct->epsilon_spent());
-  }
+  CheckSpecAgainst("wavelet:epsilon=0.5", [](const Workload& w, BitGen& gen) {
+    StrategyMechanismConfig config;
+    config.strategy = "wavelet";
+    config.epsilon = 0.5;
+    return RunStrategyMechanism(w, config, gen);
+  });
+}
+
+TEST(MechanismParityTest, MatrixIdentityStrategy) {
+  CheckSpecAgainst("matrix:epsilon=0.5,strategy=identity",
+                   [](const Workload& w, BitGen& gen) {
+                     StrategyMechanismConfig config;
+                     config.strategy = "identity";
+                     config.epsilon = 0.5;
+                     return RunStrategyMechanism(w, config, gen);
+                   });
+}
+
+TEST(MechanismParityTest, MatrixTreeGreedyTune) {
+  CheckSpecAgainst(
+      "matrix:epsilon=0.5,strategy=tree,tune=greedy,"
+      "epsilon1_fraction=0.25,delta=2,tune_passes=4",
+      [](const Workload& w, BitGen& gen) {
+        StrategyMechanismConfig config;
+        config.strategy = "tree";
+        config.epsilon = 0.5;
+        config.greedy = true;
+        config.epsilon1_fraction = 0.25;
+        config.relative_floor = 2.0;
+        config.tune_passes = 4;
+        return RunStrategyMechanism(w, config, gen);
+      });
+}
+
+TEST(MechanismParityTest, MatrixGreedyDefaultsToGreedyTune) {
+  CheckSpecAgainst("matrix_greedy:epsilon=0.5,strategy=wavelet",
+                   [](const Workload& w, BitGen& gen) {
+                     StrategyMechanismConfig config;
+                     config.strategy = "wavelet";
+                     config.epsilon = 0.5;
+                     config.greedy = true;
+                     return RunStrategyMechanism(w, config, gen);
+                   });
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// Golden bit-parity with the deleted bespoke publishers. Before
+// algorithms/hierarchical.cc and algorithms/wavelet.cc were replaced by
+// Strategy::Tree / Strategy::Haar behind the shared strategy runner,
+// their outputs were captured on two fixed histograms at three seeds
+// (hex-encoded doubles below, from the pre-refactor build). The registry
+// specs must keep reproducing every bit: base scale arithmetic, noise
+// draw order, and the BLUE / inverse-Haar reconstructions are all
+// floating-point-exact re-expressions of the legacy code, and this test
+// is what keeps them that way.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algorithms/mechanism_registry.h"
+#include "common/random.h"
+#include "dp/workload.h"
+
+namespace ireduct {
+namespace {
+
+// Skewed power-of-two histogram (8 bins) and an unpadded one (5 bins) —
+// the padding path and the exact-fit path of both strategies.
+const std::vector<double> kSkewed{501.25, 301.5, 100.75, 50.25,
+                                  25.5,   10.125, 5.0625, 1.0};
+const std::vector<double> kUneven{10, 20, 30, 40, 50};
+
+double FromBits(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+struct GoldenCase {
+  const char* spec;
+  uint64_t seed;
+  const std::vector<double>* input;
+  std::vector<uint64_t> expected_bits;
+};
+
+const GoldenCase kGolden[] = {
+    {"hierarchical:epsilon=0.5", 101, &kSkewed,
+     {0x407fc7c83ab88dbeull, 0x4072b3317a3aa0b0ull, 0x4061f3487a7fb12full,
+      0x401c1a26ef5cdde8ull, 0x40306418c7d812bfull, 0x4033ff69c7ec010dull,
+      0xc0180aada0146a58ull, 0x401d5ac0b7cda670ull}},
+    {"hierarchical:epsilon=0.5", 101, &kUneven,
+     {0x40313c83ab88dbd0ull, 0x4031b317a3aa0b01ull, 0x40523690f4ff625cull,
+      0xc009cbb221464450ull, 0x4044720c63ec095full}},
+    {"wavelet:epsilon=0.5", 101, &kSkewed,
+     {0x408011bf7e095a46ull, 0x40722bbe3d50de54ull, 0x40584f5eba1ff25aull,
+      0x404b11452418457dull, 0x40338b76352692fcull, 0x4039cbd8f2b33408ull,
+      0x40090e84415b6046ull, 0xbfcd5dd6342a4668ull}},
+    {"wavelet:epsilon=0.5", 101, &kUneven,
+     {0x4036f7efc12b48b6ull, 0x402277c7aa1bca88ull, 0x403a7d7ae87fc96aull,
+      0x4045f1452418457full, 0x404605bb1a93497eull}},
+    {"hierarchical:epsilon=0.5", 202, &kSkewed,
+     {0x40801a533f8c706eull, 0x40719eede48c31caull, 0x4056aa5c0a5532b8ull,
+      0x40402c1ca43f4114ull, 0x402f2f32fdaa9a30ull, 0x400cebb4b321dfb8ull,
+      0x40324bac85d72847ull, 0xc030317060e69a4dull}},
+    {"hierarchical:epsilon=0.5", 202, &kUneven,
+     {0x40380a67f18e0daeull, 0x3fdbb79230c720c0ull, 0x4033e9702954cadcull,
+      0x40361839487e8220ull, 0x40440bccbf6aa68full}},
+    {"wavelet:epsilon=0.5", 202, &kSkewed,
+     {0x407d4cf196da64c1ull, 0x4072306d18713393ull, 0x4056715102e582b2ull,
+      0x4046dd1fb6598734ull, 0x403cd15333cf2442ull, 0xbfea53175eed68b0ull,
+      0x40277513bd42b6f8ull, 0xc035c7a135baa3d8ull}},
+    {"wavelet:epsilon=0.5", 202, &kUneven,
+     {0xc03670e69259b402ull, 0x40230da30e26724full, 0x403305440b960ac7ull,
+      0x4041bd1fb6598734ull, 0x404aa8a999e79221ull}},
+    {"hierarchical:epsilon=0.5", 303, &kSkewed,
+     {0x4080062dfe2066f7ull, 0x4072c95bced71c5cull, 0x405dc6e918cfcc73ull,
+      0x4047a04abef3c842ull, 0x402cedcca20f0864ull, 0x3fe7d5fa1736efc0ull,
+      0x403f6441b83f4e9bull, 0xc0277c4d9fd91ef8ull}},
+    {"hierarchical:epsilon=0.5", 303, &kUneven,
+     {0x403585bfc40cdeefull, 0x403315bced71c5bdull, 0x40482dd2319f98e4ull,
+      0x4042804abef3c840ull, 0x40437b732883c21aull}},
+    {"wavelet:epsilon=0.5", 303, &kSkewed,
+     {0x407fddeb9c4b62c6ull, 0x4073463ebf073f28ull, 0x40568c89c7cb2260ull,
+      0x4052230f0a10b0a8ull, 0x40346831c947ccb0ull, 0x402077b07bec7fd8ull,
+      0x400765691d0e3758ull, 0xc021b63ea47969ceull}},
+    {"wavelet:epsilon=0.5", 303, &kUneven,
+     {0x40329eb9c4b62c5full, 0x403ae3ebf073f27dull, 0x403372271f2c897full,
+      0x404f261e1421614eull, 0x40467418e4a3e659ull}},
+};
+
+TEST(StrategyGoldenTest, MatchesPreRefactorPublishersBitForBit) {
+  for (const GoldenCase& c : kGolden) {
+    const std::string what = std::string(c.spec) + " @seed " +
+                             std::to_string(c.seed) + " bins=" +
+                             std::to_string(c.input->size());
+    auto w = Workload::PerQuery(*c.input, 1.0);
+    ASSERT_TRUE(w.ok()) << what;
+    BitGen gen(c.seed);
+    auto out = MechanismRegistry::Global().Run(*w, c.spec, gen);
+    ASSERT_TRUE(out.ok()) << what << ": " << out.status();
+    ASSERT_EQ(out->answers.size(), c.expected_bits.size()) << what;
+    for (size_t i = 0; i < c.expected_bits.size(); ++i) {
+      uint64_t got;
+      std::memcpy(&got, &out->answers[i], sizeof(got));
+      EXPECT_EQ(got, c.expected_bits[i])
+          << what << " bin " << i << ": expected "
+          << FromBits(c.expected_bits[i]) << ", got " << out->answers[i];
+    }
+  }
+}
+
+TEST(StrategyGoldenTest, GoldenEpsilonIsSpentExactly) {
+  for (const GoldenCase& c : kGolden) {
+    auto w = Workload::PerQuery(*c.input, 1.0);
+    ASSERT_TRUE(w.ok());
+    BitGen gen(c.seed);
+    auto out = MechanismRegistry::Global().Run(*w, c.spec, gen);
+    ASSERT_TRUE(out.ok());
+    EXPECT_DOUBLE_EQ(out->epsilon_spent, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -73,6 +73,44 @@ TEST(MarginalWorkloadTest, CreateRejectsEmpty) {
   EXPECT_FALSE(MarginalWorkload::Create({}).ok());
 }
 
+TEST(MarginalWorkloadTest, ToLinearAnswersMatchTrueAnswers) {
+  // The cell-indicator lowering: answering the marginal workload through
+  // the joint histogram reproduces the flattened true answers exactly.
+  const Dataset d = TinyDataset();
+  const MarginalWorkload mw = MakeWorkload();
+  auto lw = mw.ToLinear(d);
+  ASSERT_TRUE(lw.ok());
+  EXPECT_EQ(lw->domain_size(), 6u);  // joint domain |A|·|B|
+  EXPECT_EQ(lw->num_queries(), mw.workload().num_queries());
+  EXPECT_EQ(lw->neighbor_model(), NeighborModel::kMove);
+  const std::vector<double> answers = lw->Answers();
+  for (size_t i = 0; i < answers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(answers[i], mw.workload().true_answer(i)) << i;
+  }
+  // Each joint cell projects onto exactly one cell of each marginal, so
+  // the unweighted column L1 norm is the marginal count; one *moved*
+  // tuple changes two cells per marginal, matching Sensitivity() = 2|M|.
+  EXPECT_DOUBLE_EQ(lw->tuple_factor() * lw->MaxColumnL1(),
+                   mw.workload().Sensitivity());
+}
+
+TEST(MarginalWorkloadTest, ToLinearRefusesHugeJointDomains) {
+  const Dataset d = TinyDataset();
+  const MarginalWorkload mw = MakeWorkload();
+  EXPECT_FALSE(mw.ToLinear(d, /*max_cells=*/5).ok());
+  EXPECT_TRUE(mw.ToLinear(d, /*max_cells=*/6).ok());
+}
+
+TEST(MarginalWorkloadTest, ToLinearValidatesSchema) {
+  const MarginalWorkload mw = MakeWorkload();
+  // A dataset whose schema lacks attribute 1 cannot host the lowering.
+  auto schema = Schema::Create({{"A", 2}});
+  ASSERT_TRUE(schema.ok());
+  Dataset narrow(std::move(schema).value());
+  ASSERT_TRUE(narrow.AppendRow(std::vector<uint16_t>{0}).ok());
+  EXPECT_FALSE(mw.ToLinear(narrow).ok());
+}
+
 TEST(MarginalWorkloadTest, TwoWayMarginalFlattening) {
   const Dataset d = TinyDataset();
   auto marginals = ComputeMarginals(

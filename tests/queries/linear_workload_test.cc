@@ -1,0 +1,219 @@
+#include "queries/linear_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "queries/range_workload.h"
+
+namespace ireduct {
+namespace {
+
+TEST(SparseMatrixTest, BuilderSortsMergesAndDropsZeros) {
+  SparseMatrix::Builder builder(2, 3);
+  builder.Add(1, 2, 4.0);
+  builder.Add(0, 1, 1.5);
+  builder.Add(0, 0, 2.0);
+  builder.Add(0, 1, 0.5);   // duplicate: merged to 2.0
+  builder.Add(1, 0, 3.0);
+  builder.Add(1, 0, -3.0);  // cancels to zero: dropped
+  auto m = std::move(builder).Build();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 2u);
+  EXPECT_EQ(m->cols(), 3u);
+  EXPECT_EQ(m->nnz(), 3u);
+  ASSERT_EQ(m->row_cols(0).size(), 2u);
+  EXPECT_EQ(m->row_cols(0)[0], 0u);  // sorted by column
+  EXPECT_EQ(m->row_cols(0)[1], 1u);
+  EXPECT_DOUBLE_EQ(m->row_values(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(m->row_values(0)[1], 2.0);
+  ASSERT_EQ(m->row_cols(1).size(), 1u);
+  EXPECT_EQ(m->row_cols(1)[0], 2u);
+}
+
+TEST(SparseMatrixTest, BuilderValidates) {
+  {
+    SparseMatrix::Builder builder(2, 2);
+    builder.Add(2, 0, 1.0);  // row out of range
+    EXPECT_FALSE(std::move(builder).Build().ok());
+  }
+  {
+    SparseMatrix::Builder builder(2, 2);
+    builder.Add(0, 2, 1.0);  // column out of range
+    EXPECT_FALSE(std::move(builder).Build().ok());
+  }
+  {
+    SparseMatrix::Builder builder(2, 2);
+    builder.Add(0, 0, std::numeric_limits<double>::infinity());
+    EXPECT_FALSE(std::move(builder).Build().ok());
+  }
+}
+
+TEST(SparseMatrixTest, MatVecAndTranspose) {
+  SparseMatrix::Builder builder(2, 3);
+  builder.Add(0, 0, 1.0);
+  builder.Add(0, 2, 2.0);
+  builder.Add(1, 1, -3.0);
+  auto m = std::move(builder).Build();
+  ASSERT_TRUE(m.ok());
+  const std::vector<double> x{10, 20, 30};
+  std::vector<double> y(2);
+  m->MatVec(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10 + 60);
+  EXPECT_DOUBLE_EQ(y[1], -60);
+  const std::vector<double> r{1, 2};
+  std::vector<double> back(3);
+  m->TMatVec(r, back);
+  EXPECT_DOUBLE_EQ(back[0], 1.0);
+  EXPECT_DOUBLE_EQ(back[1], -6.0);
+  EXPECT_DOUBLE_EQ(back[2], 2.0);
+}
+
+TEST(SparseMatrixTest, ColumnAbsSumsWithAndWithoutWeights) {
+  SparseMatrix::Builder builder(2, 2);
+  builder.Add(0, 0, 1.0);
+  builder.Add(0, 1, -2.0);
+  builder.Add(1, 0, 3.0);
+  auto m = std::move(builder).Build();
+  ASSERT_TRUE(m.ok());
+  std::vector<double> col(2);
+  m->ColumnAbsSums({}, col);
+  EXPECT_DOUBLE_EQ(col[0], 4.0);
+  EXPECT_DOUBLE_EQ(col[1], 2.0);
+  const std::vector<double> weights{0.5, 2.0};
+  m->ColumnAbsSums(weights, col);
+  EXPECT_DOUBLE_EQ(col[0], 0.5 + 6.0);
+  EXPECT_DOUBLE_EQ(col[1], 1.0);
+}
+
+TEST(SparseMatrixTest, IdentityShape) {
+  const SparseMatrix id = SparseMatrix::Identity(4);
+  EXPECT_EQ(id.rows(), 4u);
+  EXPECT_EQ(id.cols(), 4u);
+  EXPECT_EQ(id.nnz(), 4u);
+  const std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y(4);
+  id.MatVec(x, y);
+  EXPECT_EQ(y, x);
+}
+
+Result<LinearWorkload> PrefixLinear(const std::vector<double>& histogram) {
+  return RangeLinearWorkload(histogram,
+                             PrefixRanges(histogram.size()));
+}
+
+TEST(LinearWorkloadTest, CreateValidatesShapes) {
+  auto bad_cols =
+      LinearWorkload::Create(SparseMatrix::Identity(3), {1.0, 2.0},
+                             NeighborModel::kAddRemove);
+  EXPECT_FALSE(bad_cols.ok());
+  SparseMatrix::Builder empty(0, 2);
+  auto no_queries = LinearWorkload::Create(
+      std::move(empty).Build().value(), {1.0, 2.0},
+      NeighborModel::kAddRemove);
+  EXPECT_FALSE(no_queries.ok());
+}
+
+TEST(LinearWorkloadTest, AnswersMatchRangeCounts) {
+  const std::vector<double> histogram{10, 20, 30, 40, 50};
+  auto lw = PrefixLinear(histogram);
+  ASSERT_TRUE(lw.ok());
+  EXPECT_EQ(lw->num_queries(), 5u);
+  EXPECT_EQ(lw->domain_size(), 5u);
+  const std::vector<double> answers = lw->Answers();
+  double acc = 0;
+  for (size_t i = 0; i < 5; ++i) {
+    acc += histogram[i];
+    EXPECT_DOUBLE_EQ(answers[i], acc) << "prefix " << i;
+  }
+}
+
+TEST(LinearWorkloadTest, TupleSensitivityIsMaxWeightedColumn) {
+  // Prefixes over 3 bins: bin 0 is in all 3 queries, bin 1 in 2, bin 2
+  // in 1. At scales {1, 2, 4} the exact bound is 1/1 + 1/2 + 1/4.
+  const std::vector<double> histogram{5, 6, 7};
+  auto lw = PrefixLinear(histogram);
+  ASSERT_TRUE(lw.ok());
+  EXPECT_DOUBLE_EQ(lw->tuple_factor(), 1.0);  // add/remove semantics
+  EXPECT_DOUBLE_EQ(lw->MaxColumnL1(), 3.0);
+  const std::vector<double> scales{1, 2, 4};
+  EXPECT_DOUBLE_EQ(lw->TupleSensitivity(scales), 1.0 + 0.5 + 0.25);
+  const std::vector<double> bad{1, 0, 4};
+  EXPECT_TRUE(std::isinf(lw->TupleSensitivity(bad)));
+}
+
+TEST(LinearWorkloadTest, MoveSemanticsDoubleTheBound) {
+  SparseMatrix::Builder builder(1, 2);
+  builder.Add(0, 0, 1.0);
+  auto lw = LinearWorkload::Create(std::move(builder).Build().value(),
+                                   {3.0, 4.0}, NeighborModel::kMove);
+  ASSERT_TRUE(lw.ok());
+  EXPECT_DOUBLE_EQ(lw->tuple_factor(), 2.0);
+  const std::vector<double> scales{2.0};
+  EXPECT_DOUBLE_EQ(lw->TupleSensitivity(scales), 1.0);  // 2 * (1/2)
+}
+
+TEST(LinearWorkloadTest, ToWorkloadCarriesExactSensitivityAndLinearView) {
+  const std::vector<double> histogram{10, 20, 30, 40};
+  auto lw = PrefixLinear(histogram);
+  ASSERT_TRUE(lw.ok());
+  auto w = lw->ToWorkload();
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->num_queries(), 4u);
+  EXPECT_EQ(w->num_groups(), 4u);  // singleton groups
+  EXPECT_TRUE(w->has_custom_sensitivity());
+  ASSERT_NE(w->linear(), nullptr);
+  EXPECT_EQ(w->linear()->domain_size(), 4u);
+  // True answers flow through from Answers().
+  EXPECT_DOUBLE_EQ(w->true_answer(0), 10);
+  EXPECT_DOUBLE_EQ(w->true_answer(3), 100);
+  // The installed SensitivityFn is the exact column bound, not Σ 1/λ.
+  const std::vector<double> scales{10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(w->GeneralizedSensitivity(scales),
+                   lw->TupleSensitivity(scales));
+  EXPECT_DOUBLE_EQ(w->GeneralizedSensitivity(scales), 0.4);
+}
+
+// Satellite regression: the old additive Σ 1/λ bound versus the exact
+// column bound. On prefixes (bin 0 in every query) they coincide; on
+// overlapping sliding windows the additive bound wastes ~count/width of
+// the privacy budget.
+TEST(LinearWorkloadTest, ExactBoundMatchesAdditiveOnPrefixes) {
+  std::vector<double> histogram(16);
+  for (size_t b = 0; b < 16; ++b) histogram[b] = 100.0 / (1 + b);
+  const std::vector<BinRange> prefixes = PrefixRanges(16);
+  auto exact =
+      BuildRangeWorkload(histogram, prefixes, RangeSensitivity::kExactColumn);
+  auto additive =
+      BuildRangeWorkload(histogram, prefixes, RangeSensitivity::kAdditive);
+  ASSERT_TRUE(exact.ok() && additive.ok());
+  const std::vector<double> uniform(16, 7.0);
+  EXPECT_DOUBLE_EQ(exact->GeneralizedSensitivity(uniform),
+                   additive->GeneralizedSensitivity(uniform));
+  EXPECT_DOUBLE_EQ(exact->GeneralizedSensitivity(uniform), 16.0 / 7.0);
+}
+
+TEST(LinearWorkloadTest, ExactBoundBeatsAdditiveOnSlidingWindows) {
+  const size_t bins = 64, width = 4, count = 61;  // every window start once
+  std::vector<double> histogram(bins, 50.0);
+  const std::vector<BinRange> windows =
+      SlidingWindowRanges(bins, width, count);
+  ASSERT_EQ(windows.size(), count);
+  auto exact =
+      BuildRangeWorkload(histogram, windows, RangeSensitivity::kExactColumn);
+  auto additive =
+      BuildRangeWorkload(histogram, windows, RangeSensitivity::kAdditive);
+  ASSERT_TRUE(exact.ok() && additive.ok());
+  const std::vector<double> uniform(count, 10.0);
+  // No bin lies in more than `width` windows, so the exact bound is
+  // width/λ; the additive bound pays count/λ — 15× worse here.
+  EXPECT_DOUBLE_EQ(exact->GeneralizedSensitivity(uniform),
+                   static_cast<double>(width) / 10.0);
+  EXPECT_DOUBLE_EQ(additive->GeneralizedSensitivity(uniform),
+                   static_cast<double>(count) / 10.0);
+}
+
+}  // namespace
+}  // namespace ireduct

@@ -35,9 +35,48 @@ TEST(RangeWorkloadTest, BuildsPerQueryWorkload) {
   EXPECT_DOUBLE_EQ(w->true_answer(0), 30);
   EXPECT_DOUBLE_EQ(w->true_answer(1), 120);
   EXPECT_DOUBLE_EQ(w->true_answer(2), 150);
-  // Singleton coefficient 1: GS with uniform λ is m/λ.
+  // Exact column bound: no bin is covered by more than two of the three
+  // ranges, so GS at uniform λ is 2/λ (the additive bound said 3/λ).
   const std::vector<double> scales{10, 10, 10};
-  EXPECT_DOUBLE_EQ(w->GeneralizedSensitivity(scales), 0.3);
+  EXPECT_DOUBLE_EQ(w->GeneralizedSensitivity(scales), 0.2);
+  auto additive =
+      BuildRangeWorkload(kHistogram, ranges, RangeSensitivity::kAdditive);
+  ASSERT_TRUE(additive.ok());
+  EXPECT_DOUBLE_EQ(additive->GeneralizedSensitivity(scales), 0.3);
+}
+
+TEST(RangeWorkloadTest, LinearViewMatchesRangeAnswers) {
+  const std::vector<BinRange> ranges{{0, 1}, {2, 4}, {0, 4}};
+  auto lw = RangeLinearWorkload(kHistogram, ranges);
+  ASSERT_TRUE(lw.ok());
+  EXPECT_EQ(lw->num_queries(), 3u);
+  EXPECT_EQ(lw->domain_size(), 5u);
+  EXPECT_EQ(lw->neighbor_model(), NeighborModel::kAddRemove);
+  const std::vector<double> answers = lw->Answers();
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    auto direct = RangeCountAnswer(kHistogram, ranges[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_DOUBLE_EQ(answers[i], *direct) << "range " << i;
+  }
+  // BuildRangeWorkload attaches the same view for strategy mechanisms.
+  auto w = BuildRangeWorkload(kHistogram, ranges);
+  ASSERT_TRUE(w.ok());
+  ASSERT_NE(w->linear(), nullptr);
+  EXPECT_EQ(w->linear()->domain_size(), 5u);
+}
+
+TEST(RangeWorkloadTest, SlidingWindowRangesWrapAndClamp) {
+  const std::vector<BinRange> windows = SlidingWindowRanges(8, 3, 10);
+  ASSERT_EQ(windows.size(), 10u);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].lo, i % 6) << i;  // 6 = 8 - 3 + 1 start positions
+    EXPECT_EQ(windows[i].hi, windows[i].lo + 2) << i;
+  }
+  // Width wider than the domain clamps to the full range.
+  const std::vector<BinRange> wide = SlidingWindowRanges(4, 9, 2);
+  ASSERT_EQ(wide.size(), 2u);
+  EXPECT_EQ(wide[0].lo, 0u);
+  EXPECT_EQ(wide[0].hi, 3u);
 }
 
 TEST(RangeWorkloadTest, BuildRejectsEmptyAndInvalid) {

@@ -18,6 +18,12 @@
 #                             # asserts --list-mechanisms enumerates the
 #                             # builtin set, and runs two spec-driven
 #                             # marginal releases end-to-end
+#   tools/check.sh queries    # Linear-query-algebra smoke: runs the
+#                             # workload/strategy test binaries, the
+#                             # strategy_comparison bench at reduced
+#                             # scale (asserting BENCH_STRATEGY.json
+#                             # carries every matrix strategy), and a
+#                             # matrix-mechanism CLI release
 #   tools/check.sh threads    # ThreadSanitizer build of the concurrent
 #                             # evaluation paths: thread pool, fused
 #                             # marginal evaluator, marginal cache,
@@ -47,10 +53,10 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 case "$mode" in
-  default|san|no-tracing|perf|registry|threads|obs|format|ci) ;;
+  default|san|no-tracing|perf|registry|queries|threads|obs|format|ci) ;;
   *)
     echo "usage: tools/check.sh" \
-         "[san|no-tracing|perf|registry|threads|obs|format|ci]" >&2
+         "[san|no-tracing|perf|registry|queries|threads|obs|format|ci]" >&2
     exit 2
     ;;
 esac
@@ -179,6 +185,40 @@ if [ "$mode" = registry ]; then
     done
     echo "registry smoke [$p]: $count mechanisms, spec-driven runs OK"
   done
+  exit 0
+fi
+
+if [ "$mode" = queries ]; then
+  # Linear-query-algebra smoke: the strategy/workload unit + property +
+  # golden-parity tests, the strategy_comparison bench at reduced scale
+  # (every matrix strategy must land in BENCH_STRATEGY.json), and one
+  # matrix-mechanism release through the real CLI.
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "$out_dir"' EXIT
+  query_tests="linear_workload_test strategy_test range_workload_test \
+               strategy_golden_test mechanism_parity_test \
+               marginal_workload_test hierarchical_test wavelet_test"
+  cmake --preset default
+  # shellcheck disable=SC2086  # word splitting is the point
+  cmake --build --preset default -j "$(nproc)" \
+    --target ireduct_tool strategy_comparison $query_tests
+  for t in $query_tests; do
+    echo "== queries: $t =="
+    ./build/tests/"$t"
+  done
+  (cd build/bench &&
+   CENSUS_ROWS=60000 TRIALS=2 IREDUCT_STEPS=60 ./strategy_comparison)
+  for m in "matrix:identity" "matrix:tree" "matrix:wavelet" \
+           "matrix_greedy:tree" "ireduct"; do
+    if ! grep -q "\"name\":\"$m\"" build/bench/BENCH_STRATEGY.json; then
+      echo "queries smoke: $m missing from BENCH_STRATEGY.json" >&2
+      exit 1
+    fi
+  done
+  ./build/tools/ireduct_tool marginals \
+    --mechanism "matrix:strategy=tree,tune=greedy" --rows 2000 --seed 7 \
+    --epsilon 0.5 --out-dir "$out_dir" > /dev/null
+  echo "queries smoke: tests + BENCH_STRATEGY.json + CLI release OK"
   exit 0
 fi
 
