@@ -65,6 +65,58 @@ void CountStriped(const CountPlanArgs& a) {
   }
 }
 
+// General-arity variants of the same two loops. The arity-long stride
+// reduction is the only difference; indirection is still hoisted to a
+// template parameter so the dense case keeps a branch-free inner loop.
+
+template <bool kIndirect>
+void CountNDirect(const CountPlanNArgs& a) {
+  uint32_t* const counts = a.counts;
+  const uint16_t* const* const cols = a.cols;
+  const size_t* const strides = a.strides;
+  const size_t arity = a.arity;
+  for (size_t i = a.begin; i < a.end; ++i) {
+    const size_t r = kIndirect ? a.row_idx[i] : i;
+    size_t cell = 0;
+    for (size_t k = 0; k < arity; ++k) cell += strides[k] * cols[k][r];
+    ++counts[cell];
+  }
+}
+
+template <bool kIndirect>
+void CountNStriped(const CountPlanNArgs& a) {
+  const size_t cells = a.cells;
+  uint32_t* const l0 = a.lane_scratch;
+  uint32_t* const l1 = l0 + cells;
+  uint32_t* const l2 = l1 + cells;
+  uint32_t* const l3 = l2 + cells;
+  std::memset(l0, 0, kBatchLanes * cells * sizeof(uint32_t));
+  const uint16_t* const* const cols = a.cols;
+  const size_t* const strides = a.strides;
+  const size_t arity = a.arity;
+
+  const auto cell_of = [&](size_t i) {
+    const size_t r = kIndirect ? a.row_idx[i] : i;
+    size_t cell = 0;
+    for (size_t k = 0; k < arity; ++k) cell += strides[k] * cols[k][r];
+    return cell;
+  };
+
+  size_t i = a.begin;
+  for (; i + 4 <= a.end; i += 4) {
+    ++l0[cell_of(i)];
+    ++l1[cell_of(i + 1)];
+    ++l2[cell_of(i + 2)];
+    ++l3[cell_of(i + 3)];
+  }
+  for (; i < a.end; ++i) ++l0[cell_of(i)];
+
+  uint32_t* const counts = a.counts;
+  for (size_t c = 0; c < cells; ++c) {
+    counts[c] += l0[c] + l1[c] + l2[c] + l3[c];
+  }
+}
+
 template <void (*Fn1D)(const CountPlanArgs&),
           void (*Fn1I)(const CountPlanArgs&),
           void (*Fn2D)(const CountPlanArgs&),
@@ -91,6 +143,14 @@ void CountPlanDirectScalar(const CountPlanArgs& a) {
 void CountPlanStripedScalar(const CountPlanArgs& a) {
   CountDispatchShape<CountStriped<false, false>, CountStriped<false, true>,
                      CountStriped<true, false>, CountStriped<true, true>>(a);
+}
+
+void CountPlanNDirectScalar(const CountPlanNArgs& a) {
+  (a.row_idx != nullptr ? CountNDirect<true> : CountNDirect<false>)(a);
+}
+
+void CountPlanNStripedScalar(const CountPlanNArgs& a) {
+  (a.row_idx != nullptr ? CountNStriped<true> : CountNStriped<false>)(a);
 }
 
 }  // namespace internal
@@ -161,6 +221,24 @@ void CountPlan(const CountPlanArgs& args) {
     internal::CountPlanStripedScalar(args);
   } else {
     internal::CountPlanDirectScalar(args);
+  }
+}
+
+void CountPlanNScalarRef(const CountPlanNArgs& args) {
+  internal::CountPlanNDirectScalar(args);
+}
+
+void CountPlanN(const CountPlanNArgs& args) {
+#if defined(IREDUCT_SIMD_ENABLED) && defined(__x86_64__)
+  if (ActiveTier() == Tier::kAvx2) {
+    internal::CountPlanNAvx2(args);
+    return;
+  }
+#endif
+  if (args.lane_scratch != nullptr) {
+    internal::CountPlanNStripedScalar(args);
+  } else {
+    internal::CountPlanNDirectScalar(args);
   }
 }
 

@@ -81,6 +81,30 @@ void CountPlan(const CountPlanArgs& args);
 /// Pinned scalar reference for CountPlan (ignores dispatch).
 void CountPlanScalarRef(const CountPlanArgs& args);
 
+/// General-arity counting pass (cell = sum over k of strides[k] *
+/// cols[k][r]). CountPlan's fixed two-column shape covers the paper's 1D/2D
+/// tasks; this is the arity-3+ path, vectorized the same way: AVX2 computes
+/// the fused cell indices 16 rows at a time (one widen+multiply+add per
+/// column), increments stripe across four private tables.
+struct CountPlanNArgs {
+  const uint16_t* const* cols = nullptr;  // `arity` column code pointers
+  const size_t* strides = nullptr;        // `arity` row-major strides
+  size_t arity = 0;
+  const uint32_t* row_idx = nullptr;  // row subset; null = dense range
+  size_t begin = 0;                   // row range [begin, end)
+  size_t end = 0;
+  uint32_t* counts = nullptr;  // plan-local table, `cells` entries, +='d into
+  size_t cells = 0;
+  // Same contract as CountPlanArgs::lane_scratch.
+  uint32_t* lane_scratch = nullptr;
+};
+
+/// Counts the range into args.counts; identical totals in every mode/tier.
+void CountPlanN(const CountPlanNArgs& args);
+
+/// Pinned scalar reference for CountPlanN (ignores dispatch).
+void CountPlanNScalarRef(const CountPlanNArgs& args);
+
 }  // namespace simd
 }  // namespace ireduct
 

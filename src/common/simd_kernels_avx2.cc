@@ -84,6 +84,58 @@ void CountDenseAvx2(const CountPlanArgs& a) {
   }
 }
 
+// General-arity sibling of CountDenseAvx2: the two index vectors accumulate
+// one widen+multiply+add per column instead of the fixed col0/col1 pair.
+// Each stride term is mathematically < cells <= 2^31, so the mod-2^32
+// mullo is exact for the u32 indices.
+void CountDenseNAvx2(const CountPlanNArgs& a) {
+  const size_t cells = a.cells;
+  uint32_t* const l0 = a.lane_scratch;
+  uint32_t* const l1 = l0 + cells;
+  uint32_t* const l2 = l1 + cells;
+  uint32_t* const l3 = l2 + cells;
+  std::memset(l0, 0, kBatchLanes * cells * sizeof(uint32_t));
+
+  const uint16_t* const* const cols = a.cols;
+  const size_t* const strides = a.strides;
+  const size_t arity = a.arity;
+
+  alignas(32) uint32_t idx[16];
+  size_t i = a.begin;
+  for (; i + 16 <= a.end; i += 16) {
+    __m256i lo = _mm256_setzero_si256();
+    __m256i hi = _mm256_setzero_si256();
+    for (size_t k = 0; k < arity; ++k) {
+      const __m256i stride =
+          _mm256_set1_epi32(static_cast<int>(strides[k]));
+      const __m256i vlo = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(cols[k] + i)));
+      const __m256i vhi = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(cols[k] + i + 8)));
+      lo = _mm256_add_epi32(lo, _mm256_mullo_epi32(vlo, stride));
+      hi = _mm256_add_epi32(hi, _mm256_mullo_epi32(vhi, stride));
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idx), lo);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idx + 8), hi);
+    for (size_t j = 0; j < 16; j += 4) {
+      ++l0[idx[j]];
+      ++l1[idx[j + 1]];
+      ++l2[idx[j + 2]];
+      ++l3[idx[j + 3]];
+    }
+  }
+  for (; i < a.end; ++i) {
+    size_t cell = 0;
+    for (size_t k = 0; k < arity; ++k) cell += strides[k] * cols[k][i];
+    ++l0[cell];
+  }
+
+  uint32_t* const counts = a.counts;
+  for (size_t c = 0; c < cells; ++c) {
+    counts[c] += l0[c] + l1[c] + l2[c] + l3[c];
+  }
+}
+
 }  // namespace
 
 void CountPlanAvx2(const CountPlanArgs& a) {
@@ -99,6 +151,20 @@ void CountPlanAvx2(const CountPlanArgs& a) {
     CountDenseAvx2<true>(a);
   } else {
     CountDenseAvx2<false>(a);
+  }
+}
+
+void CountPlanNAvx2(const CountPlanNArgs& a) {
+  bool u32_safe = a.cells <= (size_t{1} << 31);
+  for (size_t k = 0; u32_safe && k < a.arity; ++k) {
+    u32_safe = a.strides[k] <= (size_t{1} << 31);
+  }
+  if (a.lane_scratch == nullptr) {
+    CountPlanNDirectScalar(a);
+  } else if (a.row_idx != nullptr || !u32_safe) {
+    CountPlanNStripedScalar(a);
+  } else {
+    CountDenseNAvx2(a);
   }
 }
 

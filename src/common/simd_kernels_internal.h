@@ -16,12 +16,15 @@ void BatchLaplaceAvx2(const LaneStates& states, const double* scales,
 void BatchExponentialAvx2(const LaneStates& states, double mean, double* out,
                           size_t n);
 void CountPlanAvx2(const CountPlanArgs& args);
+void CountPlanNAvx2(const CountPlanNArgs& args);
 
 // Lane-striped scalar counting loops, shared by the scalar/SSE2 tiers and
 // the AVX2 fallbacks (indirect rows, oversized strides). Defined in
 // simd_kernels.cc.
 void CountPlanStripedScalar(const CountPlanArgs& args);
 void CountPlanDirectScalar(const CountPlanArgs& args);
+void CountPlanNStripedScalar(const CountPlanNArgs& args);
+void CountPlanNDirectScalar(const CountPlanNArgs& args);
 
 }  // namespace internal
 }  // namespace simd

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <vector>
 
 #include "common/logging.h"
@@ -211,6 +212,226 @@ Result<Dataset> GenerateCensus(const CensusConfig& config) {
     IREDUCT_RETURN_NOT_OK(dataset.AppendRow(row));
   }
   return dataset;
+}
+
+namespace {
+
+// Row-major staging buffer flushed through the bulk AppendRows path.
+class RowBatcher {
+ public:
+  RowBatcher(Dataset& dataset, size_t width)
+      : dataset_(dataset), width_(width) {
+    values_.reserve(kFlushRows * width);
+  }
+
+  uint16_t* NextRow() {
+    values_.resize(values_.size() + width_);
+    return values_.data() + values_.size() - width_;
+  }
+
+  Status MaybeFlush() {
+    if (values_.size() < kFlushRows * width_) return Status::OK();
+    return Flush();
+  }
+
+  Status Flush() {
+    if (values_.empty()) return Status::OK();
+    IREDUCT_RETURN_NOT_OK(dataset_.AppendRows(values_));
+    values_.clear();
+    return Status::OK();
+  }
+
+ private:
+  static constexpr size_t kFlushRows = 8192;
+  Dataset& dataset_;
+  size_t width_;
+  std::vector<uint16_t> values_;
+};
+
+Result<Schema> ZipfHeavySchema() {
+  return Schema::Create({
+      {"User", 1000},
+      {"Item", 20000},
+      {"Action", 8},
+      {"Channel", 12},
+  });
+}
+
+Result<Schema> SparseEventsSchema() {
+  return Schema::Create({
+      {"Device", 4096},
+      {"EventType", 64},
+      {"HourOfWeek", 168},
+      {"Severity", 8},
+      {"Code", 1024},
+  });
+}
+
+Result<Schema> WideSchema() {
+  // 24 small-domain attributes: the per-row cost is column-count bound and
+  // the pack widths are 1-4 bits.
+  static constexpr uint32_t kDomains[] = {2, 3, 4, 5, 8, 16};
+  std::vector<Attribute> attributes;
+  for (int i = 0; i < 24; ++i) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "F%02d", i);
+    attributes.push_back({name, kDomains[i % 6]});
+  }
+  return Schema::Create(std::move(attributes));
+}
+
+Result<Dataset> GenerateZipfHeavy(const ProfileConfig& config) {
+  IREDUCT_ASSIGN_OR_RETURN(Schema schema, ZipfHeavySchema());
+  BitGen gen(config.seed);
+  // Steep Zipf over the big item domain: nearly every row lands in a few
+  // hundred hot items — worst case for naive count increments, best case
+  // for byte-RLE over the packed codes.
+  const Categorical user_dist(ZipfWeights(1000, 1.1));
+  const Categorical item_dist(ZipfWeights(20000, 1.4));
+  const Categorical action_dist(ZipfWeights(8, 1.0));
+  const Categorical channel_dist(ZipfWeights(12, 1.2));
+  Dataset dataset(std::move(schema));
+  dataset.Reserve(config.rows);
+  RowBatcher batcher(dataset, 4);
+  for (uint64_t r = 0; r < config.rows; ++r) {
+    uint16_t* row = batcher.NextRow();
+    row[0] = user_dist.Sample(gen);
+    row[1] = item_dist.Sample(gen);
+    row[2] = action_dist.Sample(gen);
+    row[3] = channel_dist.Sample(gen);
+    IREDUCT_RETURN_NOT_OK(batcher.MaybeFlush());
+  }
+  IREDUCT_RETURN_NOT_OK(batcher.Flush());
+  return dataset;
+}
+
+Result<Dataset> GenerateSparseEvents(const ProfileConfig& config) {
+  IREDUCT_ASSIGN_OR_RETURN(Schema schema, SparseEventsSchema());
+  BitGen gen(config.seed);
+  const Categorical device_dist(ZipfWeights(4096, 1.05));
+  const Categorical type_dist(ZipfWeights(64, 1.2));
+  // Diurnal + weekday load curve over the 168 hours of a week.
+  std::vector<double> hour_w(168);
+  for (uint32_t h = 0; h < 168; ++h) {
+    const double day_load = (h / 24) < 5 ? 1.0 : 0.45;  // weekend dip
+    const double hour_load =
+        0.2 + 0.8 * std::fmax(0.0, std::sin((h % 24 - 6) * 3.14159 / 14.0));
+    hour_w[h] = day_load * hour_load + 0.02;
+  }
+  const Categorical hour_dist(std::move(hour_w));
+  const Categorical severity_dist(
+      std::vector<double>{0.55, 0.30, 0.08, 0.04, 0.02, 0.007, 0.002, 0.001});
+  // Per-type code heads with retired codes, the same codebook sparsity
+  // trick as the census occupation domain: most (type, code) cells are
+  // exactly zero — the near-zero-count regime the paper targets.
+  std::vector<Categorical> code_by_type;
+  for (uint32_t t = 0; t < 64; ++t) {
+    std::vector<double> weights = ShiftedZipfWeights(1024, t * 16, 1.1);
+    for (uint32_t c = 0; c < 1024; ++c) {
+      if ((c * 2654435761u) % 4 != 0) weights[c] = 0.0;  // retired code
+    }
+    code_by_type.emplace_back(std::move(weights));
+  }
+  Dataset dataset(std::move(schema));
+  dataset.Reserve(config.rows);
+  RowBatcher batcher(dataset, 5);
+  for (uint64_t r = 0; r < config.rows; ++r) {
+    uint16_t* row = batcher.NextRow();
+    const uint16_t type = type_dist.Sample(gen);
+    row[0] = device_dist.Sample(gen);
+    row[1] = type;
+    row[2] = hour_dist.Sample(gen);
+    row[3] = severity_dist.Sample(gen);
+    row[4] = code_by_type[type].Sample(gen);
+    IREDUCT_RETURN_NOT_OK(batcher.MaybeFlush());
+  }
+  IREDUCT_RETURN_NOT_OK(batcher.Flush());
+  return dataset;
+}
+
+Result<Dataset> GenerateWideSchema(const ProfileConfig& config) {
+  IREDUCT_ASSIGN_OR_RETURN(Schema schema, WideSchema());
+  BitGen gen(config.seed);
+  std::vector<Categorical> dists;
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    // Mild skew, rotated per attribute so no two columns share a head.
+    const uint32_t n = schema.attribute(c).domain_size;
+    dists.emplace_back(
+        ShiftedZipfWeights(n, static_cast<uint32_t>(c) % n, 0.8));
+  }
+  const size_t width = schema.num_attributes();
+  Dataset dataset(std::move(schema));
+  dataset.Reserve(config.rows);
+  RowBatcher batcher(dataset, width);
+  for (uint64_t r = 0; r < config.rows; ++r) {
+    uint16_t* row = batcher.NextRow();
+    for (size_t c = 0; c < width; ++c) row[c] = dists[c].Sample(gen);
+    IREDUCT_RETURN_NOT_OK(batcher.MaybeFlush());
+  }
+  IREDUCT_RETURN_NOT_OK(batcher.Flush());
+  return dataset;
+}
+
+}  // namespace
+
+Result<DataProfile> ParseDataProfile(const std::string& name) {
+  if (name == "census") return DataProfile::kCensus;
+  if (name == "zipf-heavy") return DataProfile::kZipfHeavy;
+  if (name == "sparse-events") return DataProfile::kSparseEvents;
+  if (name == "wide-schema") return DataProfile::kWideSchema;
+  return Status::InvalidArgument(
+      "unknown data profile '" + name +
+      "' (expected census, zipf-heavy, sparse-events, or wide-schema)");
+}
+
+const char* DataProfileName(DataProfile profile) {
+  switch (profile) {
+    case DataProfile::kCensus:
+      return "census";
+    case DataProfile::kZipfHeavy:
+      return "zipf-heavy";
+    case DataProfile::kSparseEvents:
+      return "sparse-events";
+    case DataProfile::kWideSchema:
+      return "wide-schema";
+  }
+  return "unknown";
+}
+
+Result<Schema> ProfileSchema(DataProfile profile, CensusKind kind) {
+  switch (profile) {
+    case DataProfile::kCensus:
+      return CensusSchema(kind);
+    case DataProfile::kZipfHeavy:
+      return ZipfHeavySchema();
+    case DataProfile::kSparseEvents:
+      return SparseEventsSchema();
+    case DataProfile::kWideSchema:
+      return WideSchema();
+  }
+  return Status::InvalidArgument("unknown data profile");
+}
+
+Result<Dataset> GenerateProfile(const ProfileConfig& config) {
+  if (config.rows == 0) {
+    return Status::InvalidArgument("row count must be positive");
+  }
+  switch (config.profile) {
+    case DataProfile::kCensus: {
+      CensusConfig census;
+      census.kind = config.kind;
+      census.rows = config.rows;
+      census.seed = config.seed;
+      return GenerateCensus(census);
+    }
+    case DataProfile::kZipfHeavy:
+      return GenerateZipfHeavy(config);
+    case DataProfile::kSparseEvents:
+      return GenerateSparseEvents(config);
+    case DataProfile::kWideSchema:
+      return GenerateWideSchema(config);
+  }
+  return Status::InvalidArgument("unknown data profile");
 }
 
 }  // namespace ireduct

@@ -15,6 +15,7 @@
 #define IREDUCT_DATA_CENSUS_GENERATOR_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/result.h"
 #include "data/dataset.h"
@@ -51,6 +52,39 @@ Result<Schema> CensusSchema(CensusKind kind);
 
 /// Generates a synthetic census dataset per `config`.
 Result<Dataset> GenerateCensus(const CensusConfig& config);
+
+/// Workload-shaped generation profiles beyond the paper's census replica.
+/// Each profile is a columnar/streaming benchmark scenario with a distinct
+/// storage and counting character:
+///  * census        — the Section 6 replica (GenerateCensus);
+///  * zipf-heavy    — few attributes, one large domain under a steep Zipf:
+///                    maximally hot count cells, high RLE compressibility;
+///  * sparse-events — event-log shape (device/type/hour/severity/code)
+///                    with retired codes: mostly near-zero cells;
+///  * wide-schema   — 24 small-domain attributes: per-row work dominated
+///                    by column count, 1-2 bit pack widths.
+enum class DataProfile { kCensus, kZipfHeavy, kSparseEvents, kWideSchema };
+
+/// Parses "census" / "zipf-heavy" / "sparse-events" / "wide-schema".
+Result<DataProfile> ParseDataProfile(const std::string& name);
+
+/// Inverse of ParseDataProfile.
+const char* DataProfileName(DataProfile profile);
+
+struct ProfileConfig {
+  DataProfile profile = DataProfile::kCensus;
+  /// Population imitated by the census profile; ignored by the others.
+  CensusKind kind = CensusKind::kBrazil;
+  uint64_t rows = 400'000;
+  uint64_t seed = 2011;
+};
+
+/// Schema of the given profile (for the census profile, of `kind`).
+Result<Schema> ProfileSchema(DataProfile profile, CensusKind kind);
+
+/// Generates a dataset per `config`; deterministic in (profile, kind,
+/// rows, seed).
+Result<Dataset> GenerateProfile(const ProfileConfig& config);
 
 }  // namespace ireduct
 

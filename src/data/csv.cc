@@ -1,5 +1,7 @@
 #include "data/csv.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -35,6 +37,29 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
   return cells;
 }
 
+// Parses one data line's cells in place (no per-cell string splits — the
+// import hot path) into `row`, `width` uint16 codes.
+Status ParseCsvRow(const std::string& line, size_t line_no, size_t width,
+                   uint16_t* row) {
+  const char* p = line.c_str();
+  for (size_t c = 0; c < width; ++c) {
+    char* end = nullptr;
+    const long parsed = std::strtol(p, &end, 10);
+    const char sep = c + 1 < width ? ',' : '\0';
+    if (end == p || *end != sep || parsed < 0 || parsed > 65535) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad value or wrong number of cells");
+    }
+    row[c] = static_cast<uint16_t>(parsed);
+    p = end + (c + 1 < width ? 1 : 0);
+  }
+  return Status::OK();
+}
+
+// Rows appended per AppendRows call: large enough to amortize the bulk
+// append's per-call work, small enough to stay cache-warm.
+constexpr size_t kCsvBatchRows = 4096;
+
 }  // namespace
 
 Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
@@ -58,29 +83,68 @@ Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
   }
 
   Dataset dataset(schema);
-  std::vector<uint16_t> row(schema.num_attributes());
+  const size_t width = schema.num_attributes();
+  // Rows accumulate row-major and land through the bulk AppendRows path:
+  // one domain-validation sweep and one contiguous copy per column per
+  // batch, instead of per-row schema lookups.
+  std::vector<uint16_t> batch;
+  batch.reserve(kCsvBatchRows * width);
   size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    const std::vector<std::string> cells = SplitCsvLine(line);
-    if (cells.size() != row.size()) {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": wrong number of cells");
+    batch.resize(batch.size() + width);
+    IREDUCT_RETURN_NOT_OK(ParseCsvRow(line, line_no, width,
+                                      batch.data() + batch.size() - width));
+    if (batch.size() >= kCsvBatchRows * width) {
+      IREDUCT_RETURN_NOT_OK(dataset.AppendRows(batch));
+      batch.clear();
     }
-    for (size_t c = 0; c < cells.size(); ++c) {
-      char* end = nullptr;
-      const long parsed = std::strtol(cells[c].c_str(), &end, 10);
-      if (end == cells[c].c_str() || *end != '\0' || parsed < 0 ||
-          parsed > 65535) {
-        return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                       ": bad value '" + cells[c] + "'");
-      }
-      row[c] = static_cast<uint16_t>(parsed);
-    }
-    IREDUCT_RETURN_NOT_OK(dataset.AppendRow(row));
+  }
+  if (!batch.empty()) {
+    IREDUCT_RETURN_NOT_OK(dataset.AppendRows(batch));
   }
   return dataset;
+}
+
+Result<Dataset> ReadCsvInferred(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("'" + path + "' is empty");
+  }
+  const std::vector<std::string> names = SplitCsvLine(line);
+  if (names.empty()) {
+    return Status::InvalidArgument("'" + path + "' has an empty header");
+  }
+  const size_t width = names.size();
+
+  // One pass collecting the value stream column-major while tracking each
+  // column's max code; the schema exists only after the data is read.
+  std::vector<std::vector<uint16_t>> columns(width);
+  std::vector<uint16_t> maxima(width, 0);
+  std::vector<uint16_t> row(width);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    IREDUCT_RETURN_NOT_OK(ParseCsvRow(line, line_no, width, row.data()));
+    for (size_t c = 0; c < width; ++c) {
+      columns[c].push_back(row[c]);
+      maxima[c] = std::max(maxima[c], row[c]);
+    }
+  }
+
+  std::vector<Attribute> attributes(width);
+  for (size_t c = 0; c < width; ++c) {
+    attributes[c].name = names[c];
+    attributes[c].domain_size = static_cast<uint32_t>(maxima[c]) + 1;
+  }
+  IREDUCT_ASSIGN_OR_RETURN(Schema schema,
+                           Schema::Create(std::move(attributes)));
+  return Dataset::FromColumns(std::move(schema), std::move(columns));
 }
 
 }  // namespace ireduct

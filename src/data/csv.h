@@ -18,6 +18,13 @@ Status WriteCsv(const Dataset& dataset, const std::string& path);
 /// attributes of `schema` in order, and every value must be in-domain.
 Result<Dataset> ReadCsv(const Schema& schema, const std::string& path);
 
+/// Reads a CSV with no schema in hand: attribute names come from the
+/// header, each domain size is inferred as (max observed code + 1). Meant
+/// for importing foreign data (csv2col without --kind/--profile); a
+/// dataset round-tripped through WriteCsv + ReadCsvInferred keeps its
+/// values but may shrink domains to the observed support.
+Result<Dataset> ReadCsvInferred(const std::string& path);
+
 }  // namespace ireduct
 
 #endif  // IREDUCT_DATA_CSV_H_

@@ -3,10 +3,21 @@
 // Values are stored column-major as uint16_t codes, which keeps the
 // marginal-computation scans cache-friendly: computing a k-way marginal
 // touches exactly k contiguous columns.
+//
+// A Dataset is backed by one of two stores:
+//  * owned storage — per-column std::vectors the Dataset appends into
+//    (the default, what AppendRow/AppendRows build);
+//  * an immutable DatasetBacking — externally owned column memory such as
+//    an mmap'd columnar file (data/columnar.h). Backed datasets are
+//    read-only: append operations fail, everything else (value/column
+//    reads, Select, FoldAssignment, Fingerprint) behaves identically.
+// Either way the read fast paths go through per-column spans, so the cost
+// of value()/column() does not depend on the store.
 #ifndef IREDUCT_DATA_DATASET_H_
 #define IREDUCT_DATA_DATASET_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,47 +27,104 @@
 
 namespace ireduct {
 
-/// An immutable-schema, append-only categorical table.
+/// Immutable column storage a Dataset can be routed onto (e.g. an mmap'd
+/// columnar file). Implementations must keep every returned span valid and
+/// unchanged for the lifetime of the backing object.
+class DatasetBacking {
+ public:
+  virtual ~DatasetBacking() = default;
+
+  /// Number of rows every column holds.
+  virtual size_t num_rows() const = 0;
+
+  /// Stable view of column `c` (`c < schema.num_attributes()` of the
+  /// dataset the backing was attached to).
+  virtual std::span<const uint16_t> column(size_t c) const = 0;
+};
+
+/// An immutable-schema categorical table: append-only when it owns its
+/// storage, read-only when routed onto a DatasetBacking.
 class Dataset {
  public:
   explicit Dataset(Schema schema);
 
+  /// Routes a dataset onto immutable external storage. Validates that the
+  /// backing serves one column per schema attribute, all of `num_rows`
+  /// length, with every value inside its attribute's domain (one max-scan
+  /// per column — this is what makes it safe to index count tables by
+  /// raw column values downstream). The backing is shared: copies of the
+  /// returned Dataset keep it alive.
+  static Result<Dataset> FromBacking(
+      Schema schema, std::shared_ptr<const DatasetBacking> backing);
+
+  /// Builds an owned dataset directly from column vectors (sizes must
+  /// agree across columns; values must be in-domain).
+  static Result<Dataset> FromColumns(Schema schema,
+                                     std::vector<std::vector<uint16_t>> columns);
+
+  // The per-column views need rebuilding on copy (they would otherwise
+  // alias the source's buffers); moves keep the heap buffers and stay
+  // cheap.
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
-  size_t num_columns() const { return columns_.size(); }
+  size_t num_columns() const { return cols_.size(); }
 
-  /// Appends a row; must have one in-domain value per attribute.
+  /// True when the dataset owns (and may append to) its storage.
+  bool owns_storage() const { return backing_ == nullptr; }
+
+  /// Appends a row; must have one in-domain value per attribute. Fails on
+  /// backed datasets (immutable storage).
   Status AppendRow(std::span<const uint16_t> values);
 
+  /// Appends `values.size() / num_attributes` row-major rows in one shot.
+  /// All values are validated before anything is appended, so a failed
+  /// call leaves the dataset unchanged. This is the bulk-import fast path
+  /// (CSV import, generators): one domain check pass, then one contiguous
+  /// copy per column.
+  Status AppendRows(std::span<const uint16_t> values);
+
   /// Value of `row` in column `col` (bounds unchecked in release builds).
-  uint16_t value(size_t row, size_t col) const {
-    return columns_[col][row];
-  }
+  uint16_t value(size_t row, size_t col) const { return cols_[col][row]; }
 
   /// Read-only view of one column.
-  std::span<const uint16_t> column(size_t col) const { return columns_[col]; }
+  std::span<const uint16_t> column(size_t col) const { return cols_[col]; }
 
-  /// Reserves storage for `rows` rows in every column.
+  /// Reserves storage for `rows` rows in every column (no-op when backed).
   void Reserve(size_t rows);
 
   /// Splits rows into `k` disjoint folds of near-equal size after a seeded
   /// shuffle; returns fold id (0..k-1) per row. Requires 2 <= k <= rows.
   Result<std::vector<uint8_t>> FoldAssignment(int k, BitGen& gen) const;
 
-  /// Materializes the subset of rows with the given indices.
+  /// Materializes the subset of rows with the given indices (always into
+  /// owned storage, regardless of this dataset's store).
   Dataset Select(std::span<const uint32_t> rows) const;
 
   /// 64-bit content fingerprint over the schema shape and every value
   /// (FNV-1a). Two datasets with equal fingerprints hold equal data for
-  /// any practical purpose — MarginalCache keys on this. Costs one full
+  /// any practical purpose — MarginalCache keys on this. The fingerprint
+  /// is a pure function of the value stream, so it is byte-identical
+  /// across owned and backed stores holding the same data. Costs one full
   /// scan; callers caching per-dataset results should also cache the
   /// fingerprint.
   uint64_t Fingerprint() const;
 
  private:
+  void RefreshViews();
+
   Schema schema_;
+  // Hoisted from schema_ so append validation is one flat-array compare
+  // per value instead of an Attribute (name string + size) load.
+  std::vector<uint32_t> domain_sizes_;
   size_t num_rows_ = 0;
-  std::vector<std::vector<uint16_t>> columns_;
+  std::vector<std::vector<uint16_t>> owned_;          // owned store
+  std::shared_ptr<const DatasetBacking> backing_;     // immutable store
+  std::vector<std::span<const uint16_t>> cols_;       // read fast path
 };
 
 }  // namespace ireduct

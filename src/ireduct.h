@@ -23,6 +23,7 @@
 #include "common/result.h"                 // IWYU pragma: export
 #include "common/status.h"                 // IWYU pragma: export
 #include "data/census_generator.h"         // IWYU pragma: export
+#include "data/columnar.h"                 // IWYU pragma: export
 #include "data/csv.h"                      // IWYU pragma: export
 #include "data/dataset.h"                  // IWYU pragma: export
 #include "data/schema.h"                   // IWYU pragma: export

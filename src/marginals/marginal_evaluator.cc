@@ -1,6 +1,7 @@
 #include "marginals/marginal_evaluator.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -9,11 +10,19 @@
 #include "common/arena.h"
 #include "common/logging.h"
 #include "common/simd_kernels.h"
+#include "data/columnar.h"
 #include "obs/metrics.h"
 
 namespace ireduct {
 
 namespace {
+
+// Plans with more cells than this count directly instead of striping:
+// beyond it the four private lane tables stop fitting in cache and the
+// scratch clear/merge dominates, and an uncapped bound would let one huge
+// 2-way plan size gigabytes of per-shard scratch. Totals are unaffected —
+// striping is a perf mode, not a semantic one.
+constexpr size_t kMaxStripedCells = size_t{1} << 21;
 
 // Mirrors the per-spec validation of Marginal::Compute so the fused path
 // rejects exactly what the per-marginal path rejects.
@@ -93,7 +102,7 @@ Result<MarginalSetEvaluator> MarginalSetEvaluator::Create(
       return Status::InvalidArgument("fused marginal table too large");
     }
     offset += plan.cells;
-    if (plan.terms.size() <= 2) {
+    if (plan.cells <= kMaxStripedCells) {
       evaluator.max_kernel_cells_ =
           std::max(evaluator.max_kernel_cells_, plan.cells);
     }
@@ -112,12 +121,18 @@ void MarginalSetEvaluator::CountShard(const Dataset& dataset,
   std::vector<const uint16_t*> cols;
   cols.reserve(columns_.size());
   for (uint32_t c : columns_) cols.push_back(dataset.column(c).data());
-  const uint32_t* row_idx = rows.empty() ? nullptr : rows.data();
+  CountColumns(cols.data(), rows.empty() ? nullptr : rows.data(), begin, end,
+               counts);
+}
+
+void MarginalSetEvaluator::CountColumns(const uint16_t* const* cols,
+                                        const uint32_t* row_idx, size_t begin,
+                                        size_t end, uint32_t* counts) const {
   const size_t nrows = end - begin;
 
   // Lane scratch for the striped counting kernels, sized for the widest
-  // arity<=2 plan and reused across plans. Call-local lifetime: the
-  // scratch is dead once the plan's merge into `counts` finishes, so
+  // striping-eligible plan and reused across plans. Call-local lifetime:
+  // the scratch is dead once the plan's merge into `counts` finishes, so
   // Reset-at-entry is safe even when one pool worker runs several shards.
   thread_local Arena scratch_arena;
   scratch_arena.Reset();
@@ -127,18 +142,23 @@ void MarginalSetEvaluator::CountShard(const Dataset& dataset,
         scratch_arena.Alloc<uint32_t>(simd::kBatchLanes * max_kernel_cells_);
   }
 
-  // Plan-major: every 1- and 2-attribute plan (all of the paper's tasks)
-  // goes through the dispatched counting kernel. Census data is
-  // Zipf-skewed, so consecutive rows keep hitting the same hot cells and a
-  // naive ++table[cell] serializes on store-to-load forwarding; the kernel
-  // stripes increments across four private tables (and on AVX2 computes
-  // the cell indices 16 rows at a time) and merges in fixed lane order.
-  // Counts are integers, so striping cannot change any total. Striping
-  // only pays when the row range dwarfs the table; small shards count
-  // directly into `counts`.
+  // Plan-major: every plan goes through a dispatched counting kernel —
+  // the fixed two-column CountPlan for arities 1/2 (all of the paper's
+  // tasks), CountPlanN for wider marginals. Census data is Zipf-skewed, so
+  // consecutive rows keep hitting the same hot cells and a naive
+  // ++table[cell] serializes on store-to-load forwarding; the kernels
+  // stripe increments across four private tables (and on AVX2 compute the
+  // cell indices 16 rows at a time) and merge in fixed lane order. Counts
+  // are integers, so striping cannot change any total. Striping only pays
+  // when the row range dwarfs a cache-resident table; small shards and
+  // huge tables count directly into `counts`.
+  std::vector<const uint16_t*> plan_cols;
+  std::vector<size_t> plan_strides;
   for (const SpecPlan& plan : plans_) {
     const size_t arity = plan.terms.size();
     uint32_t* const table = counts + plan.offset;
+    const bool striped = nrows >= 4 * plan.cells && plan.cells > 1 &&
+                         plan.cells <= kMaxStripedCells;
     if (arity == 1 || arity == 2) {
       simd::CountPlanArgs args;
       args.col0 = cols[plan.terms[0].first];
@@ -149,18 +169,26 @@ void MarginalSetEvaluator::CountShard(const Dataset& dataset,
       args.stride0 = plan.terms[0].second;
       args.counts = table;
       args.cells = plan.cells;
-      const bool striped = nrows >= 4 * plan.cells && plan.cells > 1;
       args.lane_scratch = striped ? lane_scratch : nullptr;
       simd::CountPlan(args);
     } else {
-      for (size_t i = begin; i < end; ++i) {
-        const size_t r = row_idx == nullptr ? i : row_idx[i];
-        size_t cell = 0;
-        for (const auto& [col, stride] : plan.terms) {
-          cell += stride * cols[col][r];
-        }
-        ++table[cell];
+      plan_cols.clear();
+      plan_strides.clear();
+      for (const auto& [col, stride] : plan.terms) {
+        plan_cols.push_back(cols[col]);
+        plan_strides.push_back(stride);
       }
+      simd::CountPlanNArgs args;
+      args.cols = plan_cols.data();
+      args.strides = plan_strides.data();
+      args.arity = arity;
+      args.row_idx = row_idx;
+      args.begin = begin;
+      args.end = end;
+      args.counts = table;
+      args.cells = plan.cells;
+      args.lane_scratch = striped ? lane_scratch : nullptr;
+      simd::CountPlanN(args);
     }
   }
 }
@@ -282,6 +310,132 @@ Result<std::vector<Marginal>> MarginalSetEvaluator::Compute(
           .count();
   if (pass_seconds > 0) {
     IREDUCT_METRIC_GAUGE_SET("marginals.rows_per_second",
+                             static_cast<double>(n) / pass_seconds);
+  }
+  return marginals;
+}
+
+Result<std::vector<Marginal>> MarginalSetEvaluator::ComputeStreaming(
+    const ColumnarFile& file, ThreadPool* pool) const {
+  const Schema& schema = file.schema();
+  if (schema.num_attributes() < num_schema_attributes_) {
+    return Status::InvalidArgument(
+        "columnar file has fewer attributes than the evaluation plan");
+  }
+  for (const SpecPlan& plan : plans_) {
+    for (size_t i = 0; i < plan.spec.attributes.size(); ++i) {
+      if (schema.attribute(plan.spec.attributes[i]).domain_size !=
+          plan.domain_sizes[i]) {
+        return Status::InvalidArgument(
+            "columnar file domain sizes do not match the evaluation plan");
+      }
+    }
+  }
+  const uint64_t n = file.num_rows();
+  const uint32_t num_blocks = file.num_blocks();
+  const size_t block_rows = file.block_rows();
+  const size_t ncols = columns_.size();
+
+  IREDUCT_SCOPED_TIMER(stream_timer, "marginals.streaming_seconds");
+  IREDUCT_METRIC_COUNT("marginals.streaming_passes", 1);
+  IREDUCT_METRIC_COUNT("marginals.streaming_rows", n);
+  const auto pass_start = std::chrono::steady_clock::now();
+
+  // Same shard clamp as Compute, against the rows of one (full) block.
+  size_t num_shards = 1;
+  if (pool != nullptr && pool->num_threads() > 1) {
+    constexpr size_t kMinRowsPerShard = 1024;
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = pool->num_threads();
+    num_shards =
+        std::min<size_t>(std::min<size_t>(pool->num_threads(), hw),
+                         std::max<size_t>(1, block_rows / kMinRowsPerShard));
+  }
+
+  // Double-buffered block decode: while shard jobs count block b out of
+  // one slot, a decode job fills the other slot with block b+1; the
+  // pool->Wait() at the bottom of the loop joins both. Each slot holds
+  // only the referenced columns — unreferenced columns are never decoded.
+  struct Slot {
+    std::vector<std::vector<uint16_t>> cols;
+    Status status = Status::OK();
+  };
+  std::array<Slot, 2> slots;
+  for (Slot& slot : slots) {
+    slot.cols.resize(ncols);
+    for (auto& col : slot.cols) col.resize(block_rows);
+  }
+  const auto decode_block = [&](uint32_t b, Slot& slot) {
+    slot.status = Status::OK();
+    for (size_t i = 0; i < ncols; ++i) {
+      Status s = file.DecodeChunk(columns_[i], b, slot.cols[i].data());
+      if (!s.ok()) {
+        slot.status = std::move(s);
+        return;
+      }
+    }
+  };
+
+  // Per-shard uint32 accumulators live across blocks and merge once at the
+  // end — the same overflow headroom (2^32 rows per shard) and the same
+  // fixed-order integer merge as the in-memory pass, which is what keeps
+  // the totals bit-identical to Compute at any thread count or block size.
+  std::vector<std::vector<uint32_t>> shard_counts(num_shards);
+  for (auto& counts : shard_counts) counts.assign(total_cells_, 0);
+
+  if (num_blocks > 0) decode_block(0, slots[0]);
+  std::vector<const uint16_t*> ptrs(ncols);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    Slot& cur = slots[b % 2];
+    Slot& next = slots[(b + 1) % 2];
+    IREDUCT_RETURN_NOT_OK(cur.status);
+    const size_t rows_b = file.RowsInBlock(b);
+    for (size_t i = 0; i < ncols; ++i) ptrs[i] = cur.cols[i].data();
+    if (pool != nullptr) {
+      if (b + 1 < num_blocks) {
+        pool->Submit([&decode_block, &next, nb = b + 1] {
+          decode_block(nb, next);
+        });
+      }
+      for (size_t s = 0; s < num_shards; ++s) {
+        const size_t begin = rows_b * s / num_shards;
+        const size_t end = rows_b * (s + 1) / num_shards;
+        pool->Submit([this, &ptrs, &shard_counts, begin, end, s] {
+          CountColumns(ptrs.data(), nullptr, begin, end,
+                       shard_counts[s].data());
+        });
+      }
+      pool->Wait();
+    } else {
+      CountColumns(ptrs.data(), nullptr, 0, rows_b, shard_counts[0].data());
+      if (b + 1 < num_blocks) decode_block(b + 1, slots[(b + 1) % 2]);
+    }
+  }
+
+  std::vector<uint64_t> totals(total_cells_, 0);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const uint32_t* src = shard_counts[s].data();
+    for (size_t c = 0; c < total_cells_; ++c) totals[c] += src[c];
+  }
+
+  std::vector<Marginal> marginals;
+  marginals.reserve(plans_.size());
+  for (const SpecPlan& plan : plans_) {
+    std::vector<double> counts(plan.cells);
+    for (size_t c = 0; c < plan.cells; ++c) {
+      counts[c] = static_cast<double>(totals[plan.offset + c]);
+    }
+    IREDUCT_ASSIGN_OR_RETURN(
+        Marginal m, Marginal::FromCounts(plan.spec, plan.domain_sizes,
+                                         std::move(counts)));
+    marginals.push_back(std::move(m));
+  }
+  const double pass_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pass_start)
+          .count();
+  if (pass_seconds > 0) {
+    IREDUCT_METRIC_GAUGE_SET("marginals.streaming_rows_per_second",
                              static_cast<double>(n) / pass_seconds);
   }
   return marginals;

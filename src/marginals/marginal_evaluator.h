@@ -29,6 +29,8 @@
 
 namespace ireduct {
 
+class ColumnarFile;
+
 /// Precomputed plan for evaluating a fixed set of marginal specs over
 /// datasets of one schema in a single pass.
 class MarginalSetEvaluator {
@@ -49,6 +51,18 @@ class MarginalSetEvaluator {
   Result<std::vector<Marginal>> Compute(const Dataset& dataset,
                                         std::span<const uint32_t> rows = {},
                                         ThreadPool* pool = nullptr) const;
+
+  /// Out-of-core pass: counts every marginal over a columnar file
+  /// block-by-block without materializing the table, holding at most two
+  /// blocks of decoded values (double-buffered: with a `pool`, the next
+  /// block decodes asynchronously while the current one is counted, and
+  /// each block's rows are sharded across the remaining workers). Only the
+  /// referenced columns are ever decoded. Counts are integers, so the
+  /// result is bit-identical to Compute over the materialized dataset —
+  /// and to per-spec Marginal::Compute — at any thread count and any
+  /// block size.
+  Result<std::vector<Marginal>> ComputeStreaming(
+      const ColumnarFile& file, ThreadPool* pool = nullptr) const;
 
   size_t num_specs() const { return plans_.size(); }
   const MarginalSpec& spec(size_t i) const { return plans_[i].spec; }
@@ -73,12 +87,18 @@ class MarginalSetEvaluator {
   void CountShard(const Dataset& dataset, std::span<const uint32_t> rows,
                   size_t begin, size_t end, uint32_t* counts) const;
 
+  // Shared counting core: `cols[i]` is the code pointer for columns_[i]
+  // (a full dataset column, or one decoded block in the streaming pass).
+  void CountColumns(const uint16_t* const* cols, const uint32_t* row_idx,
+                    size_t begin, size_t end, uint32_t* counts) const;
+
   std::vector<SpecPlan> plans_;
   std::vector<uint32_t> columns_;  // sorted union of referenced attributes
   size_t total_cells_ = 0;
   size_t num_schema_attributes_ = 0;
-  // Largest cell count among kernel-eligible (arity <= 2) plans; sizes the
-  // per-shard lane scratch for the striped counting kernels.
+  // Largest cell count among striping-eligible plans (any arity, capped so
+  // the scratch stays cache-resident); sizes the per-shard lane scratch
+  // for the striped counting kernels.
   size_t max_kernel_cells_ = 0;
 };
 

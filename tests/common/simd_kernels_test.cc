@@ -290,6 +290,123 @@ TEST(SimdKernelsTest, CountPlanForcedScalarMatchesDispatch) {
   EXPECT_EQ(fast, slow);
 }
 
+// ---------------------------------------------------------------------------
+// General-arity counting kernel (CountPlanN).
+
+struct CountNFixture {
+  std::vector<std::vector<uint16_t>> cols;
+  std::vector<const uint16_t*> ptrs;
+  std::vector<size_t> strides;
+  std::vector<uint32_t> odd_rows;
+  std::vector<size_t> domains;
+  size_t cells = 1;
+
+  CountNFixture(size_t rows, std::vector<size_t> d) : domains(std::move(d)) {
+    BitGen gen(77);
+    cols.resize(domains.size());
+    strides.resize(domains.size());
+    for (size_t k = 0; k < domains.size(); ++k) {
+      cols[k].resize(rows);
+      for (auto& v : cols[k]) {
+        v = static_cast<uint16_t>(gen.UniformInt(domains[k]));
+      }
+      cells *= domains[k];
+    }
+    // Row-major strides, last attribute fastest.
+    size_t stride = 1;
+    for (size_t k = domains.size(); k-- > 0;) {
+      strides[k] = stride;
+      stride *= domains[k];
+    }
+    for (const auto& col : cols) ptrs.push_back(col.data());
+    for (size_t r = 1; r < rows; r += 2) {
+      odd_rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  CountPlanNArgs Args(std::vector<uint32_t>& counts,
+                      std::vector<uint32_t>* scratch) const {
+    CountPlanNArgs args;
+    args.cols = ptrs.data();
+    args.strides = strides.data();
+    args.arity = domains.size();
+    args.begin = 0;
+    args.end = cols[0].size();
+    args.cells = cells;
+    counts.assign(cells, 0);
+    args.counts = counts.data();
+    if (scratch != nullptr) {
+      scratch->resize(kBatchLanes * cells);
+      args.lane_scratch = scratch->data();
+    }
+    return args;
+  }
+};
+
+TEST(SimdKernelsTest, CountPlanNMatchesScalarRefAcrossArities) {
+  for (const auto& domains :
+       {std::vector<size_t>{5, 3, 7}, std::vector<size_t>{4, 2, 3, 5},
+        std::vector<size_t>{2, 2, 2, 3, 3, 2}}) {
+    const CountNFixture f(10'000, domains);
+    std::vector<uint32_t> want, direct, striped, scratch;
+    CountPlanNScalarRef(f.Args(want, nullptr));
+    CountPlanN(f.Args(direct, nullptr));
+    CountPlanN(f.Args(striped, &scratch));
+    EXPECT_EQ(direct, want) << "arity " << domains.size();
+    EXPECT_EQ(striped, want) << "arity " << domains.size();
+    uint64_t total = 0;
+    for (uint32_t c : want) total += c;
+    EXPECT_EQ(total, f.cols[0].size());
+  }
+}
+
+TEST(SimdKernelsTest, CountPlanNMatchesOnRowSubsets) {
+  const CountNFixture f(8'000, {6, 4, 5});
+  std::vector<uint32_t> want, got, scratch;
+  CountPlanNArgs ref = f.Args(want, nullptr);
+  ref.row_idx = f.odd_rows.data();
+  ref.end = f.odd_rows.size();
+  CountPlanNScalarRef(ref);
+  CountPlanNArgs args = f.Args(got, &scratch);
+  args.row_idx = f.odd_rows.data();
+  args.end = f.odd_rows.size();
+  CountPlanN(args);
+  EXPECT_EQ(got, want);
+}
+
+TEST(SimdKernelsTest, CountPlanNAccumulatesAndHonorsRanges) {
+  const CountNFixture f(4'096, {3, 3, 3});
+  std::vector<uint32_t> want, got, scratch;
+  CountPlanNArgs ref = f.Args(want, nullptr);
+  ref.begin = 13;
+  ref.end = 4'000;
+  want.assign(f.cells, 5);  // pre-existing counts must be added to
+  CountPlanNScalarRef(ref);
+  CountPlanNArgs args = f.Args(got, &scratch);
+  args.begin = 13;
+  args.end = 4'000;
+  got.assign(f.cells, 5);
+  CountPlanN(args);
+  EXPECT_EQ(got, want);
+  uint64_t total = 0;
+  for (uint32_t c : got) total += c;
+  EXPECT_EQ(total, (4'000 - 13) + 5 * f.cells);
+}
+
+TEST(SimdKernelsTest, CountPlanNForcedTiersAllAgree) {
+  const CountNFixture f(20'000, {7, 3, 4});
+  std::vector<uint32_t> want, scratch;
+  CountPlanNScalarRef(f.Args(want, nullptr));
+  for (const char* tier : {"off", "sse2", "avx2"}) {
+    ScopedSimdOverride cap(tier);
+    std::vector<uint32_t> direct, striped;
+    CountPlanN(f.Args(direct, nullptr));
+    CountPlanN(f.Args(striped, &scratch));
+    EXPECT_EQ(direct, want) << "tier " << tier;
+    EXPECT_EQ(striped, want) << "tier " << tier;
+  }
+}
+
 }  // namespace
 }  // namespace simd
 }  // namespace ireduct

@@ -134,6 +134,100 @@ TEST(CensusGeneratorTest, MarginalsAreHeavyTailed) {
   EXPECT_GT(counts[0], 5 * counts[25]);
 }
 
+// ---------------------------------------------------------------------------
+// Generation profiles.
+
+TEST(DataProfileTest, ParseAndNameRoundTrip) {
+  for (const DataProfile p :
+       {DataProfile::kCensus, DataProfile::kZipfHeavy,
+        DataProfile::kSparseEvents, DataProfile::kWideSchema}) {
+    auto parsed = ParseDataProfile(DataProfileName(p));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(ParseDataProfile("zipf").ok());
+  EXPECT_FALSE(ParseDataProfile("").ok());
+}
+
+TEST(DataProfileTest, GeneratedDataMatchesProfileSchema) {
+  for (const DataProfile p :
+       {DataProfile::kZipfHeavy, DataProfile::kSparseEvents,
+        DataProfile::kWideSchema}) {
+    ProfileConfig config;
+    config.profile = p;
+    config.rows = 5'000;
+    auto schema = ProfileSchema(p, CensusKind::kBrazil);
+    ASSERT_TRUE(schema.ok());
+    auto d = GenerateProfile(config);
+    ASSERT_TRUE(d.ok()) << DataProfileName(p);
+    EXPECT_EQ(d->num_rows(), 5'000u);
+    ASSERT_EQ(d->num_columns(), schema->num_attributes());
+    for (size_t c = 0; c < schema->num_attributes(); ++c) {
+      EXPECT_EQ(d->schema().attribute(c).domain_size,
+                schema->attribute(c).domain_size);
+    }
+  }
+}
+
+TEST(DataProfileTest, CensusProfileDelegatesToGenerateCensus) {
+  ProfileConfig config;
+  config.profile = DataProfile::kCensus;
+  config.kind = CensusKind::kUs;
+  config.rows = 3'000;
+  config.seed = 7;
+  auto via_profile = GenerateProfile(config);
+  auto direct = GenerateCensus({CensusKind::kUs, 3'000, 7});
+  ASSERT_TRUE(via_profile.ok() && direct.ok());
+  EXPECT_EQ(via_profile->Fingerprint(), direct->Fingerprint());
+}
+
+TEST(DataProfileTest, ProfilesAreSeedDeterministic) {
+  for (const DataProfile p :
+       {DataProfile::kZipfHeavy, DataProfile::kSparseEvents,
+        DataProfile::kWideSchema}) {
+    ProfileConfig config;
+    config.profile = p;
+    config.rows = 4'000;
+    config.seed = 9;
+    auto a = GenerateProfile(config);
+    auto b = GenerateProfile(config);
+    config.seed = 10;
+    auto c = GenerateProfile(config);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    EXPECT_EQ(a->Fingerprint(), b->Fingerprint()) << DataProfileName(p);
+    EXPECT_NE(a->Fingerprint(), c->Fingerprint()) << DataProfileName(p);
+  }
+}
+
+TEST(DataProfileTest, ZipfHeavyIsHeadHeavy) {
+  ProfileConfig config;
+  config.profile = DataProfile::kZipfHeavy;
+  config.rows = 20'000;
+  auto d = GenerateProfile(config);
+  ASSERT_TRUE(d.ok());
+  // Item is the large Zipf domain: the hottest code must dwarf the mean.
+  std::vector<uint32_t> counts(d->schema().attribute(1).domain_size, 0);
+  for (size_t r = 0; r < d->num_rows(); ++r) ++counts[d->value(r, 1)];
+  const uint32_t hottest = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(hottest, 20'000u / counts.size() * 50);
+}
+
+TEST(DataProfileTest, SparseEventsLeaveMostCodesCold) {
+  ProfileConfig config;
+  config.profile = DataProfile::kSparseEvents;
+  config.rows = 20'000;
+  auto d = GenerateProfile(config);
+  ASSERT_TRUE(d.ok());
+  const size_t code_col = d->num_columns() - 1;
+  std::vector<uint32_t> counts(
+      d->schema().attribute(code_col).domain_size, 0);
+  for (size_t r = 0; r < d->num_rows(); ++r) ++counts[d->value(r, code_col)];
+  size_t cold = 0;
+  for (uint32_t c : counts) cold += c == 0;
+  // The profile's point: most of the code domain never appears.
+  EXPECT_GT(cold, counts.size() / 4);
+}
+
 TEST(CensusGeneratorTest, BirthPlaceMostlyMatchesState) {
   auto d = GenerateCensus(SmallConfig(CensusKind::kBrazil));
   ASSERT_TRUE(d.ok());

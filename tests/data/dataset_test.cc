@@ -42,6 +42,112 @@ TEST(DatasetTest, AppendValidatesArityAndDomain) {
   EXPECT_EQ(d.num_rows(), 0u);
 }
 
+TEST(DatasetTest, AppendRowsBulkMatchesRowByRow) {
+  auto schema = Schema::Create({{"A", 3}, {"B", 2}});
+  ASSERT_TRUE(schema.ok());
+  Dataset bulk(schema.value());
+  const std::vector<uint16_t> rows{0, 1, 2, 0, 1, 1};  // three rows
+  ASSERT_TRUE(bulk.AppendRows(rows).ok());
+  EXPECT_EQ(bulk.num_rows(), 3u);
+
+  Dataset single(std::move(schema).value());
+  for (size_t r = 0; r < 3; ++r) {
+    ASSERT_TRUE(
+        single.AppendRow(std::span(rows).subspan(r * 2, 2)).ok());
+  }
+  EXPECT_EQ(bulk.Fingerprint(), single.Fingerprint());
+
+  // Appending nothing is a no-op, not an error.
+  ASSERT_TRUE(bulk.AppendRows({}).ok());
+  EXPECT_EQ(bulk.num_rows(), 3u);
+}
+
+TEST(DatasetTest, AppendRowsValidatesBeforeMutating) {
+  auto schema = Schema::Create({{"A", 3}, {"B", 2}});
+  ASSERT_TRUE(schema.ok());
+  Dataset d(std::move(schema).value());
+  // Not a multiple of the arity.
+  EXPECT_FALSE(d.AppendRows(std::vector<uint16_t>{0, 1, 2}).ok());
+  // Out-of-domain value in the *second* row: the first row must not land.
+  const std::vector<uint16_t> bad{0, 1, 9, 0};
+  EXPECT_EQ(d.AppendRows(bad).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(d.num_rows(), 0u);
+}
+
+TEST(DatasetTest, FromColumnsBuildsOwnedDataset) {
+  auto schema = Schema::Create({{"A", 3}, {"B", 2}});
+  ASSERT_TRUE(schema.ok());
+  auto d = Dataset::FromColumns(schema.value(), {{0, 1, 2}, {1, 0, 1}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->owns_storage());
+  EXPECT_EQ(d->num_rows(), 3u);
+  EXPECT_EQ(d->value(2, 0), 2);
+  EXPECT_EQ(d->value(1, 1), 0);
+
+  // Ragged columns and out-of-domain values are refused.
+  EXPECT_FALSE(
+      Dataset::FromColumns(schema.value(), {{0, 1}, {1}}).ok());
+  EXPECT_FALSE(
+      Dataset::FromColumns(std::move(schema).value(), {{0, 3}, {1, 1}}).ok());
+}
+
+// Minimal backing: owned vectors served through the DatasetBacking
+// interface — the in-memory stand-in for an mmap'd columnar file.
+class VectorBacking : public DatasetBacking {
+ public:
+  explicit VectorBacking(std::vector<std::vector<uint16_t>> cols)
+      : cols_(std::move(cols)) {}
+  size_t num_rows() const override {
+    return cols_.empty() ? 0 : cols_[0].size();
+  }
+  std::span<const uint16_t> column(size_t c) const override {
+    return cols_[c];
+  }
+
+ private:
+  std::vector<std::vector<uint16_t>> cols_;
+};
+
+TEST(DatasetTest, FromBackingServesReadOnlyViews) {
+  auto schema = Schema::Create({{"A", 3}, {"B", 2}});
+  ASSERT_TRUE(schema.ok());
+  auto backing = std::make_shared<VectorBacking>(
+      std::vector<std::vector<uint16_t>>{{0, 1, 2}, {1, 0, 1}});
+  auto d = Dataset::FromBacking(schema.value(), backing);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->owns_storage());
+  EXPECT_EQ(d->num_rows(), 3u);
+  EXPECT_EQ(d->value(2, 0), 2);
+  EXPECT_EQ(d->column(1).size(), 3u);
+
+  // Backed datasets are immutable.
+  const std::array<uint16_t, 2> row{0, 0};
+  EXPECT_FALSE(d->AppendRow(row).ok());
+  EXPECT_FALSE(d->AppendRows(row).ok());
+
+  // Same content, same fingerprint as an owned build; Select always
+  // materializes into owned storage.
+  auto owned =
+      Dataset::FromColumns(schema.value(), {{0, 1, 2}, {1, 0, 1}});
+  ASSERT_TRUE(owned.ok());
+  EXPECT_EQ(d->Fingerprint(), owned->Fingerprint());
+  const Dataset sub = d->Select(std::vector<uint32_t>{2, 0});
+  EXPECT_TRUE(sub.owns_storage());
+  EXPECT_EQ(sub.value(0, 0), 2);
+
+  // Copies of a backed dataset share the backing and keep it alive.
+  const Dataset copy = *d;
+  EXPECT_FALSE(copy.owns_storage());
+  EXPECT_EQ(copy.value(1, 1), 0);
+
+  // A backing that disagrees with the schema is refused.
+  EXPECT_FALSE(Dataset::FromBacking(
+                   std::move(schema).value(),
+                   std::make_shared<VectorBacking>(
+                       std::vector<std::vector<uint16_t>>{{0, 3}, {1, 1}}))
+                   .ok());
+}
+
 TEST(DatasetTest, FoldAssignmentPartitionsEvenly) {
   const Dataset d = MakeDataset();
   BitGen gen(1);

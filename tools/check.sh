@@ -24,6 +24,14 @@
 #                             # scale (asserting BENCH_STRATEGY.json
 #                             # carries every matrix strategy), and a
 #                             # matrix-mechanism CLI release
+#   tools/check.sh data       # Columnar dataset-engine smoke: round-trip
+#                             # and streaming-parity tests under the
+#                             # default preset and again under ASan+UBSan,
+#                             # the columnar_io bench at reduced scale with
+#                             # its load-speedup / streaming-ratio / parity
+#                             # gates live (BENCH_COLUMNAR.json asserted),
+#                             # and a CLI csv2col/col2csv round trip that
+#                             # must reproduce the CSV byte for byte
 #   tools/check.sh threads    # ThreadSanitizer build of the concurrent
 #                             # evaluation paths: thread pool, fused
 #                             # marginal evaluator, marginal cache,
@@ -53,10 +61,10 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 case "$mode" in
-  default|san|no-tracing|perf|registry|queries|threads|obs|format|ci) ;;
+  default|san|no-tracing|perf|registry|queries|data|threads|obs|format|ci) ;;
   *)
     echo "usage: tools/check.sh" \
-         "[san|no-tracing|perf|registry|queries|threads|obs|format|ci]" >&2
+         "[san|no-tracing|perf|registry|queries|data|threads|obs|format|ci]" >&2
     exit 2
     ;;
 esac
@@ -100,6 +108,53 @@ if [ "$mode" = ci ]; then
    EVAL_ROWS=20000 EVAL_THREADS=1,2 CENSUS_ROWS=200000 \
      ./eval_scaling)
   echo "ci: all gates passed"
+  exit 0
+fi
+
+if [ "$mode" = data ]; then
+  # Columnar engine smoke. The bench runs with every gate live (load
+  # speedup >= 5x, streaming within 1.25x, memcmp parity) at reduced
+  # scale; the CLI round trip is the end-to-end byte-equality check; the
+  # ASan+UBSan pass re-runs the round-trip and streaming suites over the
+  # mmap/bit-twiddling code where a latent overflow would hide.
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "$out_dir"' EXIT
+  data_tests="columnar_test streaming_evaluator_test dataset_test \
+              csv_test census_generator_test"
+  cmake --preset default
+  # shellcheck disable=SC2086  # word splitting is the point
+  cmake --build --preset default -j "$(nproc)" \
+    --target ireduct_tool columnar_io $data_tests
+  for t in $data_tests; do
+    echo "== data: $t =="
+    ./build/tests/"$t"
+  done
+  (cd build/bench &&
+   CENSUS_ROWS=60000 TRIALS=2 COLUMNAR_PROFILE_ROWS=20000 \
+     COLUMNAR_THREADS=1,2 ./columnar_io)
+  for key in '"load_ok":true' '"stream_ok":true' '"parity_ok":true'; do
+    if ! grep -q "$key" build/bench/BENCH_COLUMNAR.json; then
+      echo "data smoke: $key missing from BENCH_COLUMNAR.json" >&2
+      exit 1
+    fi
+  done
+  tool=./build/tools/ireduct_tool
+  "$tool" generate --profile sparse-events --rows 5000 --seed 3 \
+    --out "$out_dir/a.csv" > /dev/null
+  "$tool" csv2col --profile sparse-events --in "$out_dir/a.csv" \
+    --out "$out_dir/a.col" > /dev/null
+  "$tool" col2csv --in "$out_dir/a.col" --out "$out_dir/b.csv" > /dev/null
+  cmp "$out_dir/a.csv" "$out_dir/b.csv"
+  "$tool" col-info --in "$out_dir/a.col" | grep -q fingerprint
+  echo "data smoke [default]: tests + gates + CLI round trip OK"
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$(nproc)" \
+    --target columnar_test streaming_evaluator_test
+  for t in columnar_test streaming_evaluator_test; do
+    echo "== data (asan-ubsan): $t =="
+    ./build-asan-ubsan/tests/"$t"
+  done
+  echo "data smoke [asan-ubsan]: round-trip + streaming suites clean"
   exit 0
 fi
 

@@ -1,7 +1,28 @@
 // ireduct_tool: command-line front end for the library.
 //
 //   ireduct_tool generate  --kind brazil|us --rows N --seed S --out FILE
-//       Writes a synthetic census as CSV.
+//                          [--profile census|zipf-heavy|sparse-events|
+//                           wide-schema] [--format csv|columnar]
+//                          [--block-rows N] [--zero-copy 1] [--no-compress 1]
+//       Writes a synthetic dataset. --profile picks the generation shape
+//       (census replica by default); --format columnar writes the binary
+//       columnar container (data/columnar.h) instead of CSV.
+//
+//   ireduct_tool csv2col   --in FILE.csv --out FILE.col
+//                          [--kind brazil|us | --profile P]
+//                          [--block-rows N] [--zero-copy 1] [--no-compress 1]
+//       Converts a CSV to the columnar format. With --kind/--profile the
+//       CSV is validated against that schema; otherwise attribute names
+//       come from the header and each domain is inferred as max code + 1.
+//       --zero-copy writes the raw16 mmap layout (bigger file, zero-cost
+//       load); --no-compress keeps bit-packed chunks but skips byte-RLE.
+//
+//   ireduct_tool col2csv   --in FILE.col --out FILE.csv
+//       Converts a columnar file back to CSV (inverse of csv2col).
+//
+//   ireduct_tool col-info  --in FILE.col
+//       Prints a columnar file's schema, geometry, fingerprint, and
+//       per-encoding chunk statistics.
 //
 //   ireduct_tool marginals --kind brazil|us --rows N --k 1|2
 //                          --epsilon E --mechanism SPEC
@@ -126,18 +147,176 @@ Result<Dataset> MakeCensus(const std::map<std::string, std::string>& flags) {
   return GenerateCensus(config);
 }
 
+Result<CensusKind> ParseKindFlag(
+    const std::map<std::string, std::string>& flags) {
+  const std::string kind = FlagOr(flags, "kind", "brazil");
+  if (kind == "brazil") return CensusKind::kBrazil;
+  if (kind == "us") return CensusKind::kUs;
+  return Status::InvalidArgument("--kind must be brazil or us");
+}
+
+// Builds a dataset from the shared generation flags (--profile, --kind,
+// --rows, --seed); plain census when --profile is absent.
+Result<Dataset> MakeProfileDataset(
+    const std::map<std::string, std::string>& flags) {
+  ProfileConfig config;
+  IREDUCT_ASSIGN_OR_RETURN(config.profile,
+                           ParseDataProfile(FlagOr(flags, "profile",
+                                                   "census")));
+  IREDUCT_ASSIGN_OR_RETURN(config.kind, ParseKindFlag(flags));
+  config.rows = std::strtoull(FlagOr(flags, "rows", "100000").c_str(),
+                              nullptr, 10);
+  config.seed =
+      std::strtoull(FlagOr(flags, "seed", "2011").c_str(), nullptr, 10);
+  return GenerateProfile(config);
+}
+
+// Shared --block-rows / --zero-copy / --no-compress parsing.
+ColumnarWriteOptions ColumnarOptionsFromFlags(
+    const std::map<std::string, std::string>& flags) {
+  ColumnarWriteOptions options;
+  options.block_rows = static_cast<uint32_t>(std::strtoul(
+      FlagOr(flags, "block-rows", "65536").c_str(), nullptr, 10));
+  options.zero_copy_layout = FlagOr(flags, "zero-copy", "0") != "0";
+  options.compress = FlagOr(flags, "no-compress", "0") == "0";
+  return options;
+}
+
 int CmdGenerate(const std::map<std::string, std::string>& flags) {
-  auto dataset = MakeCensus(flags);
+  auto dataset = MakeProfileDataset(flags);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
-  const std::string out = FlagOr(flags, "out", "census.csv");
+  const std::string format = FlagOr(flags, "format", "csv");
+  const std::string out = FlagOr(
+      flags, "out", format == "columnar" ? "census.col" : "census.csv");
+  Status s;
+  if (format == "csv") {
+    s = WriteCsv(*dataset, out);
+  } else if (format == "columnar") {
+    s = WriteColumnar(*dataset, out, ColumnarOptionsFromFlags(flags));
+  } else {
+    std::fprintf(stderr, "--format must be csv or columnar\n");
+    return 2;
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu rows to %s\n", dataset->num_rows(), out.c_str());
+  return 0;
+}
+
+int CmdCsv2Col(const std::map<std::string, std::string>& flags) {
+  const std::string in = FlagOr(flags, "in", "");
+  const std::string out = FlagOr(flags, "out", "");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "csv2col needs --in FILE.csv and --out FILE.col\n");
+    return 2;
+  }
+  Result<Dataset> dataset = Status::Internal("unreachable");
+  if (flags.count("kind") > 0 || flags.count("profile") > 0) {
+    auto profile = ParseDataProfile(FlagOr(flags, "profile", "census"));
+    if (!profile.ok()) {
+      std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+      return 1;
+    }
+    auto kind = ParseKindFlag(flags);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+      return 1;
+    }
+    auto schema = ProfileSchema(*profile, *kind);
+    if (!schema.ok()) {
+      std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+      return 1;
+    }
+    dataset = ReadCsv(*schema, in);
+  } else {
+    dataset = ReadCsvInferred(in);
+  }
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = WriteColumnar(*dataset, out, ColumnarOptionsFromFlags(flags));
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu rows to %s\n", dataset->num_rows(), out.c_str());
+  return 0;
+}
+
+int CmdCol2Csv(const std::map<std::string, std::string>& flags) {
+  const std::string in = FlagOr(flags, "in", "");
+  const std::string out = FlagOr(flags, "out", "");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "col2csv needs --in FILE.col and --out FILE.csv\n");
+    return 2;
+  }
+  auto dataset = ReadColumnar(in);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
   if (Status s = WriteCsv(*dataset, out); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
   std::printf("wrote %zu rows to %s\n", dataset->num_rows(), out.c_str());
+  return 0;
+}
+
+int CmdColInfo(const std::map<std::string, std::string>& flags) {
+  const std::string in = FlagOr(flags, "in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "col-info needs --in FILE.col\n");
+    return 2;
+  }
+  auto file = ColumnarFile::Open(in);
+  if (!file.ok()) {
+    std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  const Schema& schema = file->schema();
+  std::printf("%s: %llu rows x %zu columns, %u blocks of %u rows, %s\n",
+              in.c_str(),
+              static_cast<unsigned long long>(file->num_rows()),
+              schema.num_attributes(), file->num_blocks(),
+              file->block_rows(),
+              file->zero_copy() ? "zero-copy layout" : "packed layout");
+  std::printf("file bytes:  %llu\n",
+              static_cast<unsigned long long>(file->file_bytes()));
+  std::printf("fingerprint: %016llx\n",
+              static_cast<unsigned long long>(file->fingerprint()));
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    uint64_t encoded = 0;
+    size_t raw = 0;
+    size_t packed = 0;
+    size_t rle = 0;
+    for (uint32_t b = 0; b < file->num_blocks(); ++b) {
+      encoded += file->chunk_bytes(static_cast<uint32_t>(c), b);
+      switch (file->chunk_encoding(static_cast<uint32_t>(c), b)) {
+        case ChunkEncoding::kRaw16:
+          ++raw;
+          break;
+        case ChunkEncoding::kPacked:
+          ++packed;
+          break;
+        case ChunkEncoding::kPackedRle:
+          ++rle;
+          break;
+      }
+    }
+    std::printf(
+        "  %-16s domain %-6u width %2u bits, %8llu bytes "
+        "(raw %zu / packed %zu / rle %zu)\n",
+        schema.attribute(c).name.c_str(), schema.attribute(c).domain_size,
+        file->bit_width(static_cast<uint32_t>(c)),
+        static_cast<unsigned long long>(encoded), raw, packed, rle);
+  }
   return 0;
 }
 
@@ -506,8 +685,9 @@ int CmdCompare(const std::map<std::string, std::string>& flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ireduct_tool generate|marginals|compare|"
-               "list-mechanisms [--flag value ...]\n[--log-level L] "
+               "usage: ireduct_tool generate|csv2col|col2csv|col-info|"
+               "marginals|compare|list-mechanisms [--flag value ...]\n"
+               "[--log-level L] "
                "[--trace-out F] [--metrics-out F] [--events-out F] "
                "[--prom-out F] [--report-out F] work with every command."
                "\n(see the header comment of tools/ireduct_tool.cc for "
@@ -585,6 +765,12 @@ int main(int argc, char** argv) {
   int rc;
   if (command == "generate") {
     rc = CmdGenerate(flags);
+  } else if (command == "csv2col") {
+    rc = CmdCsv2Col(flags);
+  } else if (command == "col2csv") {
+    rc = CmdCol2Csv(flags);
+  } else if (command == "col-info") {
+    rc = CmdColInfo(flags);
   } else if (command == "marginals") {
     rc = CmdMarginals(flags, &report);
   } else if (command == "compare") {
