@@ -20,6 +20,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Not found";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kIoError = 5,
   kNotFound = 6,
   kInternal = 7,
+  kResourceExhausted = 8,
 };
 
 /// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
@@ -65,6 +66,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -62,5 +62,7 @@
 #include "queries/range_workload.h"        // IWYU pragma: export
 #include "queries/strategy.h"              // IWYU pragma: export
 #include "service/private_session.h"       // IWYU pragma: export
+#include "service/query_server.h"          // IWYU pragma: export
+#include "service/wire.h"                  // IWYU pragma: export
 
 #endif  // IREDUCT_IREDUCT_H_

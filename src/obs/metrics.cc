@@ -290,6 +290,20 @@ void RegisterStandardMetrics() {
   registry.counter("session.refinable_counts");
   registry.histogram("session.request_seconds");
   registry.gauge("session.epsilon_remaining");
+  // Multi-tenant query server (service/query_server.h).
+  registry.counter("server.admitted");
+  registry.counter("server.shed_queue_full");
+  registry.counter("server.shed_tenant_cap");
+  registry.counter("server.batches");
+  registry.gauge("server.queue_depth");
+  registry.gauge("server.tenants");
+  registry.histogram("server.request_seconds");
+  // Bounds must match BatchWidthBounds() in service/query_server.cc (both
+  // sides call ExponentialBuckets(1, 2, 8): widths 1..128).
+  {
+    const std::vector<double> width_bounds = ExponentialBuckets(1, 2, 8);
+    registry.histogram("server.batch_width", width_bounds);
+  }
   // Evaluation harness and telemetry self-accounting.
   registry.counter("eval.trials_run");
   registry.counter("eval.parallel_trial_batches");

@@ -1,8 +1,10 @@
 #include "service/private_session.h"
 
+#include <errno.h>
 #include <sys/stat.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "algorithms/geometric.h"
 #include "marginals/marginal_set.h"
@@ -31,6 +33,24 @@ class BudgetGaugeUpdater {
  private:
   const PrivacyAccountant* accountant_;
 };
+
+// mkdir -p for the directory part of `path`: a fresh tenant's journal
+// often lands under a per-tenant directory that does not exist yet, and
+// LedgerJournal::Create's open(O_CREAT) cannot invent intermediate
+// directories. Existing directories (including races with a concurrent
+// creator) are fine.
+Status EnsureParentDirectories(const std::string& path) {
+  size_t slash = path.find('/', path[0] == '/' ? 1 : 0);
+  while (slash != std::string::npos) {
+    const std::string dir = path.substr(0, slash);
+    if (!dir.empty() && ::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      return Status::IoError("cannot create directory '" + dir +
+                             "': " + std::strerror(errno));
+    }
+    slash = path.find('/', slash + 1);
+  }
+  return Status::OK();
+}
 }  // namespace
 
 Result<PrivateQuerySession> PrivateQuerySession::Create(
@@ -60,6 +80,7 @@ Result<PrivateQuerySession> PrivateQuerySession::CreateWithJournal(
         "' already exists; use ResumeWithJournal to continue that "
         "session, or delete the file to explicitly discard its ledger");
   }
+  IREDUCT_RETURN_NOT_OK(EnsureParentDirectories(journal_path));
   IREDUCT_ASSIGN_OR_RETURN(PrivacyAccountant accountant,
                            PrivacyAccountant::Create(epsilon_budget));
   IREDUCT_ASSIGN_OR_RETURN(LedgerJournal journal,
@@ -134,10 +155,24 @@ Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
 Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
     std::span<const MarginalSpec> specs, MechanismSpec mechanism,
     double epsilon, double delta, int lambda_steps) {
+  // The precomputed path consumes no session state (RNG, accountant)
+  // before the shared implementation takes over, so computing the tables
+  // up front keeps this overload bit-identical to the pre-refactor code.
+  IREDUCT_ASSIGN_OR_RETURN(std::vector<Marginal> marginals,
+                           ComputeMarginals(*dataset_, specs));
+  return PublishMarginalsPrecomputed(std::move(marginals),
+                                     std::move(mechanism), epsilon, delta,
+                                     lambda_steps);
+}
+
+Result<MarginalRelease> PrivateQuerySession::PublishMarginalsPrecomputed(
+    std::vector<Marginal> tables, MechanismSpec mechanism, double epsilon,
+    double delta, int lambda_steps) {
+  const size_t num_tables = tables.size();
   obs::TraceSpan span("session.publish_marginals");
   span.Arg("mechanism", mechanism.name());
   span.Arg("epsilon", epsilon);
-  span.Arg("marginals", static_cast<double>(specs.size()));
+  span.Arg("marginals", static_cast<double>(num_tables));
   IREDUCT_METRIC_COUNT("session.marginal_releases", 1);
   IREDUCT_SCOPED_TIMER(request_timer, "session.request_seconds");
   const BudgetGaugeUpdater budget_gauge(accountant_.get());
@@ -168,10 +203,8 @@ Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
     return Status::PrivacyBudgetExceeded(
         "marginal release does not fit the remaining budget");
   }
-  IREDUCT_ASSIGN_OR_RETURN(std::vector<Marginal> marginals,
-                           ComputeMarginals(*dataset_, specs));
   IREDUCT_ASSIGN_OR_RETURN(MarginalWorkload workload,
-                           MarginalWorkload::Create(std::move(marginals)));
+                           MarginalWorkload::Create(std::move(tables)));
   // λmax: a tenth of the dataset, the paper's default reading of "the
   // largest amount of noise a user would accept".
   impl->SetSpecDefault(&mechanism, "delta", delta);
@@ -192,7 +225,7 @@ Result<MarginalRelease> PrivateQuerySession::PublishMarginals(
       "marginal release (" + info.display_name + ")", out.epsilon_spent));
   span.Arg("epsilon_spent", out.epsilon_spent);
   span.Arg("iterations", static_cast<double>(out.iterations));
-  IREDUCT_LOG(kInfo) << "published " << specs.size() << " marginals via "
+  IREDUCT_LOG(kInfo) << "published " << num_tables << " marginals via "
                      << info.display_name << " in " << out.iterations
                      << " iterations for epsilon " << out.epsilon_spent
                      << " (remaining " << accountant_->remaining() << ")";

@@ -58,7 +58,9 @@ class PrivateQuerySession {
   /// Like Create, but crash-safe: a fresh write-ahead ledger journal is
   /// created at `journal_path` and every budget mutation is made durable
   /// there *before* it becomes visible in the session (see
-  /// dp/ledger_journal.h). Refuses (kFailedPrecondition) if a journal
+  /// dp/ledger_journal.h). Missing parent directories of `journal_path`
+  /// are created (a fresh tenant under a new per-tenant directory must not
+  /// fail with ENOENT). Refuses (kFailedPrecondition) if a journal
   /// already exists there — truncating a crashed session's ledger would
   /// double-spend its ε; use ResumeWithJournal or delete the file.
   static Result<PrivateQuerySession> CreateWithJournal(
@@ -108,6 +110,16 @@ class PrivateQuerySession {
   Result<MarginalRelease> PublishMarginals(
       std::span<const MarginalSpec> specs, MechanismSpec mechanism,
       double epsilon, double delta, int lambda_steps = 200);
+
+  /// PublishMarginals with the true tables already computed (e.g. by the
+  /// query server's coalesced MarginalSetEvaluator pass). `tables` must be
+  /// exactly what ComputeMarginals(dataset, specs) would return — the fused
+  /// evaluator and the marginal cache both guarantee bit-identical tables —
+  /// so the release (noise draws, ε charges, ledger labels) is bit-identical
+  /// to the self-computing overloads at the same session state.
+  Result<MarginalRelease> PublishMarginalsPrecomputed(
+      std::vector<Marginal> tables, MechanismSpec mechanism, double epsilon,
+      double delta, int lambda_steps = 200);
 
   /// Starts a refinable count at `initial_scale` noise; refine through the
   /// returned chain (each Reduce draws from this session's budget). The

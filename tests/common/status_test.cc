@@ -26,6 +26,8 @@ TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
   EXPECT_EQ(Status::IoError("io").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::Internal("in").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("full").code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
   EXPECT_FALSE(Status::InvalidArgument("bad").ok());
 }
@@ -73,6 +75,8 @@ TEST(StatusTest, ReturnNotOkMacroPropagates) {
 TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "Resource exhausted");
 }
 
 }  // namespace

@@ -1,11 +1,15 @@
 #include "service/private_session.h"
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "marginals/marginal_set.h"
+#include "service/wire.h"
 
 namespace ireduct {
 namespace {
@@ -195,6 +199,59 @@ TEST(PrivateSessionTest, PublishMarginalsByNameRejectsBadRequests) {
   ASSERT_TRUE(typo.ok());
   EXPECT_FALSE(session->PublishMarginals(*specs, *typo, 0.4, 5.0, 64).ok());
   EXPECT_DOUBLE_EQ(session->spent(), 0.0);  // nothing charged on any refusal
+}
+
+TEST(PrivateSessionTest, CreateWithJournalCreatesMissingParentDirectories) {
+  const Dataset d = MakeDataset();
+  // A fresh per-tenant directory tree that does not exist yet — this used
+  // to fail with ENOENT before CreateWithJournal learned mkdir -p.
+  const std::string journal_path =
+      testing::TempDir() + "private_session_test_" +
+      std::to_string(::getpid()) + "/tenants/alice/ledger.journal";
+  auto session = PrivateQuerySession::CreateWithJournal(&d, 1.0, 14,
+                                                        journal_path);
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_TRUE(session->CountQuery(ConjunctiveQuery{{{1, 1}}}, 0.25).ok());
+  struct stat st{};
+  EXPECT_EQ(::stat(journal_path.c_str(), &st), 0);
+  // The journal is live: recovery sees the charge.
+  auto recovered = LedgerJournal::Recover(journal_path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ASSERT_EQ(recovered->charges.size(), 1u);
+  EXPECT_DOUBLE_EQ(recovered->charges[0].epsilon, 0.25);
+  // A second create at the same path still refuses (no truncation).
+  EXPECT_EQ(PrivateQuerySession::CreateWithJournal(&d, 1.0, 14, journal_path)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PrivateSessionTest, PrecomputedTablesMatchClassicPathExactly) {
+  const Dataset d = MakeDataset();
+  auto specs = AllKWaySpecs(d.schema(), 1);
+  ASSERT_TRUE(specs.ok());
+  // Same seed, same request — one session computes its own tables, the
+  // other receives them precomputed (the query server's batched path).
+  // The releases must be bit-identical.
+  auto classic = PrivateQuerySession::Create(&d, 1.0, 15);
+  ASSERT_TRUE(classic.ok());
+  auto classic_release = classic->PublishMarginals(
+      *specs, MechanismSpec("ireduct"), 0.4, 5.0, 64);
+  ASSERT_TRUE(classic_release.ok()) << classic_release.status();
+
+  auto precomputed = PrivateQuerySession::Create(&d, 1.0, 15);
+  ASSERT_TRUE(precomputed.ok());
+  auto tables = ComputeMarginals(d, *specs);
+  ASSERT_TRUE(tables.ok());
+  auto precomputed_release = precomputed->PublishMarginalsPrecomputed(
+      std::move(*tables), MechanismSpec("ireduct"), 0.4, 5.0, 64);
+  ASSERT_TRUE(precomputed_release.ok()) << precomputed_release.status();
+
+  EXPECT_EQ(MarginalReleaseToJson(*classic_release),
+            MarginalReleaseToJson(*precomputed_release));
+  EXPECT_DOUBLE_EQ(classic->spent(), precomputed->spent());
+  ASSERT_EQ(classic->ledger().size(), precomputed->ledger().size());
+  EXPECT_EQ(classic->ledger()[0].label, precomputed->ledger()[0].label);
 }
 
 TEST(PrivateSessionTest, MixedWorkflowComposes) {

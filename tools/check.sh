@@ -35,8 +35,19 @@
 #   tools/check.sh threads    # ThreadSanitizer build of the concurrent
 #                             # evaluation paths: thread pool, fused
 #                             # marginal evaluator, marginal cache,
-#                             # metrics registry, and the parallel trial
-#                             # runner
+#                             # metrics registry, the parallel trial
+#                             # runner, and the multi-tenant query server
+#                             # (admission pipeline + wire protocol)
+#   tools/check.sh service    # Query-service smoke: the admission /
+#                             # batching / crash-recovery suites, the
+#                             # service_throughput bench at reduced scale
+#                             # with its gates live (batched >= 1.5x
+#                             # unbatched qps at 8 tenants, byte parity
+#                             # against the serial golden; export
+#                             # SERVICE_MIN_SPEEDUP=0 to disable the
+#                             # speedup gate), and an end-to-end
+#                             # serve/client NDJSON round trip over a
+#                             # real Unix socket
 #   tools/check.sh obs        # Telemetry smoke: runs the event-log /
 #                             # exposition / run-report tests, drives
 #                             # ireduct_tool with --report-out/--events-out/
@@ -61,10 +72,10 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 case "$mode" in
-  default|san|no-tracing|perf|registry|queries|data|threads|obs|format|ci) ;;
+  default|san|no-tracing|perf|registry|queries|data|threads|service|obs|format|ci) ;;
   *)
-    echo "usage: tools/check.sh" \
-         "[san|no-tracing|perf|registry|queries|data|threads|obs|format|ci]" >&2
+    echo "usage: tools/check.sh [san|no-tracing|perf|registry|queries|data|" \
+         "threads|service|obs|format|ci]" >&2
     exit 2
     ;;
 esac
@@ -166,13 +177,75 @@ if [ "$mode" = threads ]; then
   cmake --preset tsan
   tsan_tests="thread_pool_test marginal_evaluator_test marginal_cache_test \
               experiment_test ireduct_batch_test obs_metrics_test \
-              event_log_test"
+              event_log_test query_server_test wire_test"
   # shellcheck disable=SC2086  # word splitting is the point
   cmake --build --preset tsan -j "$(nproc)" --target $tsan_tests
   for t in $tsan_tests; do
     echo "== TSan: $t =="
     IREDUCT_THREADS=4 ./build-tsan/tests/"$t"
   done
+  exit 0
+fi
+
+if [ "$mode" = service ]; then
+  # Query-service smoke. The bench runs with the batched-vs-unbatched
+  # speedup gate live (>= 1.5x at 8 tenants): the ratio is architectural —
+  # one fused true-table pass plus MarginalCache hits replace per-request
+  # per-spec dataset scans — so it holds on one-core shared runners.
+  # SERVICE_MIN_SPEEDUP=0 disables the gate for pathological machines;
+  # the byte-parity check against the serial golden always runs. The
+  # serve/client leg drives the real binary over a real Unix socket.
+  out_dir="$(mktemp -d)"
+  serve_pid=""
+  trap 'rm -rf "$out_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null' EXIT
+  service_tests="private_session_test query_server_test wire_test \
+                 service_crash_test"
+  cmake --preset default
+  # shellcheck disable=SC2086  # word splitting is the point
+  cmake --build --preset default -j "$(nproc)" \
+    --target ireduct_tool service_throughput $service_tests
+  for t in $service_tests; do
+    echo "== service: $t =="
+    ./build/tests/"$t"
+  done
+  (cd build/bench &&
+   CENSUS_ROWS=120000 SERVICE_WAVES=3 ./service_throughput)
+  for key in '"speedup_ok":true' '"parity_ok":true'; do
+    if ! grep -q "$key" build/bench/BENCH_SERVICE.json; then
+      echo "service smoke: $key missing from BENCH_SERVICE.json" >&2
+      exit 1
+    fi
+  done
+  tool=./build/tools/ireduct_tool
+  sock="$out_dir/service.sock"
+  "$tool" serve --socket "$sock" --ready-file "$out_dir/ready" \
+    --rows 20000 --seed 7 --journal-dir "$out_dir/journals" &
+  serve_pid=$!
+  i=0
+  while [ ! -f "$out_dir/ready" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "service smoke: server never wrote its ready file" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  "$tool" client --socket "$sock" --op ping | grep -q '"pong":true'
+  "$tool" client --socket "$sock" --op open --tenant smoke \
+    --budget 1 --seed 3 > /dev/null
+  "$tool" client --socket "$sock" --op marginals --tenant smoke \
+    --specs "0;1" --mechanism ireduct --epsilon 0.2 --delta 5 --steps 40 |
+    grep -q '"epsilon_spent"'
+  "$tool" client --socket "$sock" --op count --tenant smoke \
+    --predicates "1=1" --epsilon 0.1 | grep -q '"value"'
+  "$tool" client --socket "$sock" --op budget --tenant smoke |
+    grep -q '"remaining"'
+  # The journal the server kept must already hold both grants.
+  grep -c '"type":"grant"' "$out_dir/journals/smoke.journal" | grep -qx 2
+  kill "$serve_pid"
+  wait "$serve_pid"
+  serve_pid=""
+  echo "service smoke: tests + gated bench + socket round trip OK"
   exit 0
 fi
 

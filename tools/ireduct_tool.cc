@@ -56,6 +56,30 @@
 //       suite) and prints/exports a comparison table (comparison.csv in
 //       the working directory).
 //
+//   ireduct_tool serve     --socket PATH [--ready-file FILE]
+//                          [--data FILE.col | --profile P --kind K --rows N
+//                           --seed S] [--dataset-name NAME] [--workers N]
+//                          [--max-queue N] [--tenant-cap N] [--max-batch N]
+//                          [--no-batch 1] [--journal-dir DIR]
+//                          [--retry-after-ms N]
+//       Runs the multi-tenant private query server (service/query_server.h)
+//       over the NDJSON wire protocol (service/wire.h) on a Unix-domain
+//       socket until SIGINT/SIGTERM. --data serves an existing columnar
+//       file (zero-copy layouts are mmap-shared across tenants); otherwise
+//       a dataset is generated from the usual generation flags.
+//       --ready-file is written once the socket accepts (for scripts).
+//       --journal-dir gives every tenant a crash-safe ε ledger journal.
+//
+//   ireduct_tool client    --socket PATH --op ping|stats|open|resume|
+//                          budget|count|marginals [--id N] [--tenant T]
+//                          [--dataset NAME] [--budget E] [--seed S]
+//                          [--epsilon E] [--delta D] [--steps N]
+//                          [--mechanism SPEC] [--specs "0,1;2"]
+//                          [--predicates "0=3,1=1"]
+//       Sends one wire request and prints the NDJSON response. Exit 0 on
+//       an ok response, 1 on an error response (e.g. an admission shed,
+//       which carries retry_after_ms and never consumed ε).
+//
 //   ireduct_tool list-mechanisms   (or --list-mechanisms anywhere)
 //       Prints every registered mechanism with its privacy status and
 //       accepted spec parameters.
@@ -84,7 +108,10 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -93,6 +120,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ireduct.h"
@@ -683,10 +711,195 @@ int CmdCompare(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// ---- serve / client: the NDJSON wire protocol over a Unix socket ----
+
+std::atomic<bool> g_serve_stop{false};
+
+void HandleStopSignal(int) { g_serve_stop.store(true); }
+
+// "0,1;2" → {{0,1},{2}} (semicolon-separated specs, comma-separated
+// attribute indices).
+Result<std::vector<MarginalSpec>> ParseSpecsArg(const std::string& text) {
+  std::vector<MarginalSpec> specs;
+  std::string token;
+  MarginalSpec current;
+  auto flush_attr = [&]() -> Status {
+    if (token.empty()) {
+      return Status::InvalidArgument("--specs has an empty attribute index");
+    }
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      return Status::InvalidArgument("--specs index '" + token +
+                                     "' is not a number");
+    }
+    current.attributes.push_back(static_cast<uint32_t>(v));
+    token.clear();
+    return Status::OK();
+  };
+  for (const char c : text) {
+    if (c == ',') {
+      IREDUCT_RETURN_NOT_OK(flush_attr());
+    } else if (c == ';') {
+      IREDUCT_RETURN_NOT_OK(flush_attr());
+      specs.push_back(std::move(current));
+      current = MarginalSpec{};
+    } else {
+      token.push_back(c);
+    }
+  }
+  IREDUCT_RETURN_NOT_OK(flush_attr());
+  specs.push_back(std::move(current));
+  return specs;
+}
+
+// "0=3,1=1" → predicates {attr 0 == 3, attr 1 == 1}. Empty counts all rows.
+Result<ConjunctiveQuery> ParsePredicatesArg(const std::string& text) {
+  ConjunctiveQuery query;
+  if (text.empty()) return query;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string pair = text.substr(start, comma - start);
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("--predicates entry '" + pair +
+                                     "' is not attr=value");
+    }
+    query.predicates.push_back(
+        {static_cast<uint32_t>(std::strtoul(pair.substr(0, eq).c_str(),
+                                            nullptr, 10)),
+         static_cast<uint16_t>(std::strtoul(pair.substr(eq + 1).c_str(),
+                                            nullptr, 10))});
+    start = comma + 1;
+  }
+  return query;
+}
+
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  const std::string socket = FlagOr(flags, "socket", "");
+  if (socket.empty()) {
+    std::fprintf(stderr, "serve requires --socket PATH\n");
+    return 2;
+  }
+  QueryServerConfig config;
+  config.workers = std::atoi(FlagOr(flags, "workers", "1").c_str());
+  config.max_queue =
+      std::strtoull(FlagOr(flags, "max-queue", "256").c_str(), nullptr, 10);
+  config.max_inflight_per_tenant =
+      std::atoi(FlagOr(flags, "tenant-cap", "8").c_str());
+  config.max_batch =
+      std::strtoull(FlagOr(flags, "max-batch", "16").c_str(), nullptr, 10);
+  config.batching = FlagOr(flags, "no-batch", "0") == "0";
+  config.journal_dir = FlagOr(flags, "journal-dir", "");
+  config.retry_after_ms =
+      std::atoi(FlagOr(flags, "retry-after-ms", "50").c_str());
+  auto server = QueryServer::Create(config);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  const std::string dataset_name = FlagOr(flags, "dataset-name", "default");
+  const std::string data = FlagOr(flags, "data", "");
+  Status load = Status::OK();
+  if (!data.empty()) {
+    load = (*server)->AddDatasetFile(dataset_name, data);
+  } else {
+    auto dataset = MakeProfileDataset(flags);
+    load = dataset.ok()
+               ? (*server)->AddDataset(dataset_name, std::move(*dataset))
+               : dataset.status();
+  }
+  if (!load.ok()) {
+    std::fprintf(stderr, "%s\n", load.ToString().c_str());
+    return 1;
+  }
+  auto wire = WireServer::Start(server->get(), socket);
+  if (!wire.ok()) {
+    std::fprintf(stderr, "%s\n", wire.status().ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  // The ready file signals scripted callers (tools/check.sh, CI smoke
+  // tests) that the socket is accepting; written after Start so a reader
+  // never races the bind.
+  if (const std::string ready = FlagOr(flags, "ready-file", "");
+      !ready.empty()) {
+    std::ofstream file(ready, std::ios::trunc);
+    file << socket << '\n';
+    if (!file.flush()) {
+      std::fprintf(stderr, "failed writing ready file %s\n", ready.c_str());
+      return 1;
+    }
+  }
+  std::printf("serving dataset '%s' on %s (workers=%d queue=%zu batch=%s)\n",
+              dataset_name.c_str(), socket.c_str(), config.workers,
+              config.max_queue, config.batching ? "on" : "off");
+  std::fflush(stdout);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  (*wire)->Stop();
+  std::printf("%s\n", ServerStatsToJson((*server)->Stats()).c_str());
+  return 0;
+}
+
+int CmdClient(const std::map<std::string, std::string>& flags) {
+  const std::string socket = FlagOr(flags, "socket", "");
+  if (socket.empty()) {
+    std::fprintf(stderr, "client requires --socket PATH\n");
+    return 2;
+  }
+  WireRequest request;
+  request.id = std::strtoull(FlagOr(flags, "id", "1").c_str(), nullptr, 10);
+  request.op = FlagOr(flags, "op", "ping");
+  request.tenant = FlagOr(flags, "tenant", "");
+  request.dataset = FlagOr(flags, "dataset", "default");
+  request.budget = std::strtod(FlagOr(flags, "budget", "1").c_str(), nullptr);
+  request.seed =
+      std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+  request.epsilon =
+      std::strtod(FlagOr(flags, "epsilon", "0.1").c_str(), nullptr);
+  request.delta = std::strtod(FlagOr(flags, "delta", "0.05").c_str(), nullptr);
+  request.lambda_steps = std::atoi(FlagOr(flags, "steps", "200").c_str());
+  request.mechanism = FlagOr(flags, "mechanism", "ireduct");
+  if (const std::string specs = FlagOr(flags, "specs", ""); !specs.empty()) {
+    auto parsed = ParseSpecsArg(specs);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    request.specs = std::move(*parsed);
+  }
+  if (request.op == "count") {
+    auto parsed = ParsePredicatesArg(FlagOr(flags, "predicates", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    request.query = std::move(*parsed);
+  }
+  auto client = WireClient::Connect(socket);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  auto response = client->Call(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->ToJson().c_str());
+  return response->ok ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: ireduct_tool generate|csv2col|col2csv|col-info|"
-               "marginals|compare|list-mechanisms [--flag value ...]\n"
+               "marginals|compare|serve|client|list-mechanisms "
+               "[--flag value ...]\n"
                "[--log-level L] "
                "[--trace-out F] [--metrics-out F] [--events-out F] "
                "[--prom-out F] [--report-out F] work with every command."
@@ -775,6 +988,10 @@ int main(int argc, char** argv) {
     rc = CmdMarginals(flags, &report);
   } else if (command == "compare") {
     rc = CmdCompare(flags);
+  } else if (command == "serve") {
+    rc = CmdServe(flags);
+  } else if (command == "client") {
+    rc = CmdClient(flags);
   } else {
     return Usage();
   }
